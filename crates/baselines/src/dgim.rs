@@ -1,0 +1,181 @@
+//! The DGIM exponential histogram for basic counting over a sliding window
+//! (Datar, Gionis, Indyk, Motwani \[DGIM02\]).
+//!
+//! This is the classical sequential baseline for the problem solved in
+//! parallel by [`psfa-window`'s `BasicCounter`](https://docs.rs/psfa-window):
+//! it maintains buckets of exponentially growing sizes, keeping at most `r`
+//! buckets of each size, and answers queries with relative error at most
+//! `1/(2(r − 1))`.
+
+use std::collections::VecDeque;
+
+/// One DGIM bucket: the timestamp of its most recent 1 and its size (a power
+/// of two).
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    timestamp: u64,
+    size: u64,
+}
+
+/// DGIM exponential-histogram counter over a sliding window of size `n`.
+#[derive(Debug, Clone)]
+pub struct DgimCounter {
+    epsilon: f64,
+    n: u64,
+    /// Maximum number of buckets allowed per size.
+    max_per_size: usize,
+    /// Buckets, most recent first.
+    buckets: VecDeque<Bucket>,
+    time: u64,
+}
+
+impl DgimCounter {
+    /// Creates a DGIM counter for window size `n` with relative error at most
+    /// `ε`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not in `(0, 1)` or `n == 0`.
+    pub fn new(epsilon: f64, n: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        assert!(n >= 1, "window size must be at least 1");
+        // error ≤ 1/(2(r − 1)) ≤ ε  ⇒  r ≥ 1/(2ε) + 1.
+        let max_per_size = (1.0 / (2.0 * epsilon)).ceil() as usize + 1;
+        Self { epsilon, n, max_per_size, buckets: VecDeque::new(), time: 0 }
+    }
+
+    /// The relative-error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The window size n.
+    pub fn window(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of buckets currently stored (`O(ε⁻¹ log n)`).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Total stream length consumed.
+    pub fn stream_len(&self) -> u64 {
+        self.time
+    }
+
+    /// Processes one bit.
+    pub fn update(&mut self, bit: bool) {
+        self.time += 1;
+        // Expire the oldest bucket if it fell out of the window.
+        if let Some(back) = self.buckets.back() {
+            if back.timestamp + self.n <= self.time {
+                self.buckets.pop_back();
+            }
+        }
+        if !bit {
+            return;
+        }
+        self.buckets.push_front(Bucket { timestamp: self.time, size: 1 });
+        // Merge oldest pairs whenever a size class overflows.
+        let mut size = 1u64;
+        loop {
+            let count = self.buckets.iter().filter(|b| b.size == size).count();
+            if count <= self.max_per_size {
+                break;
+            }
+            // Merge the two oldest buckets of this size.
+            let mut indices: Vec<usize> = self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.size == size)
+                .map(|(i, _)| i)
+                .collect();
+            let last = indices.pop().expect("count > max_per_size >= 1");
+            let second_last = indices.pop().expect("count >= 2");
+            let newer = self.buckets[second_last];
+            self.buckets[last] = Bucket { timestamp: newer.timestamp, size: size * 2 };
+            self.buckets.remove(second_last);
+            size *= 2;
+        }
+    }
+
+    /// Processes a slice of bits sequentially.
+    pub fn update_all(&mut self, bits: &[bool]) {
+        for &b in bits {
+            self.update(b);
+        }
+    }
+
+    /// Estimate of the number of 1s in the window: all bucket sizes except
+    /// the oldest, plus half of the oldest bucket.
+    pub fn estimate(&self) -> u64 {
+        match self.buckets.back() {
+            None => 0,
+            Some(oldest) => {
+                let total: u64 = self.buckets.iter().map(|b| b.size).sum();
+                total - oldest.size + oldest.size / 2
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_count(bits: &[bool], n: u64) -> u64 {
+        let start = bits.len().saturating_sub(n as usize);
+        bits[start..].iter().filter(|&&b| b).count() as u64
+    }
+
+    #[test]
+    fn relative_error_holds_on_random_streams() {
+        let epsilon = 0.1;
+        let n = 2000u64;
+        let mut dgim = DgimCounter::new(epsilon, n);
+        let mut bits = Vec::new();
+        let mut state = 3u64;
+        for i in 0..20_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let bit = (state >> 33) % 3 != 0;
+            dgim.update(bit);
+            bits.push(bit);
+            if i % 500 == 0 && i > 0 {
+                let truth = window_count(&bits, n);
+                let est = dgim.estimate();
+                let err = (est as f64 - truth as f64).abs();
+                assert!(
+                    err <= epsilon * truth as f64 + 1.0,
+                    "relative error too large: est={est} truth={truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_stream() {
+        let mut dgim = DgimCounter::new(0.1, 100);
+        dgim.update_all(&vec![false; 1000]);
+        assert_eq!(dgim.estimate(), 0);
+    }
+
+    #[test]
+    fn all_ones_stream() {
+        let n = 512u64;
+        let mut dgim = DgimCounter::new(0.1, n);
+        dgim.update_all(&vec![true; 2000]);
+        let est = dgim.estimate();
+        let err = (est as f64 - n as f64).abs();
+        assert!(err <= 0.1 * n as f64 + 1.0, "est={est}");
+    }
+
+    #[test]
+    fn bucket_count_is_logarithmic() {
+        let n = 1 << 16;
+        let mut dgim = DgimCounter::new(0.1, n);
+        dgim.update_all(&vec![true; 100_000]);
+        // O(ε⁻¹ log n) buckets: with r = 6 and 17 size classes, ≲ 120.
+        assert!(dgim.num_buckets() <= 150, "buckets = {}", dgim.num_buckets());
+    }
+}

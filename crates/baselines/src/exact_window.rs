@@ -1,0 +1,142 @@
+//! Exact sliding-window frequency tracking.
+//!
+//! The naive comparator: a ring buffer of the last `n` items plus a hash map
+//! of exact counts. It uses `Θ(n)` memory — the cost the paper's
+//! sliding-window algorithms avoid — and serves both as the ground-truth
+//! oracle in tests/experiments and as the throughput baseline for E5.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Exact frequencies over a count-based sliding window of size `n`.
+#[derive(Debug, Clone)]
+pub struct ExactSlidingWindow {
+    n: u64,
+    buffer: VecDeque<u64>,
+    counts: HashMap<u64, u64>,
+}
+
+impl ExactSlidingWindow {
+    /// Creates a tracker for window size `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 1, "window size must be at least 1");
+        Self { n, buffer: VecDeque::with_capacity(n as usize), counts: HashMap::new() }
+    }
+
+    /// The window size n.
+    pub fn window(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of distinct items currently in the window.
+    pub fn num_distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of items currently buffered (≤ n).
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// True when no items have been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Processes a single item.
+    pub fn update(&mut self, item: u64) {
+        if self.buffer.len() as u64 == self.n {
+            let evicted = self.buffer.pop_front().expect("buffer is full");
+            match self.counts.get_mut(&evicted) {
+                Some(c) if *c > 1 => *c -= 1,
+                Some(_) => {
+                    self.counts.remove(&evicted);
+                }
+                None => unreachable!("evicted item must be counted"),
+            }
+        }
+        self.buffer.push_back(item);
+        *self.counts.entry(item).or_insert(0) += 1;
+    }
+
+    /// Processes a whole minibatch element by element.
+    pub fn process_minibatch(&mut self, minibatch: &[u64]) {
+        for &x in minibatch {
+            self.update(x);
+        }
+    }
+
+    /// Exact frequency of `item` within the window.
+    pub fn count(&self, item: u64) -> u64 {
+        self.counts.get(&item).copied().unwrap_or(0)
+    }
+
+    /// All `(item, count)` pairs currently in the window.
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        self.counts.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Exact φ-heavy hitters of the window.
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<(u64, u64)> {
+        let threshold = phi * self.buffer.len() as f64;
+        let mut out: Vec<(u64, u64)> = self
+            .counts
+            .iter()
+            .filter(|&(_, &c)| c as f64 >= threshold)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_brute_force() {
+        let n = 500u64;
+        let mut exact = ExactSlidingWindow::new(n);
+        let mut history: Vec<u64> = Vec::new();
+        let mut state = 1u64;
+        for _ in 0..20 {
+            let batch: Vec<u64> = (0..137)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 33) % 37
+                })
+                .collect();
+            exact.process_minibatch(&batch);
+            history.extend_from_slice(&batch);
+            let start = history.len().saturating_sub(n as usize);
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for &x in &history[start..] {
+                *truth.entry(x).or_insert(0) += 1;
+            }
+            for item in 0..37u64 {
+                assert_eq!(exact.count(item), truth.get(&item).copied().unwrap_or(0));
+            }
+            assert_eq!(exact.len(), history.len().min(n as usize));
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_are_exact() {
+        let mut exact = ExactSlidingWindow::new(100);
+        exact.process_minibatch(&[1; 60]);
+        exact.process_minibatch(&[2; 40]);
+        let hh: Vec<u64> = exact.heavy_hitters(0.5).into_iter().map(|(i, _)| i).collect();
+        assert_eq!(hh, vec![1]);
+    }
+
+    #[test]
+    fn empty_tracker() {
+        let exact = ExactSlidingWindow::new(10);
+        assert!(exact.is_empty());
+        assert_eq!(exact.count(5), 0);
+        assert!(exact.heavy_hitters(0.1).is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Lossy Counting (Manku–Motwani \[MM02\]).
+//!
+//! The stream is conceptually divided into buckets of width `⌈1/ε⌉`; at each
+//! bucket boundary every counter whose (count + creation-bucket-error) does
+//! not reach the current bucket id is discarded. Guarantees
+//! `fₑ − εm ≤ Ĉₑ ≤ fₑ` with `O(ε⁻¹ log(εm))` counters.
+
+use std::collections::HashMap;
+
+/// Lossy Counting summary with bucket width `⌈1/ε⌉`.
+#[derive(Debug, Clone)]
+pub struct LossyCounting {
+    epsilon: f64,
+    bucket_width: u64,
+    /// item → (count, Δ = bucket id at insertion − 1)
+    counters: HashMap<u64, (u64, u64)>,
+    stream_len: u64,
+}
+
+impl LossyCounting {
+    /// Creates a summary with error parameter `ε ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        Self {
+            epsilon,
+            bucket_width: (1.0 / epsilon).ceil() as u64,
+            counters: HashMap::new(),
+            stream_len: 0,
+        }
+    }
+
+    /// The error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Total number of elements processed.
+    pub fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    /// Number of counters currently stored.
+    pub fn num_counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn current_bucket(&self) -> u64 {
+        self.stream_len.div_ceil(self.bucket_width).max(1)
+    }
+
+    /// Processes a single element.
+    pub fn update(&mut self, item: u64) {
+        self.stream_len += 1;
+        let bucket = self.current_bucket();
+        self.counters
+            .entry(item)
+            .and_modify(|(c, _)| *c += 1)
+            .or_insert((1, bucket - 1));
+        // Prune at bucket boundaries.
+        if self.stream_len % self.bucket_width == 0 {
+            self.counters.retain(|_, &mut (c, delta)| c + delta > bucket);
+        }
+    }
+
+    /// Processes a whole slice element by element.
+    pub fn update_all(&mut self, items: &[u64]) {
+        for &x in items {
+            self.update(x);
+        }
+    }
+
+    /// Estimate `Ĉₑ ∈ [fₑ − εm, fₑ]`.
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.counters.get(&item).map(|&(c, _)| c).unwrap_or(0)
+    }
+
+    /// Items whose estimate is at least `(φ − ε)·m`.
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<(u64, u64)> {
+        let threshold = ((phi - self.epsilon) * self.stream_len as f64).max(0.0);
+        let mut out: Vec<(u64, u64)> = self
+            .counters
+            .iter()
+            .filter(|&(_, &(c, _))| c as f64 >= threshold)
+            .map(|(&k, &(c, _))| (k, c))
+            .collect();
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn estimates_within_bounds() {
+        let epsilon = 0.01;
+        let mut lc = LossyCounting::new(epsilon);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut state = 77u64;
+        for i in 0..50_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = if i % 5 != 0 { (state >> 33) % 20 } else { (state >> 33) % 3000 };
+            lc.update(item);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        let m = lc.stream_len();
+        for (&item, &f) in &truth {
+            let c = lc.estimate(item);
+            assert!(c <= f);
+            assert!(c as f64 + epsilon * m as f64 >= f as f64);
+        }
+    }
+
+    #[test]
+    fn space_stays_modest_on_uniform_streams() {
+        let epsilon = 0.01;
+        let mut lc = LossyCounting::new(epsilon);
+        let mut state = 5u64;
+        for _ in 0..100_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            lc.update((state >> 33) % 50_000);
+        }
+        // The classic bound is (1/ε)·log(εm) ≈ 100 · log(1000) ≈ 690.
+        assert!(lc.num_counters() <= 1500, "counters = {}", lc.num_counters());
+    }
+
+    #[test]
+    fn heavy_hitters_found() {
+        let mut lc = LossyCounting::new(0.05);
+        let stream: Vec<u64> = (0..10_000).map(|i| if i % 3 == 0 { 1 } else { i }).collect();
+        lc.update_all(&stream);
+        let hh: Vec<u64> = lc.heavy_hitters(0.2).into_iter().map(|(i, _)| i).collect();
+        assert!(hh.contains(&1));
+    }
+}

@@ -1,0 +1,247 @@
+//! The independent-data-structure approach of Section 5.4.
+//!
+//! The stream is partitioned among `p` workers; each worker maintains its own
+//! Misra–Gries summary (`O(1/ε)` counters), and a query merges the `p`
+//! summaries using the mergeable-summaries technique of Agarwal et al.
+//! \[ACH+13\]: add corresponding counters, then subtract the `(S+1)`-th
+//! largest combined counter and keep the positive remainder.
+//!
+//! This is the comparison point for experiment E7. Its drawbacks — the ones
+//! the paper's shared-structure approach removes — are visible directly in
+//! the API: [`IndependentMgSummaries::total_counters`] grows with `p`, and
+//! [`IndependentMgSummaries::merged`] performs `Θ(p/ε)` work at query time
+//! (a sequential bottleneck when answered on one processor).
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+
+/// `p` independent Misra–Gries summaries with a merge-on-query interface.
+#[derive(Debug, Clone)]
+pub struct IndependentMgSummaries {
+    epsilon: f64,
+    capacity: usize,
+    workers: Vec<HashMap<u64, u64>>,
+    stream_len: u64,
+}
+
+impl IndependentMgSummaries {
+    /// Creates `p` per-worker summaries with error parameter `ε`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not in `(0, 1)` or `p == 0`.
+    pub fn new(epsilon: f64, p: usize) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        assert!(p >= 1, "at least one worker is required");
+        let capacity = (1.0 / epsilon).ceil() as usize;
+        Self { epsilon, capacity, workers: vec![HashMap::new(); p], stream_len: 0 }
+    }
+
+    /// The error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of workers `p`.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Per-worker summary capacity `S = ⌈1/ε⌉`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total counters across all workers — `Θ(p/ε)`, the factor-`p` memory
+    /// overhead called out in Section 5.4.
+    pub fn total_counters(&self) -> usize {
+        self.workers.iter().map(HashMap::len).sum()
+    }
+
+    /// Total number of elements processed.
+    pub fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    /// Processes a minibatch: the batch is split into `p` contiguous chunks
+    /// and each worker updates its own summary sequentially (in parallel
+    /// across workers).
+    pub fn process_minibatch(&mut self, minibatch: &[u64]) {
+        if minibatch.is_empty() {
+            return;
+        }
+        self.stream_len += minibatch.len() as u64;
+        let p = self.workers.len();
+        let chunk = minibatch.len().div_ceil(p);
+        let capacity = self.capacity;
+        self.workers
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, summary)| {
+                let start = i * chunk;
+                if start >= minibatch.len() {
+                    return;
+                }
+                let end = (start + chunk).min(minibatch.len());
+                for &item in &minibatch[start..end] {
+                    mg_update(summary, capacity, item);
+                }
+            });
+    }
+
+    /// Merges the per-worker summaries into one summary of at most `S`
+    /// counters (\[ACH+13\]). This is the query-time step whose cost is
+    /// `Θ(p/ε)` and which the paper's shared-structure approach avoids.
+    pub fn merged(&self) -> HashMap<u64, u64> {
+        let mut combined: HashMap<u64, u64> = HashMap::new();
+        for worker in &self.workers {
+            for (&item, &count) in worker {
+                *combined.entry(item).or_insert(0) += count;
+            }
+        }
+        if combined.len() <= self.capacity {
+            return combined;
+        }
+        // Subtract the (S+1)-th largest counter and keep the positive rest.
+        let mut values: Vec<u64> = combined.values().copied().collect();
+        values.sort_unstable_by(|a, b| b.cmp(a));
+        let cutoff = values[self.capacity];
+        combined
+            .into_iter()
+            .filter_map(|(item, count)| {
+                let rem = count.saturating_sub(cutoff);
+                if rem > 0 {
+                    Some((item, rem))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Frequency estimate from the merged summary:
+    /// `fₑ − εm ≤ f̂ₑ ≤ fₑ` (the merged summary is itself an MG summary).
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.merged().get(&item).copied().unwrap_or(0)
+    }
+
+    /// Heavy hitters from the merged summary.
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<(u64, u64)> {
+        let threshold = ((phi - self.epsilon) * self.stream_len as f64).max(0.0);
+        let mut out: Vec<(u64, u64)> = self
+            .merged()
+            .into_iter()
+            .filter(|&(_, c)| c as f64 >= threshold)
+            .collect();
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        out
+    }
+}
+
+/// One step of the sequential Misra–Gries update on a plain hash map.
+fn mg_update(summary: &mut HashMap<u64, u64>, capacity: usize, item: u64) {
+    if let Some(c) = summary.get_mut(&item) {
+        *c += 1;
+        return;
+    }
+    if summary.len() < capacity {
+        summary.insert(item, 1);
+        return;
+    }
+    summary.retain(|_, c| {
+        *c -= 1;
+        *c > 0
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_summary_satisfies_mg_error_bound() {
+        let epsilon = 0.05;
+        let p = 4;
+        let mut ind = IndependentMgSummaries::new(epsilon, p);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut state = 9u64;
+        for _ in 0..30 {
+            let batch: Vec<u64> = (0..800)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let r = state >> 33;
+                    if r % 3 != 0 {
+                        r % 10
+                    } else {
+                        10 + r % 2000
+                    }
+                })
+                .collect();
+            for &x in &batch {
+                *truth.entry(x).or_insert(0) += 1;
+            }
+            ind.process_minibatch(&batch);
+        }
+        let m = ind.stream_len();
+        // Each worker's summary has error ε·mᵢ on its sub-stream; the merged
+        // summary has error at most ε·Σmᵢ = εm (mergeability, [ACH+13]).
+        for (&item, &f) in &truth {
+            let est = ind.estimate(item);
+            assert!(est <= f, "merged estimate must not overestimate");
+            assert!(
+                est as f64 + epsilon * m as f64 >= f as f64,
+                "item {item}: est {est} too far below {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_grows_with_p() {
+        // The Section 5.4 observation: total memory is Θ(p/ε).
+        let mut per_p = Vec::new();
+        for p in [1usize, 4, 16] {
+            let mut ind = IndependentMgSummaries::new(0.02, p);
+            let mut state = 3u64;
+            for _ in 0..10 {
+                // Mostly a moderate set of frequent items (enough to fill each
+                // per-worker summary) with an occasional rare item.
+                let batch: Vec<u64> = (0..2000)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let r = state >> 33;
+                        if r % 10 != 0 {
+                            r % 60
+                        } else {
+                            60 + r % 100_000
+                        }
+                    })
+                    .collect();
+                ind.process_minibatch(&batch);
+            }
+            per_p.push(ind.total_counters());
+        }
+        assert!(per_p[1] > per_p[0] * 2, "memory should grow with p: {per_p:?}");
+        assert!(per_p[2] > per_p[1] * 2, "memory should grow with p: {per_p:?}");
+    }
+
+    #[test]
+    fn merged_respects_capacity() {
+        let mut ind = IndependentMgSummaries::new(0.1, 8);
+        let batch: Vec<u64> = (0..10_000u64).collect();
+        ind.process_minibatch(&batch);
+        assert!(ind.merged().len() <= ind.capacity());
+    }
+
+    #[test]
+    fn single_worker_matches_sequential_mg() {
+        use crate::misra_gries::SequentialMisraGries;
+        let mut ind = IndependentMgSummaries::new(0.1, 1);
+        let mut seq = SequentialMisraGries::new(0.1);
+        let stream: Vec<u64> = (0..5000u64).map(|i| (i * 2654435761) % 40).collect();
+        ind.process_minibatch(&stream);
+        seq.update_all(&stream);
+        for item in 0..40u64 {
+            assert_eq!(ind.estimate(item), seq.estimate(item));
+        }
+    }
+}

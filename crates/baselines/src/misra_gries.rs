@@ -1,0 +1,140 @@
+//! The classic sequential Misra–Gries frequent-elements algorithm
+//! (Algorithm 1 in the paper; \[MG82\], rediscovered by \[DLOM02, KSP03\]).
+
+use std::collections::HashMap;
+
+/// Sequential Misra–Gries summary with `S = ⌈1/ε⌉` counters processing one
+/// element at a time. Guarantees `fₑ − εm ≤ Cₑ ≤ fₑ` (Lemma 5.1).
+#[derive(Debug, Clone)]
+pub struct SequentialMisraGries {
+    epsilon: f64,
+    capacity: usize,
+    counters: HashMap<u64, u64>,
+    stream_len: u64,
+}
+
+impl SequentialMisraGries {
+    /// Creates a summary with error parameter `ε ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        let capacity = (1.0 / epsilon).ceil() as usize;
+        Self { epsilon, capacity, counters: HashMap::with_capacity(capacity + 1), stream_len: 0 }
+    }
+
+    /// The error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The number of counters `S = ⌈1/ε⌉`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of counters currently in use.
+    pub fn num_counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Total number of elements processed (`m`).
+    pub fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    /// Processes a single element (Algorithm 1's `update`).
+    pub fn update(&mut self, item: u64) {
+        self.stream_len += 1;
+        if let Some(c) = self.counters.get_mut(&item) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(item, 1);
+            return;
+        }
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// Processes a whole slice, element by element (the sequential baseline
+    /// for minibatch throughput comparisons).
+    pub fn update_all(&mut self, items: &[u64]) {
+        for &x in items {
+            self.update(x);
+        }
+    }
+
+    /// Estimate `Cₑ ∈ [fₑ − εm, fₑ]`.
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.counters.get(&item).copied().unwrap_or(0)
+    }
+
+    /// All tracked `(item, counter)` pairs.
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        self.counters.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Items whose counter is at least `(φ − ε)·m` (the heavy-hitter
+    /// reduction used throughout Section 5).
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<(u64, u64)> {
+        let threshold = ((phi - self.epsilon) * self.stream_len as f64).max(0.0);
+        let mut out: Vec<(u64, u64)> = self
+            .counters
+            .iter()
+            .filter(|&(_, &c)| c as f64 >= threshold)
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn lemma_5_1_bounds() {
+        let epsilon = 0.05;
+        let mut mg = SequentialMisraGries::new(epsilon);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut state = 123u64;
+        for i in 0..30_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = if i % 4 != 0 { (state >> 33) % 10 } else { (state >> 33) % 1000 };
+            mg.update(item);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        let m = mg.stream_len();
+        for (&item, &f) in &truth {
+            let c = mg.estimate(item);
+            assert!(c <= f);
+            assert!(c as f64 + epsilon * m as f64 >= f as f64);
+        }
+        assert!(mg.num_counters() <= mg.capacity());
+    }
+
+    #[test]
+    fn small_capacity_decrements() {
+        let mut mg = SequentialMisraGries::new(0.5); // capacity 2
+        mg.update_all(&[1, 1, 2, 3]);
+        assert_eq!(mg.estimate(1), 1);
+        assert_eq!(mg.estimate(2), 0);
+        assert_eq!(mg.estimate(3), 0);
+    }
+
+    #[test]
+    fn heavy_hitters_contains_majority_item() {
+        let mut mg = SequentialMisraGries::new(0.1);
+        let stream: Vec<u64> = (0..1000).map(|i| if i % 2 == 0 { 7 } else { i }).collect();
+        mg.update_all(&stream);
+        let hh: Vec<u64> = mg.heavy_hitters(0.4).into_iter().map(|(i, _)| i).collect();
+        assert!(hh.contains(&7));
+    }
+}

@@ -1,0 +1,145 @@
+//! Space-Saving (Metwally, Agrawal, El Abbadi \[MAE06\]).
+//!
+//! A counter-based frequent-elements summary that, unlike Misra–Gries,
+//! *overestimates*: when an unmonitored item arrives and the summary is
+//! full, the minimum counter is reassigned to the new item and incremented.
+//! Guarantees `fₑ ≤ Ĉₑ ≤ fₑ + m/S`.
+
+use std::collections::HashMap;
+
+/// Space-Saving summary with `S = ⌈1/ε⌉` counters.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    epsilon: f64,
+    capacity: usize,
+    /// item → (count, overestimation error at takeover time)
+    counters: HashMap<u64, (u64, u64)>,
+    stream_len: u64,
+}
+
+impl SpaceSaving {
+    /// Creates a summary with error parameter `ε ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        let capacity = (1.0 / epsilon).ceil() as usize;
+        Self { epsilon, capacity, counters: HashMap::with_capacity(capacity + 1), stream_len: 0 }
+    }
+
+    /// The error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The number of counters `S`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total number of elements processed.
+    pub fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    /// Processes a single element.
+    pub fn update(&mut self, item: u64) {
+        self.stream_len += 1;
+        if let Some(entry) = self.counters.get_mut(&item) {
+            entry.0 += 1;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(item, (1, 0));
+            return;
+        }
+        // Evict the minimum counter and hand its count to the new item.
+        let (&victim, &(min_count, _)) = self
+            .counters
+            .iter()
+            .min_by_key(|(_, &(count, _))| count)
+            .expect("summary is non-empty when full");
+        self.counters.remove(&victim);
+        self.counters.insert(item, (min_count + 1, min_count));
+    }
+
+    /// Processes a whole slice element by element.
+    pub fn update_all(&mut self, items: &[u64]) {
+        for &x in items {
+            self.update(x);
+        }
+    }
+
+    /// Estimate `Ĉₑ ∈ [fₑ, fₑ + εm]` for tracked items, `0` otherwise.
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.counters.get(&item).map(|&(c, _)| c).unwrap_or(0)
+    }
+
+    /// Guaranteed lower bound on the true frequency of a tracked item.
+    pub fn guaranteed_count(&self, item: u64) -> u64 {
+        self.counters.get(&item).map(|&(c, err)| c - err).unwrap_or(0)
+    }
+
+    /// All tracked `(item, estimate)` pairs.
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        self.counters.iter().map(|(&k, &(c, _))| (k, c)).collect()
+    }
+
+    /// Items whose estimate is at least `φ·m`.
+    pub fn heavy_hitters(&self, phi: f64) -> Vec<(u64, u64)> {
+        let threshold = phi * self.stream_len as f64;
+        let mut out: Vec<(u64, u64)> = self
+            .entries()
+            .into_iter()
+            .filter(|&(_, c)| c as f64 >= threshold)
+            .collect();
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn estimates_overestimate_within_eps_m() {
+        let epsilon = 0.02;
+        let mut ss = SpaceSaving::new(epsilon);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut state = 321u64;
+        for i in 0..20_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = if i % 3 != 0 { (state >> 33) % 8 } else { (state >> 33) % 500 };
+            ss.update(item);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        let m = ss.stream_len();
+        for (item, est) in ss.entries() {
+            let f = truth.get(&item).copied().unwrap_or(0);
+            assert!(est >= f, "Space-Saving must not underestimate tracked items");
+            assert!(est as f64 <= f as f64 + epsilon * m as f64 + 1.0);
+            assert!(ss.guaranteed_count(item) <= f);
+        }
+        assert!(ss.entries().len() <= ss.capacity());
+    }
+
+    #[test]
+    fn majority_item_always_tracked() {
+        let mut ss = SpaceSaving::new(0.1);
+        let stream: Vec<u64> = (0..5000).map(|i| if i % 2 == 0 { 42 } else { i }).collect();
+        ss.update_all(&stream);
+        assert!(ss.estimate(42) >= 2500);
+        let hh: Vec<u64> = ss.heavy_hitters(0.4).into_iter().map(|(i, _)| i).collect();
+        assert!(hh.contains(&42));
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut ss = SpaceSaving::new(0.25);
+        ss.update_all(&(0..1000u64).collect::<Vec<_>>());
+        assert!(ss.entries().len() <= 4);
+    }
+}

@@ -1,0 +1,60 @@
+//! E6 bench: Count-Min sketch — parallel minibatch ingestion (Theorem 6.1)
+//! vs classic per-element updates, plus query cost.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use psfa::prelude::*;
+use psfa_bench::zipf_minibatches;
+
+fn bench_cm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_min");
+    let batch = &zipf_minibatches(500_000, 1.05, 1, 20_000, 11)[0];
+    for &(eps, delta) in &[(1e-3f64, 0.01f64), (1e-4, 0.004)] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel_minibatch_20k", format!("eps{eps}")),
+            &eps,
+            |b, _| {
+                let warmed = ParallelCountMin::new(eps, delta, 1);
+                b.iter_batched(
+                    || warmed.clone(),
+                    |mut cm| cm.process_minibatch(batch),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sequential_elements_20k", format!("eps{eps}")),
+            &eps,
+            |b, _| {
+                let warmed = CountMinSketch::new(eps, delta, 1);
+                b.iter_batched(
+                    || warmed.clone(),
+                    |mut cm| {
+                        for &x in batch {
+                            cm.update(x, 1);
+                        }
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.bench_function("point_query", |b| {
+        let mut cm = ParallelCountMin::new(1e-4, 0.004, 1);
+        cm.process_minibatch(batch);
+        let mut item = 0u64;
+        b.iter(|| {
+            item = (item + 1) % 1000;
+            cm.query(item)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_cm
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Shared Criterion configuration for all PSFA benches: small sample counts
+//! and short measurement windows so that `cargo bench --workspace` finishes
+//! in minutes even on a single-core CI host.
+
+use std::time::Duration;
+
+use criterion::Criterion;
+
+/// The bench configuration used by every bench target.
+pub fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200))
+        .configure_from_args()
+}

@@ -1,0 +1,60 @@
+//! E7 bench: the shared-summary approach vs the independent-data-structure
+//! approach of Section 5.4 — both the ingestion path and the query-time merge
+//! that the shared approach avoids.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use psfa::prelude::*;
+use psfa_bench::zipf_minibatches;
+
+fn bench_independent_vs_shared(c: &mut Criterion) {
+    let mut group = c.benchmark_group("independent_vs_shared");
+    let eps = 0.001;
+    let batch = &zipf_minibatches(300_000, 1.1, 1, 20_000, 9)[0];
+    let warmup = zipf_minibatches(300_000, 1.1, 10, 20_000, 10);
+
+    group.bench_function("shared_ingest_20k", |b| {
+        let mut warmed = ParallelFrequencyEstimator::new(eps);
+        for w in &warmup {
+            warmed.process_minibatch(w);
+        }
+        b.iter_batched(
+            || warmed.clone(),
+            |mut est| est.process_minibatch(batch),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("shared_query", |b| {
+        let mut warmed = ParallelFrequencyEstimator::new(eps);
+        for w in &warmup {
+            warmed.process_minibatch(w);
+        }
+        b.iter(|| warmed.heavy_hitters(0.01))
+    });
+
+    for &p in &[4usize, 16] {
+        let mut warmed = IndependentMgSummaries::new(eps, p);
+        for w in &warmup {
+            warmed.process_minibatch(w);
+        }
+        group.bench_with_input(BenchmarkId::new("independent_ingest_20k", p), &p, |b, _| {
+            b.iter_batched(
+                || warmed.clone(),
+                |mut est| est.process_minibatch(batch),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("independent_merge_query", p), &p, |b, _| {
+            b.iter(|| warmed.merged())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_independent_vs_shared
+}
+criterion_main!(benches);

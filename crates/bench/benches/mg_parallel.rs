@@ -1,0 +1,56 @@
+//! E4 bench: infinite-window frequency estimation — the parallel shared
+//! Misra–Gries summary (Theorem 5.2) vs the sequential per-element baselines.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use psfa::prelude::*;
+use psfa_bench::zipf_minibatches;
+
+fn bench_mg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mg_infinite_window");
+    let batch = &zipf_minibatches(200_000, 1.2, 1, 20_000, 3)[0];
+    for &eps in &[0.01f64, 0.001] {
+        group.bench_with_input(BenchmarkId::new("parallel_mg_20k", eps), &eps, |b, _| {
+            let mut warmed = ParallelFrequencyEstimator::new(eps);
+            for w in zipf_minibatches(200_000, 1.2, 5, 20_000, 4) {
+                warmed.process_minibatch(&w);
+            }
+            b.iter_batched(
+                || warmed.clone(),
+                |mut est| est.process_minibatch(batch),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_mg_20k", eps), &eps, |b, _| {
+            let mut warmed = SequentialMisraGries::new(eps);
+            for w in zipf_minibatches(200_000, 1.2, 5, 20_000, 4) {
+                warmed.update_all(&w);
+            }
+            b.iter_batched(
+                || warmed.clone(),
+                |mut est| est.update_all(batch),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("space_saving_20k", eps), &eps, |b, _| {
+            let mut warmed = SpaceSaving::new(eps);
+            for w in zipf_minibatches(200_000, 1.2, 5, 20_000, 4) {
+                warmed.update_all(&w);
+            }
+            b.iter_batched(
+                || warmed.clone(),
+                |mut est| est.update_all(batch),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_mg
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E1 bench: cost of `Sbbc::advance` per minibatch as a function of λ.
+//! The paper's bound is `O(min{σ, m/λ} + ‖T‖₀/λ)` — larger λ must be cheaper.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use psfa::prelude::*;
+use psfa_bench::binary_minibatches;
+
+fn bench_sbbc_advance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sbbc_advance");
+    let batch = &binary_minibatches(0.3, 1, 20_000, 1)[0];
+    let segment = CompactedSegment::from_bits(batch);
+    for &lambda in &[4u64, 32, 256, 2048] {
+        // Warm the counter with some history so expiry work is realistic.
+        let mut warmed = Sbbc::unbounded(lambda, 200_000);
+        for bits in binary_minibatches(0.3, 10, 20_000, 2) {
+            warmed.advance(&CompactedSegment::from_bits(&bits));
+        }
+        group.bench_with_input(BenchmarkId::new("advance_20k", lambda), &lambda, |b, _| {
+            b.iter_batched(
+                || warmed.clone(),
+                |mut sbbc| sbbc.advance(&segment),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.bench_function("css_construction_20k", |b| {
+        b.iter(|| CompactedSegment::from_bits(batch))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_sbbc_advance
+}
+criterion_main!(benches);

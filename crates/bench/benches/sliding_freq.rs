@@ -1,0 +1,55 @@
+//! E5 bench: the three sliding-window frequency-estimation variants
+//! (Theorems 5.5, 5.8, 5.4) plus the exact Θ(n)-memory baseline.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use psfa::prelude::*;
+use psfa_bench::zipf_minibatches;
+
+fn bench_sliding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sliding_freq");
+    let eps = 0.01;
+    let n = 1u64 << 18;
+    let batch = &zipf_minibatches(100_000, 1.1, 1, 10_000, 5)[0];
+    let warmup = zipf_minibatches(100_000, 1.1, 8, 10_000, 6);
+
+    macro_rules! bench_variant {
+        ($name:literal, $ctor:expr) => {
+            group.bench_function($name, |b| {
+                let mut warmed = $ctor;
+                for w in &warmup {
+                    warmed.process_minibatch(w);
+                }
+                b.iter_batched(
+                    || warmed.clone(),
+                    |mut est| est.process_minibatch(batch),
+                    BatchSize::SmallInput,
+                )
+            });
+        };
+    }
+
+    bench_variant!("basic_thm5_5_10k", SlidingFreqBasic::new(eps, n));
+    bench_variant!("space_efficient_thm5_8_10k", SlidingFreqSpaceEfficient::new(eps, n));
+    bench_variant!("work_efficient_thm5_4_10k", SlidingFreqWorkEfficient::new(eps, n));
+    group.bench_function("exact_window_10k", |b| {
+        let mut warmed = ExactSlidingWindow::new(n);
+        for w in &warmup {
+            warmed.process_minibatch(w);
+        }
+        b.iter_batched(
+            || warmed.clone(),
+            |mut est| est.process_minibatch(batch),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_sliding
+}
+criterion_main!(benches);

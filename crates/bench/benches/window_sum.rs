@@ -1,0 +1,36 @@
+//! E3 bench: windowed-sum minibatch ingestion (Theorem 4.2) as a function of
+//! the value bound R — work should scale with log R.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use psfa::prelude::*;
+
+fn bench_window_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_sum");
+    let n = 1u64 << 16;
+    let eps = 0.05;
+    for &max_value in &[255u64, 65_535, (1 << 24) - 1] {
+        let mut generator = BinaryStreamGenerator::new(0.6, max_value);
+        let batch = generator.next_values(8_192, max_value);
+        let mut warmed = WindowedSum::new(eps, n, max_value);
+        for _ in 0..5 {
+            warmed.advance(&generator.next_values(8_192, max_value));
+        }
+        group.bench_with_input(BenchmarkId::new("advance_8k", max_value), &max_value, |b, _| {
+            b.iter_batched(
+                || warmed.clone(),
+                |mut sum| sum.advance(&batch),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_window_sum
+}
+criterion_main!(benches);

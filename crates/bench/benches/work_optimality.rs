@@ -1,0 +1,36 @@
+//! E8 bench: per-item cost of the infinite-window estimator as the minibatch
+//! size µ varies. Corollary 5.11: once µ = Ω(1/ε) the per-item cost is O(1),
+//! so the time to process a fixed number of items should flatten.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psfa::prelude::*;
+use psfa_bench::zipf_minibatches;
+
+fn bench_work_optimality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("work_optimality");
+    let eps = 0.001; // 1/ε = 1000
+    let total = 100_000usize;
+    for &mu in &[100usize, 1_000, 10_000, 100_000] {
+        let batches = zipf_minibatches(100_000, 1.1, total / mu, mu, 13);
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_with_input(BenchmarkId::new("ingest_100k_items_mu", mu), &mu, |b, _| {
+            b.iter(|| {
+                let mut est = ParallelFrequencyEstimator::new(eps);
+                for batch in &batches {
+                    est.process_minibatch(batch);
+                }
+                est.num_counters()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_work_optimality
+}
+criterion_main!(benches);

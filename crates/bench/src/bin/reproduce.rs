@@ -1,0 +1,526 @@
+//! Regenerates every experiment in DESIGN.md §4 (E1–E8, F2) and prints the
+//! result tables recorded in EXPERIMENTS.md.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p psfa-bench --bin reproduce            # all experiments
+//! cargo run --release -p psfa-bench --bin reproduce -- --exp e4
+//! ```
+
+use std::collections::HashMap;
+
+use psfa::prelude::*;
+use psfa_bench::{binary_minibatches, exact_window_counts, header, row, threads, timed, zipf_minibatches};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let selected = args
+        .iter()
+        .position(|a| a == "--exp")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase());
+    let want = |name: &str| selected.as_deref().is_none_or(|s| s == name);
+
+    println!("PSFA experiment reproduction (rayon threads = {})\n", threads());
+    if want("e1") {
+        e1_sbbc();
+    }
+    if want("e2") {
+        e2_basic_counting();
+    }
+    if want("e3") {
+        e3_sum();
+    }
+    if want("e4") {
+        e4_infinite_window();
+    }
+    if want("e5") {
+        e5_sliding_variants();
+    }
+    if want("e6") {
+        e6_count_min();
+    }
+    if want("e7") {
+        e7_independent_vs_shared();
+    }
+    if want("e8") {
+        e8_work_optimality();
+    }
+    if want("f2") {
+        f2_snapshot_example();
+    }
+}
+
+/// E1 — SBBC value bounds and space (Theorem 3.4, Lemma 3.2).
+fn e1_sbbc() {
+    println!("== E1: space-bounded block counter — additive error ≤ λ, space ≤ min{{2σ+2, 2m/λ+2}} ==");
+    println!("{}", header(&["lambda", "density", "max add err", "bound λ", "blocks", "2m/λ+2"]));
+    let n = 50_000u64;
+    for &lambda in &[8u64, 32, 128] {
+        for &density in &[0.05f64, 0.5] {
+            let batches = binary_minibatches(density, 40, 5_000, lambda ^ 7);
+            let mut sbbc = Sbbc::unbounded(lambda, n);
+            let mut history: Vec<bool> = Vec::new();
+            let mut max_err = 0i64;
+            for bits in &batches {
+                sbbc.advance(&CompactedSegment::from_bits(bits));
+                history.extend_from_slice(bits);
+                let start = history.len().saturating_sub(n as usize);
+                let m = history[start..].iter().filter(|&&b| b).count() as i64;
+                let est = sbbc.value().expect("unbounded counter") as i64;
+                max_err = max_err.max(est - m);
+                assert!(est >= m, "SBBC must never undercount");
+            }
+            let start = history.len().saturating_sub(n as usize);
+            let m = history[start..].iter().filter(|&&b| b).count() as u64;
+            println!(
+                "{}",
+                row(&[
+                    lambda.to_string(),
+                    format!("{density:.2}"),
+                    max_err.to_string(),
+                    lambda.to_string(),
+                    sbbc.space_blocks().to_string(),
+                    (2 * m / lambda + 2).to_string(),
+                ])
+            );
+        }
+    }
+    println!();
+}
+
+/// E2 — basic counting vs the DGIM sequential baseline (Theorem 4.1).
+fn e2_basic_counting() {
+    println!("== E2: basic counting over a sliding window — ε relative error, O(ε⁻¹ log n) space ==");
+    println!(
+        "{}",
+        header(&["eps", "n", "algo", "Mitems/s", "max rel err", "space"])
+    );
+    let n = 1u64 << 18;
+    for &eps in &[0.1f64, 0.01] {
+        let batches = binary_minibatches(0.3, 60, 8_192, 42);
+        let total_items: usize = batches.iter().map(Vec::len).sum();
+
+        let mut counter = BasicCounter::new(eps, n);
+        let mut history: Vec<bool> = Vec::new();
+        let mut max_rel = 0.0f64;
+        let (_, secs) = timed(|| {
+            for bits in &batches {
+                counter.advance_bits(bits);
+            }
+        });
+        for bits in &batches {
+            history.extend_from_slice(bits);
+        }
+        let start = history.len().saturating_sub(n as usize);
+        let m = history[start..].iter().filter(|&&b| b).count() as f64;
+        max_rel = max_rel.max((counter.estimate() as f64 - m) / m.max(1.0));
+        println!(
+            "{}",
+            row(&[
+                format!("{eps}"),
+                n.to_string(),
+                "parallel-sbbc".into(),
+                format!("{:.2}", total_items as f64 / secs / 1e6),
+                format!("{max_rel:.4}"),
+                format!("{} blocks", counter.space_blocks()),
+            ])
+        );
+
+        let mut dgim = DgimCounter::new(eps, n);
+        let (_, secs) = timed(|| {
+            for bits in &batches {
+                dgim.update_all(bits);
+            }
+        });
+        let rel = (dgim.estimate() as f64 - m).abs() / m.max(1.0);
+        println!(
+            "{}",
+            row(&[
+                format!("{eps}"),
+                n.to_string(),
+                "dgim-seq".into(),
+                format!("{:.2}", total_items as f64 / secs / 1e6),
+                format!("{rel:.4}"),
+                format!("{} buckets", dgim.num_buckets()),
+            ])
+        );
+    }
+    println!();
+}
+
+/// E3 — windowed sum of bounded integers (Theorem 4.2).
+fn e3_sum() {
+    println!("== E3: sliding-window sum of integers in [0, R] — ε relative error ==");
+    println!("{}", header(&["eps", "R", "Mitems/s", "rel err", "space (blocks)"]));
+    let n = 1u64 << 16;
+    for &(eps, max_value) in &[(0.05f64, 255u64), (0.05, 65_535), (0.01, 65_535)] {
+        let mut generator = BinaryStreamGenerator::new(0.6, 9);
+        let batches: Vec<Vec<u64>> = (0..40).map(|_| generator.next_values(4096, max_value)).collect();
+        let total_items: usize = batches.iter().map(Vec::len).sum();
+        let mut sum = WindowedSum::new(eps, n, max_value);
+        let (_, secs) = timed(|| {
+            for values in &batches {
+                sum.advance(values);
+            }
+        });
+        let history: Vec<u64> = batches.concat();
+        let start = history.len().saturating_sub(n as usize);
+        let truth: u64 = history[start..].iter().sum();
+        let rel = (sum.estimate() as f64 - truth as f64) / truth.max(1) as f64;
+        println!(
+            "{}",
+            row(&[
+                format!("{eps}"),
+                max_value.to_string(),
+                format!("{:.2}", total_items as f64 / secs / 1e6),
+                format!("{rel:.4}"),
+                sum.space_blocks().to_string(),
+            ])
+        );
+    }
+    println!();
+}
+
+/// E4 — infinite-window frequency estimation / heavy hitters (Theorem 5.2).
+fn e4_infinite_window() {
+    println!("== E4: infinite-window frequency estimation — parallel MG vs sequential baselines ==");
+    println!(
+        "{}",
+        header(&["eps", "workload", "algo", "Mitems/s", "max err/εm", "counters"])
+    );
+    for &eps in &[0.01f64, 0.001] {
+        for &(alpha, label) in &[(1.2f64, "zipf1.2"), (0.0, "uniform")] {
+            let batches = zipf_minibatches(200_000, alpha, 40, 20_000, 7);
+            let total_items: usize = batches.iter().map(Vec::len).sum();
+            let mut truth: HashMap<u64, u64> = HashMap::new();
+            for b in &batches {
+                for &x in b {
+                    *truth.entry(x).or_insert(0) += 1;
+                }
+            }
+            let m = total_items as f64;
+
+            // Parallel shared-summary estimator (this paper).
+            let mut parallel = ParallelFrequencyEstimator::new(eps);
+            let (_, par_secs) = timed(|| {
+                for b in &batches {
+                    parallel.process_minibatch(b);
+                }
+            });
+            let max_err = truth
+                .iter()
+                .map(|(&item, &f)| f.saturating_sub(parallel.estimate(item)) as f64)
+                .fold(0.0f64, f64::max);
+            println!(
+                "{}",
+                row(&[
+                    format!("{eps}"),
+                    label.into(),
+                    "parallel-mg".into(),
+                    format!("{:.2}", m / par_secs / 1e6),
+                    format!("{:.3}", max_err / (eps * m)),
+                    parallel.num_counters().to_string(),
+                ])
+            );
+
+            // Sequential Misra–Gries (the best sequential counterpart).
+            let mut seq = SequentialMisraGries::new(eps);
+            let (_, seq_secs) = timed(|| {
+                for b in &batches {
+                    seq.update_all(b);
+                }
+            });
+            let max_err = truth
+                .iter()
+                .map(|(&item, &f)| f.saturating_sub(seq.estimate(item)) as f64)
+                .fold(0.0f64, f64::max);
+            println!(
+                "{}",
+                row(&[
+                    format!("{eps}"),
+                    label.into(),
+                    "seq-mg".into(),
+                    format!("{:.2}", m / seq_secs / 1e6),
+                    format!("{:.3}", max_err / (eps * m)),
+                    seq.num_counters().to_string(),
+                ])
+            );
+
+            // Space-Saving, the other classic counter-based baseline.
+            let mut ss = SpaceSaving::new(eps);
+            let (_, ss_secs) = timed(|| {
+                for b in &batches {
+                    ss.update_all(b);
+                }
+            });
+            println!(
+                "{}",
+                row(&[
+                    format!("{eps}"),
+                    label.into(),
+                    "space-saving".into(),
+                    format!("{:.2}", m / ss_secs / 1e6),
+                    "n/a (overest)".into(),
+                    ss.entries().len().to_string(),
+                ])
+            );
+        }
+    }
+    println!();
+}
+
+/// E5 — the three sliding-window variants (Theorems 5.5, 5.8, 5.4).
+fn e5_sliding_variants() {
+    println!("== E5: sliding-window frequency estimation — basic vs space-efficient vs work-efficient ==");
+    println!(
+        "{}",
+        header(&["eps", "n", "algo", "Mitems/s", "max err/εn", "counters"])
+    );
+    let eps = 0.01f64;
+    let n = 1u64 << 18;
+    let batches = zipf_minibatches(100_000, 1.1, 40, 10_000, 23);
+    let history: Vec<u64> = batches.concat();
+    let truth = exact_window_counts(&history, n);
+    let total_items = history.len() as f64;
+
+    fn run<E: SlidingFrequencyEstimator>(
+        mut est: E,
+        name: &str,
+        batches: &[Vec<u64>],
+        truth: &HashMap<u64, u64>,
+        eps: f64,
+        n: u64,
+        total_items: f64,
+    ) -> String {
+        let (_, secs) = timed(|| {
+            for b in batches {
+                est.process_minibatch(b);
+            }
+        });
+        let max_err = truth
+            .iter()
+            .map(|(&item, &f)| f.saturating_sub(est.estimate(item)) as f64)
+            .fold(0.0f64, f64::max);
+        row(&[
+            format!("{eps}"),
+            n.to_string(),
+            name.into(),
+            format!("{:.2}", total_items / secs / 1e6),
+            format!("{:.3}", max_err / (eps * n as f64)),
+            est.num_counters().to_string(),
+        ])
+    }
+
+    println!("{}", run(SlidingFreqBasic::new(eps, n), "basic (Thm 5.5)", &batches, &truth, eps, n, total_items));
+    println!(
+        "{}",
+        run(SlidingFreqSpaceEfficient::new(eps, n), "space-eff (Thm 5.8)", &batches, &truth, eps, n, total_items)
+    );
+    println!(
+        "{}",
+        run(SlidingFreqWorkEfficient::new(eps, n), "work-eff (Thm 5.4)", &batches, &truth, eps, n, total_items)
+    );
+    // Exact baseline for context.
+    let mut exact = ExactSlidingWindow::new(n);
+    let (_, secs) = timed(|| {
+        for b in &batches {
+            exact.process_minibatch(b);
+        }
+    });
+    println!(
+        "{}",
+        row(&[
+            format!("{eps}"),
+            n.to_string(),
+            "exact (Θ(n) mem)".into(),
+            format!("{:.2}", total_items / secs / 1e6),
+            "0.000".into(),
+            exact.num_distinct().to_string(),
+        ])
+    );
+    println!();
+}
+
+/// E6 — parallel Count-Min minibatch ingestion (Theorem 6.1).
+fn e6_count_min() {
+    println!("== E6: count-min sketch — parallel minibatch ingestion vs per-element updates ==");
+    println!(
+        "{}",
+        header(&["eps", "delta", "algo", "Mitems/s", "err>εm items", "counters"])
+    );
+    for &(eps, delta) in &[(1e-3f64, 0.01f64), (1e-4, 0.004)] {
+        let batches = zipf_minibatches(500_000, 1.05, 30, 20_000, 13);
+        let total: usize = batches.iter().map(Vec::len).sum();
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for b in &batches {
+            for &x in b {
+                *truth.entry(x).or_insert(0) += 1;
+            }
+        }
+        let m = total as f64;
+
+        let mut par = ParallelCountMin::new(eps, delta, 3);
+        let (_, par_secs) = timed(|| {
+            for b in &batches {
+                par.process_minibatch(b);
+            }
+        });
+        let violations = truth
+            .iter()
+            .filter(|(&item, &f)| par.query(item) as f64 > f as f64 + eps * m)
+            .count();
+        println!(
+            "{}",
+            row(&[
+                format!("{eps}"),
+                format!("{delta}"),
+                "parallel-cm".into(),
+                format!("{:.2}", m / par_secs / 1e6),
+                format!("{violations}/{}", truth.len()),
+                par.sketch().num_counters().to_string(),
+            ])
+        );
+
+        let mut seq = CountMinSketch::new(eps, delta, 3);
+        let (_, seq_secs) = timed(|| {
+            for b in &batches {
+                for &x in b {
+                    seq.update(x, 1);
+                }
+            }
+        });
+        let violations = truth
+            .iter()
+            .filter(|(&item, &f)| seq.query(item) as f64 > f as f64 + eps * m)
+            .count();
+        println!(
+            "{}",
+            row(&[
+                format!("{eps}"),
+                format!("{delta}"),
+                "seq-cm".into(),
+                format!("{:.2}", m / seq_secs / 1e6),
+                format!("{violations}/{}", truth.len()),
+                seq.num_counters().to_string(),
+            ])
+        );
+    }
+    println!();
+}
+
+/// E7 — shared structure vs independent per-worker structures (Section 5.4).
+fn e7_independent_vs_shared() {
+    println!("== E7: shared summary vs independent per-worker summaries (mergeable, §5.4) ==");
+    println!(
+        "{}",
+        header(&["eps", "p", "algo", "total counters", "query time µs", "max err/εm"])
+    );
+    let eps = 0.001f64;
+    let batches = zipf_minibatches(300_000, 1.1, 30, 20_000, 31);
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    for b in &batches {
+        for &x in b {
+            *truth.entry(x).or_insert(0) += 1;
+        }
+    }
+    let m: u64 = truth.values().sum();
+
+    let mut shared = ParallelFrequencyEstimator::new(eps);
+    for b in &batches {
+        shared.process_minibatch(b);
+    }
+    let (_, q_secs) = timed(|| {
+        let _ = shared.heavy_hitters(0.01);
+    });
+    let max_err = truth
+        .iter()
+        .map(|(&item, &f)| f.saturating_sub(shared.estimate(item)) as f64)
+        .fold(0.0f64, f64::max);
+    println!(
+        "{}",
+        row(&[
+            format!("{eps}"),
+            "-".into(),
+            "shared (this paper)".into(),
+            shared.num_counters().to_string(),
+            format!("{:.1}", q_secs * 1e6),
+            format!("{:.3}", max_err / (eps * m as f64)),
+        ])
+    );
+
+    for &p in &[2usize, 4, 8, 16] {
+        let mut independent = IndependentMgSummaries::new(eps, p);
+        for b in &batches {
+            independent.process_minibatch(b);
+        }
+        let (merged, merge_secs) = timed(|| independent.merged());
+        let max_err = truth
+            .iter()
+            .map(|(&item, &f)| f.saturating_sub(merged.get(&item).copied().unwrap_or(0)) as f64)
+            .fold(0.0f64, f64::max);
+        println!(
+            "{}",
+            row(&[
+                format!("{eps}"),
+                p.to_string(),
+                "independent+merge".into(),
+                independent.total_counters().to_string(),
+                format!("{:.1}", merge_secs * 1e6),
+                format!("{:.3}", max_err / (eps * m as f64)),
+            ])
+        );
+    }
+    println!();
+}
+
+/// E8 — work optimality (Corollary 5.11): per-item work flattens once µ ≳ 1/ε.
+fn e8_work_optimality() {
+    println!("== E8: work per item vs minibatch size (work meter, ε = 0.001 ⇒ 1/ε = 1000) ==");
+    println!("{}", header(&["minibatch µ", "µ·ε", "work/item", "ns/item"]));
+    let eps = 0.001f64;
+    let total_items = 400_000usize;
+    for &mu in &[100usize, 300, 1_000, 3_000, 10_000, 30_000, 100_000] {
+        let batches = zipf_minibatches(100_000, 1.1, total_items / mu, mu, 17);
+        let meter = WorkMeter::new();
+        let mut est = ParallelFrequencyEstimator::new(eps).with_meter(meter.clone());
+        let (_, secs) = timed(|| {
+            for b in &batches {
+                est.process_minibatch(b);
+            }
+        });
+        let items: usize = batches.iter().map(Vec::len).sum();
+        println!(
+            "{}",
+            row(&[
+                mu.to_string(),
+                format!("{:.1}", mu as f64 * eps),
+                format!("{:.2}", meter.total() as f64 / items as f64),
+                format!("{:.1}", secs * 1e9 / items as f64),
+            ])
+        );
+    }
+    println!();
+}
+
+/// F2 — the γ-snapshot worked example of Figure 2.
+fn f2_snapshot_example() {
+    println!("== F2: γ-snapshot worked example (Figure 2): 23-bit stream, γ = 3, window 12 ==");
+    let bits: Vec<bool> = [0, 1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 0]
+        .iter()
+        .map(|&x| x == 1)
+        .collect();
+    let mut sbbc = Sbbc::unbounded(6, 12); // λ = 6 ⇒ γ = 3
+    sbbc.advance(&CompactedSegment::from_bits(&bits));
+    let snapshot = sbbc.snapshot();
+    let m = bits[bits.len() - 12..].iter().filter(|&&b| b).count() as u64;
+    println!("  sampled blocks Q = {:?}", snapshot.blocks().collect::<Vec<_>>());
+    println!("  trailing ones  ℓ = {}", snapshot.ell());
+    println!("  val = γ|Q| + ℓ  = {}", snapshot.val());
+    println!("  true window count m = {m}  (Lemma 3.2: m ≤ val ≤ m + 2γ = {})", m + 6);
+    println!(
+        "  (the figure lists Q = {{4, 7}}, ℓ = 1 under its deferred-tail-block convention; \
+         Definition 3.1 as written also records block 8 — see DESIGN.md)"
+    );
+    println!();
+}

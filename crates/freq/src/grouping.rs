@@ -1,0 +1,65 @@
+//! Internal helper: group a minibatch into per-item compacted segments.
+//!
+//! Used by the basic (Theorem 5.5) and space-efficient (Theorem 5.8)
+//! sliding-window algorithms, which the paper implements by tagging each
+//! element with its position and gathering identical items with a parallel
+//! sort — `O(µ log µ)` work and polylogarithmic depth. (The work-efficient
+//! variant avoids this step via `predict` + `sift`.)
+
+use std::collections::HashMap;
+
+use psfa_primitives::CompactedSegment;
+use rayon::prelude::*;
+
+/// Returns, for every distinct item of `minibatch`, the CSS of its indicator
+/// sequence within the minibatch.
+pub(crate) fn group_by_item(minibatch: &[u64]) -> HashMap<u64, CompactedSegment> {
+    let len = minibatch.len() as u64;
+    if minibatch.is_empty() {
+        return HashMap::new();
+    }
+    let mut tagged: Vec<(u64, u64)> = minibatch
+        .par_iter()
+        .enumerate()
+        .map(|(pos, &item)| (item, pos as u64))
+        .collect();
+    // Stable parallel sort by item id keeps positions in increasing order
+    // within each item's run.
+    tagged.par_sort_by_key(|&(item, pos)| (item, pos));
+
+    let mut out = HashMap::new();
+    let mut start = 0usize;
+    while start < tagged.len() {
+        let item = tagged[start].0;
+        let mut end = start + 1;
+        while end < tagged.len() && tagged[end].0 == item {
+            end += 1;
+        }
+        let positions: Vec<u64> = tagged[start..end].iter().map(|&(_, pos)| pos).collect();
+        out.insert(item, CompactedSegment::from_positions(len, positions));
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_match_predicate_construction() {
+        let batch: Vec<u64> = (0..5000u64).map(|i| (i * 37) % 23).collect();
+        let groups = group_by_item(&batch);
+        assert_eq!(groups.len(), 23);
+        for (&item, css) in &groups {
+            assert_eq!(*css, CompactedSegment::from_predicate(&batch, |&x| x == item));
+        }
+        let total: u64 = groups.values().map(CompactedSegment::count_ones).sum();
+        assert_eq!(total, batch.len() as u64);
+    }
+
+    #[test]
+    fn empty_minibatch() {
+        assert!(group_by_item(&[]).is_empty());
+    }
+}

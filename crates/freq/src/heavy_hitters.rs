@@ -1,0 +1,189 @@
+//! φ-heavy-hitter tracking over the frequency estimators.
+//!
+//! The paper reduces heavy-hitter identification to frequency estimation
+//! (Section 5, first paragraph): report every item whose estimate is at
+//! least `(φ − ε)·N`. This module packages that reduction for both the
+//! infinite-window estimator (Theorem 5.2) and any sliding-window estimator
+//! implementing [`SlidingFrequencyEstimator`].
+
+use crate::infinite::ParallelFrequencyEstimator;
+use crate::SlidingFrequencyEstimator;
+
+/// One reported heavy hitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeavyHitter {
+    /// The item identifier.
+    pub item: u64,
+    /// Its (under-)estimated frequency.
+    pub estimate: u64,
+}
+
+/// Continuous φ-heavy-hitter tracking over an infinite window.
+///
+/// Guarantees (for `0 < ε < φ < 1`): every item with frequency `≥ φN` is
+/// reported, and no item with frequency `≤ (φ − ε)N` is reported.
+#[derive(Debug, Clone)]
+pub struct InfiniteHeavyHitters {
+    phi: f64,
+    estimator: ParallelFrequencyEstimator,
+}
+
+impl InfiniteHeavyHitters {
+    /// Creates a tracker for threshold `φ` and error `ε < φ`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε < φ < 1`.
+    pub fn new(phi: f64, epsilon: f64) -> Self {
+        assert!(phi > 0.0 && phi < 1.0, "phi must be in (0, 1)");
+        assert!(epsilon > 0.0 && epsilon < phi, "epsilon must be in (0, phi)");
+        Self { phi, estimator: ParallelFrequencyEstimator::new(epsilon) }
+    }
+
+    /// The heavy-hitter threshold φ.
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+
+    /// Access to the underlying frequency estimator.
+    pub fn estimator(&self) -> &ParallelFrequencyEstimator {
+        &self.estimator
+    }
+
+    /// Incorporates one minibatch.
+    pub fn process_minibatch(&mut self, minibatch: &[u64]) {
+        self.estimator.process_minibatch(minibatch);
+    }
+
+    /// The current heavy hitters, most frequent first.
+    pub fn query(&self) -> Vec<HeavyHitter> {
+        self.estimator
+            .heavy_hitters(self.phi)
+            .into_iter()
+            .map(|(item, estimate)| HeavyHitter { item, estimate })
+            .collect()
+    }
+}
+
+/// Continuous φ-heavy-hitter tracking over a sliding window, generic over the
+/// estimator variant (basic, space-efficient, or work-efficient).
+#[derive(Debug, Clone)]
+pub struct SlidingHeavyHitters<E> {
+    phi: f64,
+    estimator: E,
+}
+
+impl<E: SlidingFrequencyEstimator> SlidingHeavyHitters<E> {
+    /// Wraps a sliding-window estimator with threshold `φ > ε`.
+    ///
+    /// # Panics
+    /// Panics unless `estimator.epsilon() < φ < 1`.
+    pub fn new(phi: f64, estimator: E) -> Self {
+        assert!(phi > estimator.epsilon() && phi < 1.0, "phi must be in (epsilon, 1)");
+        Self { phi, estimator }
+    }
+
+    /// The heavy-hitter threshold φ.
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+
+    /// Access to the wrapped estimator.
+    pub fn estimator(&self) -> &E {
+        &self.estimator
+    }
+
+    /// Incorporates one minibatch.
+    pub fn process_minibatch(&mut self, minibatch: &[u64]) {
+        self.estimator.process_minibatch(minibatch);
+    }
+
+    /// Reports every item whose estimate is at least `(φ − ε)·n`, most
+    /// frequent first: all items with window frequency `≥ φn` are included
+    /// and no item with window frequency `< (φ − ε)n` appears.
+    pub fn query(&self) -> Vec<HeavyHitter> {
+        let threshold = ((self.phi - self.estimator.epsilon())
+            * self.estimator.window() as f64)
+            .max(0.0);
+        let mut out: Vec<HeavyHitter> = self
+            .estimator
+            .tracked_items()
+            .into_iter()
+            .filter(|&(_, est)| est as f64 >= threshold)
+            .map(|(item, estimate)| HeavyHitter { item, estimate })
+            .collect();
+        out.sort_unstable_by(|a, b| b.estimate.cmp(&a.estimate).then(a.item.cmp(&b.item)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sliding_work::SlidingFreqWorkEfficient;
+    use crate::test_support::SlidingDriver;
+    use std::collections::HashMap;
+
+    #[test]
+    fn infinite_window_heavy_hitters_are_correct() {
+        let mut hh = InfiniteHeavyHitters::new(0.1, 0.02);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut driver = SlidingDriver::new(31);
+        for _ in 0..30 {
+            let batch = driver.skewed_batch(500, 4, 5000);
+            for &x in &batch {
+                *truth.entry(x).or_insert(0) += 1;
+            }
+            hh.process_minibatch(&batch);
+        }
+        let n: u64 = truth.values().sum();
+        let reported: Vec<u64> = hh.query().into_iter().map(|h| h.item).collect();
+        for (&item, &f) in &truth {
+            if f as f64 >= 0.1 * n as f64 {
+                assert!(reported.contains(&item), "missed heavy hitter {item}");
+            }
+            if (f as f64) < (0.1 - 0.02) * n as f64 {
+                assert!(!reported.contains(&item), "false positive {item}");
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_window_heavy_hitters_are_correct() {
+        let n = 4000u64;
+        let phi = 0.1;
+        let epsilon = 0.02;
+        let mut hh = SlidingHeavyHitters::new(phi, SlidingFreqWorkEfficient::new(epsilon, n));
+        let mut driver = SlidingDriver::new(32);
+        for _ in 0..25 {
+            let batch = driver.skewed_batch(400, 4, 5000);
+            hh.process_minibatch(&batch);
+        }
+        let truth = driver.window_counts(n);
+        let window_len: u64 = truth.values().sum::<u64>().min(n);
+        let reported: Vec<u64> = hh.query().into_iter().map(|h| h.item).collect();
+        for (&item, &f) in &truth {
+            if f as f64 >= phi * window_len as f64 {
+                assert!(reported.contains(&item), "missed sliding heavy hitter {item} (f={f})");
+            }
+            if (f as f64) < (phi - epsilon) * window_len as f64 - epsilon * n as f64 {
+                assert!(!reported.contains(&item), "false positive {item} (f={f})");
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_by_estimate() {
+        let mut hh = InfiniteHeavyHitters::new(0.2, 0.05);
+        hh.process_minibatch(&[1, 1, 1, 1, 2, 2, 2, 3, 3, 4]);
+        let out = hh.query();
+        for w in out.windows(2) {
+            assert!(w[0].estimate >= w[1].estimate);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "phi")]
+    fn epsilon_must_be_below_phi() {
+        let _ = InfiniteHeavyHitters::new(0.05, 0.1);
+    }
+}

@@ -1,0 +1,140 @@
+//! The `sift` routine (Lemma 5.9).
+//!
+//! Given a minibatch `T` and a set `K` of items that will survive pruning,
+//! `sift` produces for every `κ ∈ K` the compacted stream segment of the
+//! indicator sequence `1{T_j = κ}` — i.e. the per-item binary streams that
+//! the surviving SBBCs must ingest — using `O(|T| + |K|)` work.
+//!
+//! The paper's construction partitions the filtered sequence into
+//! `|T|/|K|` pieces and radix-sorts each piece sequentially, giving depth
+//! `O(|K| + log|T|)`. We obtain the same work bound with polylogarithmic
+//! depth by filtering with a parallel pack and then grouping with the stable
+//! linear-work integer sort over the (dense) survivor indices — strictly
+//! within the cost budget Lemma 5.9 allows.
+
+use std::collections::HashMap;
+
+use psfa_primitives::intsort::sort_indices_by_key;
+use psfa_primitives::{pack_map, CompactedSegment};
+use rayon::prelude::*;
+
+/// Builds, for every item in `survivors`, the CSS of its indicator sequence
+/// within `minibatch`. Items of `survivors` that never occur in the minibatch
+/// map to an all-zero segment of the minibatch's length.
+///
+/// Work `O(|T| + |K|)`, polylogarithmic depth.
+pub fn sift(minibatch: &[u64], survivors: &[u64]) -> HashMap<u64, CompactedSegment> {
+    let len = minibatch.len() as u64;
+    if survivors.is_empty() {
+        return HashMap::new();
+    }
+    // Dense index for the survivor set.
+    let index: HashMap<u64, u64> = survivors
+        .iter()
+        .enumerate()
+        .map(|(i, &item)| (item, i as u64))
+        .collect();
+
+    // Keep only (survivor-index, position) pairs, preserving stream order.
+    let filtered: Vec<(u64, u64)> = pack_map(
+        &minibatch
+            .par_iter()
+            .enumerate()
+            .map(|(pos, item)| (index.get(item).copied(), pos as u64))
+            .collect::<Vec<_>>(),
+        |_, (idx, _)| idx.is_some(),
+    )
+    .into_par_iter()
+    .map(|(idx, pos)| (idx.unwrap(), pos))
+    .collect();
+
+    // Group by survivor index with the stable linear-work integer sort; the
+    // positions within each group remain in increasing order.
+    let keys: Vec<u64> = filtered.iter().map(|&(idx, _)| idx).collect();
+    let perm = sort_indices_by_key(&keys, survivors.len() as u64);
+
+    // Slice out each survivor's run of positions.
+    let sorted: Vec<(u64, u64)> = perm
+        .par_iter()
+        .map(|&i| filtered[i as usize])
+        .collect();
+    let mut out: HashMap<u64, CompactedSegment> = HashMap::with_capacity(survivors.len());
+    let mut cursor = 0usize;
+    for (idx, &item) in survivors.iter().enumerate() {
+        let start = cursor;
+        while cursor < sorted.len() && sorted[cursor].0 == idx as u64 {
+            cursor += 1;
+        }
+        let positions: Vec<u64> = sorted[start..cursor].iter().map(|&(_, pos)| pos).collect();
+        out.insert(item, CompactedSegment::from_positions(len, positions));
+    }
+    debug_assert_eq!(cursor, sorted.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(minibatch: &[u64], item: u64) -> CompactedSegment {
+        CompactedSegment::from_predicate(minibatch, |&x| x == item)
+    }
+
+    #[test]
+    fn empty_survivor_set() {
+        assert!(sift(&[1, 2, 3], &[]).is_empty());
+    }
+
+    #[test]
+    fn empty_minibatch_gives_zero_length_segments() {
+        let out = sift(&[], &[5, 6]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[&5].len(), 0);
+        assert_eq!(out[&6].count_ones(), 0);
+    }
+
+    #[test]
+    fn small_example_matches_reference() {
+        let t = vec![3u64, 1, 3, 2, 2, 3, 9];
+        let k = vec![3u64, 2, 7];
+        let out = sift(&t, &k);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[&3], reference(&t, 3));
+        assert_eq!(out[&2], reference(&t, 2));
+        assert_eq!(out[&7], reference(&t, 7));
+        assert_eq!(out[&7].count_ones(), 0);
+        assert_eq!(out[&3].positions(), &[0, 2, 5]);
+    }
+
+    #[test]
+    fn large_random_minibatch_matches_reference() {
+        let mut state = 11u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        let t: Vec<u64> = (0..50_000).map(|_| next() % 200).collect();
+        let k: Vec<u64> = (0..40u64).map(|i| i * 5).collect();
+        let out = sift(&t, &k);
+        assert_eq!(out.len(), k.len());
+        for &item in &k {
+            assert_eq!(out[&item], reference(&t, item), "mismatch for item {item}");
+        }
+        // Total ones across all survivors equals the number of minibatch
+        // elements that belong to the survivor set.
+        let total: u64 = out.values().map(CompactedSegment::count_ones).sum();
+        let expect = t.iter().filter(|x| k.contains(x)).count() as u64;
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn survivors_absent_from_minibatch_get_zero_segments() {
+        let t = vec![1u64; 1000];
+        let k = vec![2u64, 3, 4];
+        let out = sift(&t, &k);
+        for &item in &k {
+            assert_eq!(out[&item].len(), 1000);
+            assert_eq!(out[&item].count_ones(), 0);
+        }
+    }
+}

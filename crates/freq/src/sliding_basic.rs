@@ -1,0 +1,168 @@
+//! Basic sliding-window frequency estimation (Theorem 5.5).
+//!
+//! The simplest application of the SBBC: keep one `(∞, n/S)`-SBBC per item
+//! ever observed, advance every counter on every minibatch (items absent
+//! from the minibatch advance over an all-zero segment so their windows
+//! still slide), and answer a query for item `e` with
+//! `f̂ₑ = val(Γₑ) − n/S`, which satisfies `fₑ − εn ≤ f̂ₑ ≤ fₑ`.
+//!
+//! This variant meets the accuracy bound but neither the space nor the work
+//! bound of the best sequential algorithm — its space grows with the number
+//! of distinct items `|B|`. It is kept as the stepping stone the paper uses
+//! (and as the comparison point for experiment E5).
+
+use std::collections::HashMap;
+
+use psfa_primitives::CompactedSegment;
+use psfa_window::Sbbc;
+use rayon::prelude::*;
+
+use crate::grouping::group_by_item;
+use crate::SlidingFrequencyEstimator;
+
+/// Basic sliding-window frequency estimator: one SBBC per observed item.
+#[derive(Debug, Clone)]
+pub struct SlidingFreqBasic {
+    epsilon: f64,
+    n: u64,
+    /// Additive slack `λ = n/S` used by each per-item counter.
+    lambda: u64,
+    counters: HashMap<u64, Sbbc>,
+}
+
+impl SlidingFreqBasic {
+    /// Creates an estimator for window size `n` and error `ε ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not in `(0, 1)` or `n < 4`.
+    pub fn new(epsilon: f64, n: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        assert!(n >= 4, "window size must be at least 4");
+        let s = (1.0 / epsilon).ceil();
+        // λ = n/S, rounded down to an even integer ≥ 2 so the additive error
+        // never exceeds εn.
+        let lambda = (((n as f64 / s) as u64) & !1).max(2);
+        Self { epsilon, n, lambda, counters: HashMap::new() }
+    }
+
+    /// The per-counter additive slack λ = n/S.
+    pub fn lambda(&self) -> u64 {
+        self.lambda
+    }
+
+    fn new_counter(&self) -> Sbbc {
+        Sbbc::unbounded(self.lambda, self.n).assume_zero_history()
+    }
+}
+
+impl SlidingFrequencyEstimator for SlidingFreqBasic {
+    fn process_minibatch(&mut self, minibatch: &[u64]) {
+        let mu = minibatch.len() as u64;
+        if mu == 0 {
+            return;
+        }
+        // Step 1: per-item indicator segments for items present in the batch.
+        let mut segments = group_by_item(minibatch);
+        // Step 2: ensure a counter exists for every item in T or B, then
+        // advance every counter (absent items over an all-zero segment).
+        let template = self.new_counter();
+        for &item in segments.keys() {
+            self.counters.entry(item).or_insert_with(|| template.clone());
+        }
+        let zero = CompactedSegment::zeros(mu);
+        self.counters.par_iter_mut().for_each(|(item, counter)| {
+            match segments.get(item) {
+                Some(css) => counter.advance(css),
+                None => counter.advance(&zero),
+            }
+        });
+        segments.clear();
+    }
+
+    fn estimate(&self, item: u64) -> u64 {
+        match self.counters.get(&item) {
+            None => 0,
+            Some(counter) => {
+                let val = counter
+                    .value()
+                    .expect("unbounded per-item counters never overflow");
+                val.saturating_sub(self.lambda)
+            }
+        }
+    }
+
+    fn window(&self) -> u64 {
+        self.n
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn num_counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn tracked_items(&self) -> Vec<(u64, u64)> {
+        self.counters.keys().map(|&item| (item, self.estimate(item))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{check_sliding_bounds, SlidingDriver};
+
+    #[test]
+    fn theorem_5_5_accuracy_uniform() {
+        let mut driver = SlidingDriver::new(1);
+        let mut est = SlidingFreqBasic::new(0.1, 2000);
+        for _ in 0..25 {
+            let batch = driver.uniform_batch(300, 40);
+            est.process_minibatch(&batch);
+            check_sliding_bounds(&est, driver.window_counts(est.window()));
+        }
+    }
+
+    #[test]
+    fn theorem_5_5_accuracy_skewed() {
+        let mut driver = SlidingDriver::new(2);
+        let mut est = SlidingFreqBasic::new(0.05, 4000);
+        for _ in 0..20 {
+            let batch = driver.skewed_batch(500, 5, 2000);
+            est.process_minibatch(&batch);
+            check_sliding_bounds(&est, driver.window_counts(est.window()));
+        }
+    }
+
+    #[test]
+    fn absent_item_estimates_zero() {
+        let mut est = SlidingFreqBasic::new(0.1, 100);
+        est.process_minibatch(&[1, 2, 3]);
+        assert_eq!(est.estimate(99), 0);
+    }
+
+    #[test]
+    fn items_expire_as_window_slides() {
+        let n = 64u64;
+        let mut est = SlidingFreqBasic::new(0.25, n);
+        est.process_minibatch(&vec![7u64; 64]);
+        assert!(est.estimate(7) > 0);
+        // Push two full windows of a different item; 7 must decay to zero
+        // (up to the additive slack, which the estimate subtracts).
+        for _ in 0..4 {
+            est.process_minibatch(&vec![8u64; 64]);
+        }
+        assert_eq!(est.estimate(7), 0, "expired item should estimate 0");
+        assert!(est.estimate(8) > 0);
+    }
+
+    #[test]
+    fn space_grows_with_distinct_items() {
+        // The known drawback of the basic variant: |B| counters.
+        let mut est = SlidingFreqBasic::new(0.1, 10_000);
+        let batch: Vec<u64> = (0..3000u64).collect();
+        est.process_minibatch(&batch);
+        assert_eq!(est.num_counters(), 3000);
+    }
+}

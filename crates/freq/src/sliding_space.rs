@@ -1,0 +1,234 @@
+//! Space-efficient sliding-window frequency estimation
+//! (Algorithm 2, Theorem 5.8).
+//!
+//! The basic variant keeps a counter for every observed item. Following
+//! Lee–Ting, this variant tracks only a selected few: after every minibatch
+//! it computes the cut-off `ϕ` such that at most `S = ⌈8/ε⌉` counters have
+//! value `≥ ϕ`, decrements those counters by `ϕ` (mirroring the Misra–Gries
+//! decrement through the SBBC `decrement` operation), and deletes the rest.
+//! Each per-item counter is an `(∞, λ)`-SBBC with `λ = εn/4`. The total
+//! error — additive counter error plus the mass removed by decrements — is
+//! at most `εn` (Claim 5.7), and the space is `O(ε⁻¹)` (Claim 5.6).
+//!
+//! Minibatches at least as large as the window reset the state and are
+//! truncated to their last `n` elements, as the paper assumes WLOG.
+
+use std::collections::HashMap;
+
+use psfa_primitives::{phi_cutoff, CompactedSegment};
+use psfa_window::Sbbc;
+use rayon::prelude::*;
+
+use crate::grouping::group_by_item;
+use crate::SlidingFrequencyEstimator;
+
+/// Space-efficient sliding-window frequency estimator (`O(ε⁻¹)` counters).
+#[derive(Debug, Clone)]
+pub struct SlidingFreqSpaceEfficient {
+    epsilon: f64,
+    n: u64,
+    /// Pruning threshold: at most `S = ⌈8/ε⌉` counters survive a minibatch.
+    s: usize,
+    /// Additive error of each counter, `λ = εn/4` (even, ≥ 2).
+    lambda: u64,
+    counters: HashMap<u64, Sbbc>,
+}
+
+impl SlidingFreqSpaceEfficient {
+    /// Creates an estimator for window size `n` and error `ε ∈ (0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not in `(0, 1)` or `εn < 16` (the window must
+    /// be large enough for the paper's constants to be meaningful).
+    pub fn new(epsilon: f64, n: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        assert!(
+            epsilon * n as f64 >= 16.0,
+            "εn must be at least 16 for the space-efficient variant"
+        );
+        let s = (8.0 / epsilon).ceil() as usize;
+        let lambda = ((((epsilon * n as f64) / 4.0) as u64) & !1).max(2);
+        Self { epsilon, n, s, lambda, counters: HashMap::new() }
+    }
+
+    /// The pruning capacity `S = ⌈8/ε⌉`.
+    pub fn capacity(&self) -> usize {
+        self.s
+    }
+
+    /// The per-counter additive slack `λ = εn/4`.
+    pub fn lambda(&self) -> u64 {
+        self.lambda
+    }
+
+    fn new_counter(&self) -> Sbbc {
+        Sbbc::unbounded(self.lambda, self.n).assume_zero_history()
+    }
+
+    /// Steps 1–2 of Algorithm 2 (shared with the basic variant), followed by
+    /// the pruning step 3.
+    fn advance_and_prune(&mut self, minibatch: &[u64]) {
+        let mu = minibatch.len() as u64;
+        let segments = group_by_item(minibatch);
+        let template = self.new_counter();
+        for &item in segments.keys() {
+            self.counters.entry(item).or_insert_with(|| template.clone());
+        }
+        let zero = CompactedSegment::zeros(mu);
+        self.counters.par_iter_mut().for_each(|(item, counter)| {
+            match segments.get(item) {
+                Some(css) => counter.advance(css),
+                None => counter.advance(&zero),
+            }
+        });
+
+        // Step 3(a): the cut-off ϕ such that at most S counters have value ≥ ϕ.
+        let values: Vec<u64> = self
+            .counters
+            .values()
+            .map(|c| c.value().expect("unbounded counters never overflow"))
+            .collect();
+        let phi = phi_cutoff(&values, self.s);
+        if phi > 0 {
+            // Step 3(b): decrement survivors by ϕ, delete everything else.
+            self.counters.retain(|_, counter| {
+                let value = counter.value().expect("unbounded counters never overflow");
+                value >= phi
+            });
+            self.counters.par_iter_mut().for_each(|(_, counter)| {
+                counter.decrement(phi);
+            });
+        }
+        // Counters whose value reached zero (by decrementing or because their
+        // window content expired) carry no information; drop them.
+        self.counters.retain(|_, counter| counter.value().unwrap_or(0) > 0);
+    }
+}
+
+impl SlidingFrequencyEstimator for SlidingFreqSpaceEfficient {
+    fn process_minibatch(&mut self, minibatch: &[u64]) {
+        if minibatch.is_empty() {
+            return;
+        }
+        if minibatch.len() as u64 >= self.n {
+            // WLOG assumption of the paper: a minibatch no smaller than the
+            // window resets the state; only its last n elements matter.
+            self.counters.clear();
+            let tail = &minibatch[minibatch.len() - self.n as usize..];
+            self.advance_and_prune(tail);
+        } else {
+            self.advance_and_prune(minibatch);
+        }
+    }
+
+    fn estimate(&self, item: u64) -> u64 {
+        match self.counters.get(&item) {
+            None => 0,
+            Some(counter) => counter
+                .value()
+                .expect("unbounded per-item counters never overflow")
+                .saturating_sub(self.lambda),
+        }
+    }
+
+    fn window(&self) -> u64 {
+        self.n
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn num_counters(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn tracked_items(&self) -> Vec<(u64, u64)> {
+        self.counters.keys().map(|&item| (item, self.estimate(item))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{check_sliding_bounds, SlidingDriver};
+
+    #[test]
+    fn claim_5_7_accuracy_uniform() {
+        let mut driver = SlidingDriver::new(10);
+        let mut est = SlidingFreqSpaceEfficient::new(0.1, 2000);
+        for _ in 0..30 {
+            let batch = driver.uniform_batch(250, 60);
+            est.process_minibatch(&batch);
+            check_sliding_bounds(&est, driver.window_counts(est.window()));
+        }
+    }
+
+    #[test]
+    fn claim_5_7_accuracy_skewed() {
+        let mut driver = SlidingDriver::new(11);
+        let mut est = SlidingFreqSpaceEfficient::new(0.05, 4000);
+        for _ in 0..25 {
+            let batch = driver.skewed_batch(400, 6, 3000);
+            est.process_minibatch(&batch);
+            check_sliding_bounds(&est, driver.window_counts(est.window()));
+        }
+    }
+
+    #[test]
+    fn claim_5_6_space_stays_bounded() {
+        // Even with far more distinct items than S, the counter set stays ≤ S
+        // after every minibatch.
+        let mut driver = SlidingDriver::new(12);
+        let mut est = SlidingFreqSpaceEfficient::new(0.1, 5000);
+        for _ in 0..20 {
+            let batch = driver.uniform_batch(600, 5000);
+            est.process_minibatch(&batch);
+            assert!(
+                est.num_counters() <= est.capacity(),
+                "{} counters exceed S = {}",
+                est.num_counters(),
+                est.capacity()
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_items_survive_pruning() {
+        let mut driver = SlidingDriver::new(13);
+        let mut est = SlidingFreqSpaceEfficient::new(0.05, 4000);
+        for _ in 0..20 {
+            let batch = driver.skewed_batch(400, 3, 10_000);
+            est.process_minibatch(&batch);
+        }
+        let truth = driver.window_counts(4000);
+        // The three heavy items each hold ~2/9+ of the window; with ε = 0.05
+        // their estimates must be strictly positive and within bounds.
+        for item in 0..3u64 {
+            let f = truth.get(&item).copied().unwrap_or(0);
+            assert!(f > 400, "test setup: item {item} should be heavy");
+            assert!(est.estimate(item) > 0, "heavy item {item} lost by pruning");
+        }
+    }
+
+    #[test]
+    fn giant_minibatch_resets_state() {
+        let n = 1000u64;
+        let mut est = SlidingFreqSpaceEfficient::new(0.1, n);
+        est.process_minibatch(&vec![1u64; 500]);
+        // A minibatch spanning more than the whole window: only its tail counts.
+        let mut batch = vec![2u64; 1500];
+        batch.extend(vec![3u64; 500]);
+        est.process_minibatch(&batch);
+        // Window now holds 500 of item 2 and 500 of item 3; item 1 must be gone.
+        assert_eq!(est.estimate(1), 0);
+        assert!(est.estimate(2) + est.estimate(3) > 0);
+        assert!(est.estimate(2) <= 500 && est.estimate(3) <= 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "εn must be at least")]
+    fn tiny_window_rejected() {
+        let _ = SlidingFreqSpaceEfficient::new(0.01, 100);
+    }
+}

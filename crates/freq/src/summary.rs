@@ -1,0 +1,247 @@
+//! The Misra–Gries summary and the parallel `MGaugment` merge (Lemma 5.3).
+//!
+//! An MG summary of capacity `S = ⌈1/ε⌉` stores at most `S` items with
+//! counters. The classic sequential algorithm processes one element at a
+//! time; the paper's parallel algorithm instead merges the summary with the
+//! *histogram of a whole minibatch* in one shot:
+//!
+//! 1. add corresponding counters of the summary and the histogram;
+//! 2. find the cut-off `ϕ` such that at most `S` combined counters exceed it
+//!    (a rank-selection problem, [`psfa_primitives::phi_cutoff`]);
+//! 3. subtract `ϕ` from every counter and keep the strictly positive ones.
+//!
+//! Subtracting `ϕ` is equivalent to `ϕ` rounds of the sequential decrement
+//! step, each of which decrements at least `S` distinct counters — so the
+//! estimate error after processing `m` elements stays below `m / S ≤ εm`
+//! (Lemma 5.1 / Lemma 5.3).
+
+use std::collections::HashMap;
+
+use psfa_primitives::{phi_cutoff, HistogramEntry};
+
+/// A Misra–Gries summary: at most `capacity` items with approximate counters.
+#[derive(Debug, Clone)]
+pub struct MgSummary {
+    capacity: usize,
+    entries: HashMap<u64, u64>,
+}
+
+impl MgSummary {
+    /// Creates an empty summary with room for `capacity` counters.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "summary capacity must be at least 1");
+        Self { capacity, entries: HashMap::with_capacity(capacity + 1) }
+    }
+
+    /// The maximum number of counters retained (`S` in the paper).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of counters currently stored (always `≤ capacity`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no counters are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The counter value for `item` (`0` when the item is not tracked).
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.entries.get(&item).copied().unwrap_or(0)
+    }
+
+    /// All tracked `(item, counter)` pairs in unspecified order.
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        self.entries.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Sequential Misra–Gries update for a single element (Algorithm 1).
+    ///
+    /// Provided for completeness and for differential testing against the
+    /// batch path; the parallel pipeline uses [`MgSummary::augment`].
+    pub fn update_sequential(&mut self, item: u64) {
+        if let Some(c) = self.entries.get_mut(&item) {
+            *c += 1;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.insert(item, 1);
+            return;
+        }
+        // Decrement every counter; drop the ones that reach zero.
+        self.entries.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// `MGaugment` (Lemma 5.3): merges a minibatch histogram into the summary.
+    ///
+    /// Runs in `O(S + p)` work where `p` is the number of distinct items in
+    /// the histogram. Returns the cut-off `ϕ` that was applied (useful for
+    /// instrumentation; `0` means no counter was decremented).
+    pub fn augment(&mut self, histogram: &[HistogramEntry]) -> u64 {
+        // Step 1: combine counters.
+        let mut combined: HashMap<u64, u64> =
+            HashMap::with_capacity(self.entries.len() + histogram.len());
+        for (&item, &count) in &self.entries {
+            *combined.entry(item).or_insert(0) += count;
+        }
+        for e in histogram {
+            *combined.entry(e.item).or_insert(0) += e.count;
+        }
+
+        // Step 2: find the cut-off ϕ such that at most S counters exceed it.
+        let values: Vec<u64> = combined.values().copied().collect();
+        let phi = phi_cutoff(&values, self.capacity);
+
+        // Step 3: subtract ϕ and keep the strictly positive counters.
+        self.entries = combined
+            .into_iter()
+            .filter_map(|(item, count)| {
+                let rem = count.saturating_sub(phi);
+                if rem > 0 {
+                    Some((item, rem))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        debug_assert!(self.entries.len() <= self.capacity);
+        phi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(pairs: &[(u64, u64)]) -> Vec<HistogramEntry> {
+        pairs.iter().map(|&(item, count)| HistogramEntry { item, count }).collect()
+    }
+
+    #[test]
+    fn augment_without_overflow_keeps_exact_counts() {
+        let mut s = MgSummary::new(10);
+        s.augment(&hist(&[(1, 5), (2, 3)]));
+        s.augment(&hist(&[(1, 2), (3, 1)]));
+        assert_eq!(s.estimate(1), 7);
+        assert_eq!(s.estimate(2), 3);
+        assert_eq!(s.estimate(3), 1);
+        assert_eq!(s.estimate(99), 0);
+    }
+
+    #[test]
+    fn augment_respects_capacity() {
+        let mut s = MgSummary::new(3);
+        let entries: Vec<(u64, u64)> = (0..20).map(|i| (i, 1 + i % 4)).collect();
+        s.augment(&hist(&entries));
+        assert!(s.len() <= 3);
+    }
+
+    #[test]
+    fn augment_decrement_preserves_mg_invariant() {
+        // After processing m elements, every counter underestimates the true
+        // frequency by at most m / S.
+        let capacity = 5usize;
+        let mut s = MgSummary::new(capacity);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut m = 0u64;
+        let mut state = 17u64;
+        for batch in 0..50 {
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            for _ in 0..100 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(batch);
+                let item = (state >> 33) % 12;
+                *counts.entry(item).or_insert(0) += 1;
+                *truth.entry(item).or_insert(0) += 1;
+                m += 1;
+            }
+            let h: Vec<HistogramEntry> =
+                counts.into_iter().map(|(item, count)| HistogramEntry { item, count }).collect();
+            s.augment(&h);
+            for (&item, &f) in &truth {
+                let c = s.estimate(item);
+                assert!(c <= f, "counter {c} above true frequency {f}");
+                assert!(
+                    c + m / capacity as u64 >= f,
+                    "counter {c} under-estimates {f} by more than m/S = {}",
+                    m / capacity as u64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_update_matches_classic_behaviour() {
+        let mut s = MgSummary::new(2);
+        for item in [1, 1, 2, 3] {
+            s.update_sequential(item);
+        }
+        // Classic MG with S = 2 on [1,1,2,3]: the arrival of 3 decrements all.
+        assert_eq!(s.estimate(1), 1);
+        assert_eq!(s.estimate(2), 0);
+        assert_eq!(s.estimate(3), 0);
+        assert!(s.len() <= 2);
+    }
+
+    #[test]
+    fn batch_and_sequential_satisfy_same_error_bound() {
+        // Both paths must satisfy f - m/S <= C <= f even if their exact
+        // counters differ (the guarantee, not the representation, is shared).
+        let capacity = 4usize;
+        let stream: Vec<u64> = (0..2000u64).map(|i| (i * 2654435761) % 9).collect();
+        let mut seq = MgSummary::new(capacity);
+        for &x in &stream {
+            seq.update_sequential(x);
+        }
+        let mut batched = MgSummary::new(capacity);
+        for chunk in stream.chunks(173) {
+            let mut counts: HashMap<u64, u64> = HashMap::new();
+            for &x in chunk {
+                *counts.entry(x).or_insert(0) += 1;
+            }
+            let h: Vec<HistogramEntry> =
+                counts.into_iter().map(|(item, count)| HistogramEntry { item, count }).collect();
+            batched.augment(&h);
+        }
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for &x in &stream {
+            *truth.entry(x).or_insert(0) += 1;
+        }
+        let m = stream.len() as u64;
+        for (&item, &f) in &truth {
+            for s in [&seq, &batched] {
+                let c = s.estimate(item);
+                assert!(c <= f);
+                assert!(c + m / capacity as u64 >= f);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_a_noop() {
+        let mut s = MgSummary::new(3);
+        s.augment(&hist(&[(7, 2)]));
+        let before = s.entries();
+        let phi = s.augment(&[]);
+        assert_eq!(phi, 0);
+        let mut after = s.entries();
+        let mut before = before;
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = MgSummary::new(0);
+    }
+}

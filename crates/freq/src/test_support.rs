@@ -1,0 +1,82 @@
+//! Shared helpers for the unit tests of the sliding-window estimators.
+
+use std::collections::HashMap;
+
+use crate::SlidingFrequencyEstimator;
+
+/// Deterministic stream driver that remembers the full history so tests can
+/// compute exact sliding-window frequencies.
+pub(crate) struct SlidingDriver {
+    state: u64,
+    pub history: Vec<u64>,
+}
+
+impl SlidingDriver {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1, history: Vec::new() }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state >> 33
+    }
+
+    /// A minibatch of `mu` items drawn uniformly from `0..universe`.
+    pub fn uniform_batch(&mut self, mu: usize, universe: u64) -> Vec<u64> {
+        let batch: Vec<u64> = (0..mu).map(|_| self.next() % universe).collect();
+        self.history.extend_from_slice(&batch);
+        batch
+    }
+
+    /// A skewed minibatch: ~2/3 of the items come from a small heavy set,
+    /// the rest from a large light set (disjoint id ranges).
+    pub fn skewed_batch(&mut self, mu: usize, heavy: u64, light: u64) -> Vec<u64> {
+        let batch: Vec<u64> = (0..mu)
+            .map(|_| {
+                let selector = self.next();
+                let value = self.next();
+                if selector % 3 != 0 {
+                    value % heavy
+                } else {
+                    heavy + value % light
+                }
+            })
+            .collect();
+        self.history.extend_from_slice(&batch);
+        batch
+    }
+
+    /// Exact frequencies of every item within the last `n` stream elements.
+    pub fn window_counts(&self, n: u64) -> HashMap<u64, u64> {
+        let start = self.history.len().saturating_sub(n as usize);
+        let mut counts = HashMap::new();
+        for &x in &self.history[start..] {
+            *counts.entry(x).or_insert(0u64) += 1;
+        }
+        counts
+    }
+}
+
+/// Asserts the sliding-window guarantee `fₑ − εn ≤ f̂ₑ ≤ fₑ` for every item
+/// appearing in the window and for every tracked item.
+pub(crate) fn check_sliding_bounds<E: SlidingFrequencyEstimator>(
+    estimator: &E,
+    truth: HashMap<u64, u64>,
+) {
+    let slack = (estimator.epsilon() * estimator.window() as f64).ceil() as u64;
+    for (&item, &f) in &truth {
+        let fh = estimator.estimate(item);
+        assert!(fh <= f, "item {item}: estimate {fh} above true window frequency {f}");
+        assert!(
+            fh + slack >= f,
+            "item {item}: estimate {fh} below {f} by more than εn = {slack}"
+        );
+    }
+    for (item, fh) in estimator.tracked_items() {
+        let f = truth.get(&item).copied().unwrap_or(0);
+        assert!(fh <= f, "tracked item {item}: estimate {fh} above true frequency {f}");
+    }
+}

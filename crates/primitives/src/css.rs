@@ -1,0 +1,178 @@
+//! Compacted stream segments (CSS), Lemma 2.1.
+//!
+//! A CSS encodes a segment of a binary stream by recording only the segment
+//! length and the positions of its 1 bits. The paper uses CSSs as the wire
+//! format between the minibatch front-end and the space-bounded block
+//! counters: `advance` (Theorem 3.4) consumes a CSS, and `sift` (Lemma 5.9)
+//! produces one CSS per surviving item.
+//!
+//! Positions are 0-indexed within the segment; converting to absolute stream
+//! positions is the consumer's responsibility (the SBBC keeps the running
+//! stream length `t`).
+
+use rayon::prelude::*;
+
+use crate::pack::pack_indices;
+
+/// A compacted encoding of a binary stream segment: the segment length plus
+/// the ordered positions of its 1 bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactedSegment {
+    len: u64,
+    ones: Vec<u64>,
+}
+
+impl CompactedSegment {
+    /// A segment of `len` zeros.
+    pub fn zeros(len: u64) -> Self {
+        Self { len, ones: Vec::new() }
+    }
+
+    /// Builds a CSS from an explicit bit vector in `O(n)` work and
+    /// polylogarithmic depth (Lemma 2.1).
+    pub fn from_bits(bits: &[bool]) -> Self {
+        let ones = pack_indices(bits).into_par_iter().map(|i| i as u64).collect();
+        Self { len: bits.len() as u64, ones }
+    }
+
+    /// Builds the CSS of the indicator sequence `1{pred(item)}` over `items`.
+    ///
+    /// This is how the frequency-estimation algorithms derive the per-item
+    /// binary stream `1{T_j = e}` from a minibatch `T` (Section 5.3.1).
+    pub fn from_predicate<T: Sync>(items: &[T], pred: impl Fn(&T) -> bool + Send + Sync) -> Self {
+        let flags: Vec<bool> = items.par_iter().map(|x| pred(x)).collect();
+        let ones = pack_indices(&flags).into_par_iter().map(|i| i as u64).collect();
+        Self { len: items.len() as u64, ones }
+    }
+
+    /// Builds a CSS from pre-computed 1-bit positions.
+    ///
+    /// # Panics
+    /// Panics if the positions are not strictly increasing or any position is
+    /// `>= len`.
+    pub fn from_positions(len: u64, ones: Vec<u64>) -> Self {
+        for w in ones.windows(2) {
+            assert!(w[0] < w[1], "CSS positions must be strictly increasing");
+        }
+        if let Some(&last) = ones.last() {
+            assert!(last < len, "CSS position {last} out of bounds for length {len}");
+        }
+        Self { len, ones }
+    }
+
+    /// Length of the underlying segment (number of bits, not number of ones).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the segment has length zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of 1 bits in the segment (`‖T‖₀` in the paper).
+    pub fn count_ones(&self) -> u64 {
+        self.ones.len() as u64
+    }
+
+    /// The ordered positions (0-indexed, within the segment) of the 1 bits.
+    pub fn positions(&self) -> &[u64] {
+        &self.ones
+    }
+
+    /// Expands the CSS back into an explicit bit vector (testing helper).
+    pub fn to_bits(&self) -> Vec<bool> {
+        let mut bits = vec![false; self.len as usize];
+        for &p in &self.ones {
+            bits[p as usize] = true;
+        }
+        bits
+    }
+
+    /// Concatenates two segments: `self` followed by `other`.
+    pub fn concat(&self, other: &CompactedSegment) -> CompactedSegment {
+        let mut ones = Vec::with_capacity(self.ones.len() + other.ones.len());
+        ones.extend_from_slice(&self.ones);
+        ones.extend(other.ones.iter().map(|&p| p + self.len));
+        CompactedSegment { len: self.len + other.len, ones }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_no_ones() {
+        let css = CompactedSegment::zeros(100);
+        assert_eq!(css.len(), 100);
+        assert_eq!(css.count_ones(), 0);
+        assert!(css.positions().is_empty());
+    }
+
+    #[test]
+    fn from_bits_roundtrip_small() {
+        let bits = vec![false, true, true, false, true, false];
+        let css = CompactedSegment::from_bits(&bits);
+        assert_eq!(css.len(), 6);
+        assert_eq!(css.positions(), &[1, 2, 4]);
+        assert_eq!(css.to_bits(), bits);
+    }
+
+    #[test]
+    fn from_bits_roundtrip_large() {
+        let bits: Vec<bool> = (0..50_000).map(|i| (i * 31) % 7 == 0).collect();
+        let css = CompactedSegment::from_bits(&bits);
+        assert_eq!(css.to_bits(), bits);
+        assert_eq!(css.count_ones() as usize, bits.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn from_predicate_matches_manual_indicator() {
+        let items: Vec<u32> = (0..10_000).map(|i| i % 5).collect();
+        let css = CompactedSegment::from_predicate(&items, |&x| x == 3);
+        let manual: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &x)| if x == 3 { Some(i as u64) } else { None })
+            .collect();
+        assert_eq!(css.positions(), manual.as_slice());
+        assert_eq!(css.len(), 10_000);
+    }
+
+    #[test]
+    fn from_positions_validates() {
+        let css = CompactedSegment::from_positions(10, vec![0, 3, 9]);
+        assert_eq!(css.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_positions_rejects_unsorted() {
+        let _ = CompactedSegment::from_positions(10, vec![3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn from_positions_rejects_out_of_bounds() {
+        let _ = CompactedSegment::from_positions(10, vec![3, 10]);
+    }
+
+    #[test]
+    fn concat_shifts_positions() {
+        let a = CompactedSegment::from_positions(4, vec![1, 3]);
+        let b = CompactedSegment::from_positions(3, vec![0]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.positions(), &[1, 3, 4]);
+    }
+
+    #[test]
+    fn empty_segment() {
+        let css = CompactedSegment::from_bits(&[]);
+        assert!(css.is_empty());
+        assert_eq!(css.count_ones(), 0);
+        let other = CompactedSegment::from_positions(5, vec![2]);
+        assert_eq!(css.concat(&other), other);
+    }
+}

@@ -1,0 +1,77 @@
+//! Lightweight work instrumentation.
+//!
+//! The paper's central efficiency claims are about *work* (total operation
+//! count), not wall-clock time. To let the experiment harness check the
+//! linear-work / work-optimality claims (Corollary 5.11, experiment E8)
+//! independently of machine noise, the aggregate implementations charge the
+//! dominant operations of each minibatch to a [`WorkMeter`]. The meter is a
+//! thin wrapper over a relaxed atomic counter, so it is safe to update from
+//! inside rayon tasks and its overhead is negligible compared with the work
+//! being counted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shareable counter of abstract work units.
+///
+/// Cloning a `WorkMeter` yields a handle to the same underlying counter.
+#[derive(Debug, Clone, Default)]
+pub struct WorkMeter {
+    ops: Arc<AtomicU64>,
+}
+
+impl WorkMeter {
+    /// Creates a meter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `n` units of work to the meter.
+    #[inline]
+    pub fn charge(&self, n: u64) {
+        self.ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total of charged work units.
+    pub fn total(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Resets the meter to zero and returns the previous total.
+    pub fn reset(&self) -> u64 {
+        self.ops.swap(0, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let m = WorkMeter::new();
+        m.charge(5);
+        m.charge(7);
+        assert_eq!(m.total(), 12);
+        assert_eq!(m.reset(), 12);
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_counter() {
+        let m = WorkMeter::new();
+        let m2 = m.clone();
+        m.charge(3);
+        m2.charge(4);
+        assert_eq!(m.total(), 7);
+        assert_eq!(m2.total(), 7);
+    }
+
+    #[test]
+    fn parallel_charges_are_not_lost() {
+        let m = WorkMeter::new();
+        (0..10_000u64).into_par_iter().for_each(|_| m.charge(1));
+        assert_eq!(m.total(), 10_000);
+    }
+}

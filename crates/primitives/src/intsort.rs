@@ -1,0 +1,240 @@
+//! Stable linear-work parallel integer sorting (`intSort`, Theorem 2.2).
+//!
+//! The paper invokes the Rajasekaran–Reif result: keys in `{0, …, c·n}` can be
+//! sorted with `O(n)` work and polylogarithmic depth. On a shared-memory
+//! machine we realise this with a blocked least-significant-digit radix sort:
+//! each pass is a stable parallel counting sort over a fixed number of digit
+//! buckets, so the number of passes is constant for keys bounded by a
+//! polynomial in `n` and the total work is `O(n)`.
+//!
+//! The implementation is allocation-conscious but entirely safe: the scatter
+//! phase hands every (block, digit) pair its own disjoint `&mut` window of the
+//! output obtained by sequentially splitting the output buffer, so no atomics
+//! or unsafe writes are needed.
+
+use rayon::prelude::*;
+
+use crate::{num_chunks, SEQ_THRESHOLD};
+
+/// Number of bits handled per counting-sort pass.
+const DIGIT_BITS: u32 = 12;
+
+/// Returns a stable permutation of `0..keys.len()` that sorts `keys`
+/// non-decreasingly.
+///
+/// `range` is an exclusive upper bound on the key values; keys `>= range`
+/// cause a panic. The work is `O(n)` for `range = O(n^c)` with constant `c`.
+///
+/// # Panics
+/// Panics if any key is `>= range` or if `keys.len() >= u32::MAX as usize`.
+pub fn sort_indices_by_key(keys: &[u64], range: u64) -> Vec<u32> {
+    assert!(
+        keys.len() < u32::MAX as usize,
+        "intsort: inputs longer than u32::MAX are not supported"
+    );
+    if let Some(&bad) = keys.iter().find(|&&k| k >= range) {
+        panic!("intsort: key {bad} out of range (range = {range})");
+    }
+    let n = keys.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut pairs: Vec<(u64, u32)> = keys
+        .par_iter()
+        .enumerate()
+        .map(|(i, &k)| (k, i as u32))
+        .collect();
+
+    let key_bits = 64 - range.saturating_sub(1).leading_zeros();
+    let key_bits = key_bits.max(1);
+    let mut shift = 0u32;
+    while shift < key_bits {
+        counting_sort_pass(&mut pairs, shift);
+        shift += DIGIT_BITS;
+    }
+    pairs.into_par_iter().map(|(_, i)| i).collect()
+}
+
+/// Sorts `items` stably by an integer key in `0..range` using `O(n)` work.
+///
+/// This is the `intSort` primitive of Theorem 2.2 specialised to the way the
+/// paper uses it: grouping stream elements by a hash value (Theorem 2.3) or by
+/// item identifier within a minibatch (Section 5.3.1).
+pub fn int_sort_by_key<T, F>(items: &[T], range: u64, key: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> u64 + Send + Sync,
+{
+    let keys: Vec<u64> = items.par_iter().map(|x| key(x)).collect();
+    let perm = sort_indices_by_key(&keys, range);
+    perm.par_iter().map(|&i| items[i as usize].clone()).collect()
+}
+
+/// Sorts `(key, value)` pairs stably by key in `0..range` using `O(n)` work.
+pub fn int_sort_pairs<V: Clone + Send + Sync>(pairs: &[(u64, V)], range: u64) -> Vec<(u64, V)> {
+    int_sort_by_key(pairs, range, |p| p.0)
+}
+
+/// One stable counting-sort pass over the digit `(key >> shift) & MASK`.
+fn counting_sort_pass(pairs: &mut Vec<(u64, u32)>, shift: u32) {
+    let n = pairs.len();
+    let radix = 1usize << DIGIT_BITS;
+    let mask = (radix - 1) as u64;
+    let digit = |k: u64| ((k >> shift) & mask) as usize;
+
+    if n <= SEQ_THRESHOLD {
+        // Sequential stable counting sort.
+        let mut counts = vec![0usize; radix];
+        for &(k, _) in pairs.iter() {
+            counts[digit(k)] += 1;
+        }
+        let mut starts = vec![0usize; radix];
+        let mut acc = 0usize;
+        for d in 0..radix {
+            starts[d] = acc;
+            acc += counts[d];
+        }
+        let mut out = vec![(0u64, 0u32); n];
+        for &(k, i) in pairs.iter() {
+            let d = digit(k);
+            out[starts[d]] = (k, i);
+            starts[d] += 1;
+        }
+        *pairs = out;
+        return;
+    }
+
+    let nb = num_chunks(n);
+    let chunk = n.div_ceil(nb);
+
+    // Phase 1: per-block digit histograms (parallel over blocks).
+    let counts: Vec<Vec<u32>> = pairs
+        .par_chunks(chunk)
+        .map(|c| {
+            let mut local = vec![0u32; radix];
+            for &(k, _) in c {
+                local[digit(k)] += 1;
+            }
+            local
+        })
+        .collect();
+    let nb = counts.len();
+
+    // Phase 2: carve the output into disjoint (digit, block) windows laid out
+    // in digit-major order, which is exactly the stable output order.
+    let mut out = vec![(0u64, 0u32); n];
+    let mut per_block: Vec<Vec<&mut [(u64, u32)]>> =
+        (0..nb).map(|_| Vec::with_capacity(radix)).collect();
+    let mut rest = out.as_mut_slice();
+    for d in 0..radix {
+        for (b, block_counts) in counts.iter().enumerate() {
+            let len = block_counts[d] as usize;
+            let (head, tail) = rest.split_at_mut(len);
+            per_block[b].push(head);
+            rest = tail;
+        }
+    }
+    debug_assert!(rest.is_empty());
+
+    // Phase 3: each block scatters its elements, in order, into its own
+    // windows — stable and race-free by construction.
+    per_block
+        .into_par_iter()
+        .zip(pairs.par_chunks(chunk))
+        .for_each(|(mut windows, block)| {
+            let mut cursors = vec![0usize; radix];
+            for &(k, i) in block {
+                let d = digit(k);
+                windows[d][cursors[d]] = (k, i);
+                cursors[d] += 1;
+            }
+        });
+
+    *pairs = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_sorted_stable(keys: &[u64], perm: &[u32]) {
+        assert_eq!(keys.len(), perm.len());
+        for w in perm.windows(2) {
+            let (a, b) = (w[0] as usize, w[1] as usize);
+            assert!(
+                keys[a] < keys[b] || (keys[a] == keys[b] && a < b),
+                "not stable-sorted at {a},{b}"
+            );
+        }
+        let mut seen = vec![false; keys.len()];
+        for &i in perm {
+            assert!(!seen[i as usize], "permutation repeats index {i}");
+            seen[i as usize] = true;
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(sort_indices_by_key(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn small_input_sequential_path() {
+        let keys = vec![5u64, 3, 5, 1, 0, 3];
+        let perm = sort_indices_by_key(&keys, 6);
+        check_sorted_stable(&keys, &perm);
+        assert_eq!(perm, vec![4, 3, 1, 5, 0, 2]);
+    }
+
+    #[test]
+    fn large_input_parallel_path() {
+        let n = 80_000usize;
+        let keys: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % (n as u64)).collect();
+        let perm = sort_indices_by_key(&keys, n as u64);
+        check_sorted_stable(&keys, &perm);
+    }
+
+    #[test]
+    fn multi_pass_large_range() {
+        let n = 30_000usize;
+        let range = 1u64 << 40;
+        let keys: Vec<u64> = (0..n as u64)
+            .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15)) % range)
+            .collect();
+        let perm = sort_indices_by_key(&keys, range);
+        check_sorted_stable(&keys, &perm);
+    }
+
+    #[test]
+    fn all_equal_keys_preserve_order() {
+        let keys = vec![7u64; 10_000];
+        let perm = sort_indices_by_key(&keys, 8);
+        let expect: Vec<u32> = (0..10_000u32).collect();
+        assert_eq!(perm, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_key_panics() {
+        let _ = sort_indices_by_key(&[1, 2, 100], 10);
+    }
+
+    #[test]
+    fn sort_by_key_gathers_items() {
+        let items: Vec<(u64, &str)> = vec![(3, "c"), (1, "a"), (2, "b"), (1, "a2")];
+        let sorted = int_sort_by_key(&items, 4, |p| p.0);
+        assert_eq!(sorted, vec![(1, "a"), (1, "a2"), (2, "b"), (3, "c")]);
+    }
+
+    #[test]
+    fn sort_pairs_matches_std_stable_sort() {
+        let n = 50_000usize;
+        let pairs: Vec<(u64, u32)> = (0..n)
+            .map(|i| (((i * 48271) % 257) as u64, i as u32))
+            .collect();
+        let got = int_sort_pairs(&pairs, 257);
+        let mut want = pairs.clone();
+        want.sort_by_key(|p| p.0);
+        assert_eq!(got, want);
+    }
+}

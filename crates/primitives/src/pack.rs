@@ -1,0 +1,186 @@
+//! Parallel packing (compaction / filtering).
+//!
+//! `pack` takes a sequence and a predicate (or flag vector) and returns the
+//! selected elements in their original order using `O(n)` work and
+//! polylogarithmic span. This is the standard scan-based compaction from
+//! JáJá's textbook that Lemma 2.1 and Lemma 5.9 of the paper rely on.
+
+use rayon::prelude::*;
+
+use crate::{chunk_len, scan::scan_exclusive, SEQ_THRESHOLD};
+
+/// Packs the elements of `input` whose corresponding `flags` entry is `true`,
+/// preserving order.
+///
+/// # Panics
+/// Panics if `input.len() != flags.len()`.
+pub fn pack<T: Clone + Send + Sync>(input: &[T], flags: &[bool]) -> Vec<T> {
+    assert_eq!(
+        input.len(),
+        flags.len(),
+        "pack: input and flag vectors must have equal length"
+    );
+    pack_map(input, |i, _x| flags[i])
+}
+
+/// Packs the *indices* at which `flags` is `true`, in increasing order.
+pub fn pack_indices(flags: &[bool]) -> Vec<usize> {
+    let n = flags.len();
+    if n <= SEQ_THRESHOLD {
+        return flags
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &f)| if f { Some(i) } else { None })
+            .collect();
+    }
+    let chunk = chunk_len(n);
+    let counts: Vec<u64> = flags
+        .par_chunks(chunk)
+        .map(|c| c.iter().filter(|&&f| f).count() as u64)
+        .collect();
+    let (offsets, total) = scan_exclusive(&counts);
+    let mut out = vec![0usize; total as usize];
+    // Split the output into disjoint per-chunk windows so each task writes
+    // only its own region.
+    let mut windows: Vec<&mut [usize]> = Vec::with_capacity(counts.len());
+    let mut rest = out.as_mut_slice();
+    for (&cnt, _) in counts.iter().zip(offsets.iter()) {
+        let (head, tail) = rest.split_at_mut(cnt as usize);
+        windows.push(head);
+        rest = tail;
+    }
+    windows
+        .into_par_iter()
+        .zip(flags.par_chunks(chunk))
+        .enumerate()
+        .for_each(|(ci, (win, fchunk))| {
+            let base = ci * chunk;
+            let mut k = 0;
+            for (j, &f) in fchunk.iter().enumerate() {
+                if f {
+                    win[k] = base + j;
+                    k += 1;
+                }
+            }
+        });
+    out
+}
+
+/// Packs the elements selected by `keep(index, &element)`, preserving order.
+///
+/// This is the most general form: the predicate sees both the element and its
+/// original index, which is what the CSS construction (positions of 1 bits)
+/// and `sift` (Lemma 5.9) need.
+pub fn pack_map<T, F>(input: &[T], keep: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(usize, &T) -> bool + Send + Sync,
+{
+    let n = input.len();
+    if n <= SEQ_THRESHOLD {
+        return input
+            .iter()
+            .enumerate()
+            .filter_map(|(i, x)| if keep(i, x) { Some(x.clone()) } else { None })
+            .collect();
+    }
+    let chunk = chunk_len(n);
+    let counts: Vec<u64> = input
+        .par_chunks(chunk)
+        .enumerate()
+        .map(|(ci, c)| {
+            let base = ci * chunk;
+            c.iter()
+                .enumerate()
+                .filter(|(j, x)| keep(base + j, x))
+                .count() as u64
+        })
+        .collect();
+    let (_, total) = scan_exclusive(&counts);
+    let mut out: Vec<T> = Vec::with_capacity(total as usize);
+    // Build per-chunk vectors in parallel, then stitch them together with a
+    // parallel extend; both phases are linear work.
+    let parts: Vec<Vec<T>> = input
+        .par_chunks(chunk)
+        .enumerate()
+        .map(|(ci, c)| {
+            let base = ci * chunk;
+            c.iter()
+                .enumerate()
+                .filter_map(|(j, x)| if keep(base + j, x) { Some(x.clone()) } else { None })
+                .collect()
+        })
+        .collect();
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_empty() {
+        let out: Vec<u32> = pack(&[], &[]);
+        assert!(out.is_empty());
+        assert!(pack_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn pack_small() {
+        let input = vec![10, 20, 30, 40, 50];
+        let flags = vec![true, false, true, false, true];
+        assert_eq!(pack(&input, &flags), vec![10, 30, 50]);
+        assert_eq!(pack_indices(&flags), vec![0, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn pack_length_mismatch_panics() {
+        let _ = pack(&[1, 2, 3], &[true]);
+    }
+
+    #[test]
+    fn pack_large_matches_sequential() {
+        let n = 70_000usize;
+        let input: Vec<u64> = (0..n as u64).collect();
+        let flags: Vec<bool> = (0..n).map(|i| (i * 7919) % 3 == 0).collect();
+        let got = pack(&input, &flags);
+        let want: Vec<u64> = input
+            .iter()
+            .zip(&flags)
+            .filter_map(|(&x, &f)| if f { Some(x) } else { None })
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_indices_large_matches_sequential() {
+        let n = 60_000usize;
+        let flags: Vec<bool> = (0..n).map(|i| i % 5 == 1 || i % 977 == 0).collect();
+        let got = pack_indices(&flags);
+        let want: Vec<usize> = (0..n).filter(|&i| flags[i]).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_all_and_none() {
+        let input: Vec<u32> = (0..10_000).collect();
+        assert_eq!(pack_map(&input, |_, _| true), input);
+        assert!(pack_map(&input, |_, _| false).is_empty());
+    }
+
+    #[test]
+    fn pack_map_uses_index() {
+        let input: Vec<u32> = (0..30_000).map(|i| i % 7).collect();
+        let got = pack_map(&input, |i, &x| i % 2 == 0 && x < 3);
+        let want: Vec<u32> = input
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &x)| if i % 2 == 0 && x < 3 { Some(x) } else { None })
+            .collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,176 @@
+//! Parallel prefix sums (scans).
+//!
+//! The classic two-pass blocked scan: the input is split into `O(P)` chunks,
+//! per-chunk totals are computed in parallel, the (short) vector of totals is
+//! scanned sequentially, and finally every chunk is re-scanned in parallel
+//! seeded with its offset. Work is `O(n)`, span is `O(n / P + P)` which is
+//! `O(polylog n)` for any fixed machine, matching the model used in the
+//! paper.
+
+use rayon::prelude::*;
+
+use crate::{chunk_len, SEQ_THRESHOLD};
+
+/// Exclusive scan (prefix sums) over `u64` values.
+///
+/// Returns the vector of prefix sums (element `i` is the sum of
+/// `input[..i]`) together with the grand total.
+///
+/// ```
+/// let (pre, total) = psfa_primitives::scan_exclusive(&[1, 2, 3, 4]);
+/// assert_eq!(pre, vec![0, 1, 3, 6]);
+/// assert_eq!(total, 10);
+/// ```
+pub fn scan_exclusive(input: &[u64]) -> (Vec<u64>, u64) {
+    scan_exclusive_by(input, 0u64, |a, b| a + b)
+}
+
+/// Inclusive scan (running sums) over `u64` values.
+///
+/// Element `i` of the result is the sum of `input[..=i]`.
+pub fn scan_inclusive(input: &[u64]) -> Vec<u64> {
+    scan_inclusive_by(input, 0u64, |a, b| a + b)
+}
+
+/// Exclusive scan over an arbitrary associative operator.
+///
+/// `identity` must be a left and right identity of `op`, and `op` must be
+/// associative; both are required for the blocked parallel decomposition to
+/// produce the same result as the sequential scan.
+pub fn scan_exclusive_by<T, F>(input: &[T], identity: T, op: F) -> (Vec<T>, T)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Send + Sync,
+{
+    let n = input.len();
+    if n == 0 {
+        return (Vec::new(), identity);
+    }
+    if n <= SEQ_THRESHOLD {
+        let mut out = Vec::with_capacity(n);
+        let mut acc = identity;
+        for x in input {
+            out.push(acc.clone());
+            acc = op(&acc, x);
+        }
+        return (out, acc);
+    }
+
+    let chunk = chunk_len(n);
+    // Pass 1: per-chunk totals.
+    let totals: Vec<T> = input
+        .par_chunks(chunk)
+        .map(|c| c.iter().fold(identity.clone(), |acc, x| op(&acc, x)))
+        .collect();
+
+    // Sequential scan of the short totals vector.
+    let mut offsets = Vec::with_capacity(totals.len());
+    let mut acc = identity.clone();
+    for t in &totals {
+        offsets.push(acc.clone());
+        acc = op(&acc, t);
+    }
+    let grand_total = acc;
+
+    // Pass 2: per-chunk rescan seeded with the chunk offset.
+    let mut out: Vec<T> = vec![identity; n];
+    out.par_chunks_mut(chunk)
+        .zip(input.par_chunks(chunk))
+        .zip(offsets.into_par_iter())
+        .for_each(|((out_chunk, in_chunk), seed)| {
+            let mut acc = seed;
+            for (o, x) in out_chunk.iter_mut().zip(in_chunk) {
+                *o = acc.clone();
+                acc = op(&acc, x);
+            }
+        });
+
+    (out, grand_total)
+}
+
+/// Inclusive scan over an arbitrary associative operator.
+pub fn scan_inclusive_by<T, F>(input: &[T], identity: T, op: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Send + Sync,
+{
+    let (mut pre, _total) = scan_exclusive_by(input, identity, &op);
+    pre.par_iter_mut()
+        .zip(input.par_iter())
+        .for_each(|(p, x)| *p = op(p, x));
+    pre
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_exclusive(input: &[u64]) -> (Vec<u64>, u64) {
+        let mut out = Vec::with_capacity(input.len());
+        let mut acc = 0u64;
+        for &x in input {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn empty_input() {
+        let (pre, total) = scan_exclusive(&[]);
+        assert!(pre.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn single_element() {
+        let (pre, total) = scan_exclusive(&[7]);
+        assert_eq!(pre, vec![0]);
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn small_matches_sequential() {
+        let input: Vec<u64> = (0..100).map(|i| (i * 37) % 11).collect();
+        assert_eq!(scan_exclusive(&input), seq_exclusive(&input));
+    }
+
+    #[test]
+    fn large_matches_sequential() {
+        let input: Vec<u64> = (0..100_000u64).map(|i| (i * 2654435761) % 97).collect();
+        assert_eq!(scan_exclusive(&input), seq_exclusive(&input));
+    }
+
+    #[test]
+    fn inclusive_matches_exclusive_shifted() {
+        let input: Vec<u64> = (0..50_000u64).map(|i| i % 13).collect();
+        let inc = scan_inclusive(&input);
+        let (exc, total) = scan_exclusive(&input);
+        for i in 0..input.len() {
+            assert_eq!(inc[i], exc[i] + input[i]);
+        }
+        assert_eq!(*inc.last().unwrap(), total);
+    }
+
+    #[test]
+    fn generic_operator_max() {
+        // max is associative with identity 0 for u64.
+        let input: Vec<u64> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let inc = scan_inclusive_by(&input, 0u64, |a, b| (*a).max(*b));
+        assert_eq!(inc, vec![3, 3, 4, 4, 5, 9, 9, 9]);
+    }
+
+    #[test]
+    fn generic_operator_string_concat_is_ordered() {
+        // Concatenation is associative but not commutative: exercises that the
+        // blocked scan preserves order.
+        let input: Vec<String> = (0..5000).map(|i| format!("{},", i % 10)).collect();
+        let (pre, total) = scan_exclusive_by(&input, String::new(), |a, b| format!("{a}{b}"));
+        let mut expect = String::new();
+        for (i, x) in input.iter().enumerate() {
+            assert_eq!(pre[i], expect);
+            expect.push_str(x);
+        }
+        assert_eq!(total, expect);
+    }
+}

@@ -1,0 +1,76 @@
+//! # psfa — Parallel Streaming Frequency-Based Aggregates
+//!
+//! A reproduction of Tangwongsan, Tirthapura and Wu, *Parallel Streaming
+//! Frequency-Based Aggregates*, SPAA 2014 (DOI 10.1145/2612669.2612695), as a
+//! production-quality Rust library.
+//!
+//! The paper's algorithms process a high-velocity stream in **minibatches**:
+//! each minibatch is ingested with linear work and polylogarithmic depth,
+//! updating a single shared summary (no per-processor summaries, no merge
+//! step). This umbrella crate re-exports the full public API and adds
+//! pipeline adapters so any aggregate can run inside the discretized-stream
+//! driver of [`psfa_stream`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use psfa::prelude::*;
+//!
+//! // Track 1%-heavy hitters with 0.2% error over an infinite window.
+//! let mut hh = InfiniteHeavyHitters::new(0.01, 0.002);
+//! let mut zipf = ZipfGenerator::new(100_000, 1.2, 42);
+//! for _ in 0..100 {
+//!     let minibatch = zipf.next_minibatch(10_000);
+//!     hh.process_minibatch(&minibatch);
+//! }
+//! let heavy = hh.query();
+//! assert!(!heavy.is_empty());
+//! // Estimates never exceed the true frequency (one-sided error).
+//! assert!(heavy[0].estimate <= hh.estimator().stream_len());
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Paper section | Contents |
+//! |---|---|---|
+//! | [`psfa_primitives`] | §2 | scans, packing, integer sort, selection, `buildHist`, CSS, hash families |
+//! | [`psfa_window`] | §3–§4 | γ-snapshots, SBBC, basic counting, windowed sum |
+//! | [`psfa_freq`] | §5 | parallel Misra–Gries, sliding-window frequency estimation (basic / space- / work-efficient), heavy hitters |
+//! | [`psfa_sketch`] | §6 | Count-Min sketch (sequential + parallel minibatch), Count-Sketch |
+//! | [`psfa_baselines`] | §1, §5.4 | sequential comparators and the independent-data-structure approach |
+//! | [`psfa_stream`] | §1 | minibatch model, workload generators, pipeline driver |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use psfa_baselines as baselines;
+pub use psfa_freq as freq;
+pub use psfa_primitives as primitives;
+pub use psfa_sketch as sketch;
+pub use psfa_stream as stream;
+pub use psfa_window as window;
+
+pub mod operators;
+
+/// One-stop import for applications.
+pub mod prelude {
+    pub use psfa_baselines::{
+        DgimCounter, ExactSlidingWindow, IndependentMgSummaries, LossyCounting,
+        SequentialMisraGries, SpaceSaving,
+    };
+    pub use psfa_freq::{
+        HeavyHitter, InfiniteHeavyHitters, MgSummary, ParallelFrequencyEstimator,
+        SlidingFreqBasic, SlidingFreqSpaceEfficient, SlidingFreqWorkEfficient,
+        SlidingFrequencyEstimator, SlidingHeavyHitters,
+    };
+    pub use psfa_primitives::{CompactedSegment, WorkMeter};
+    pub use psfa_sketch::{CountMinSketch, CountSketch, ParallelCountMin};
+    pub use psfa_stream::{
+        AdversarialChurnGenerator, BinaryStreamGenerator, BurstyGenerator, MinibatchOperator,
+        PacketTraceGenerator, Pipeline, PipelineReport, StreamGenerator, UniformGenerator,
+        ZipfGenerator,
+    };
+    pub use psfa_window::{BasicCounter, QueryResult, Sbbc, WindowedSum};
+
+    pub use crate::operators::{FrequencyOperator, HeavyHitterOperator, SketchOperator};
+}

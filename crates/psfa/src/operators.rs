@@ -1,0 +1,132 @@
+//! Pipeline adapters: wrap the aggregates as [`MinibatchOperator`]s so they
+//! can be driven by [`psfa_stream::Pipeline`] alongside one another.
+
+use psfa_freq::{InfiniteHeavyHitters, SlidingFrequencyEstimator};
+use psfa_sketch::ParallelCountMin;
+use psfa_stream::MinibatchOperator;
+
+/// A sliding-window frequency estimator as a pipeline operator.
+pub struct FrequencyOperator<E> {
+    label: String,
+    estimator: E,
+}
+
+impl<E: SlidingFrequencyEstimator> FrequencyOperator<E> {
+    /// Wraps `estimator` under the given display label.
+    pub fn new(label: impl Into<String>, estimator: E) -> Self {
+        Self { label: label.into(), estimator }
+    }
+
+    /// Access to the wrapped estimator (for queries after a run).
+    pub fn estimator(&self) -> &E {
+        &self.estimator
+    }
+}
+
+impl<E: SlidingFrequencyEstimator> MinibatchOperator for FrequencyOperator<E> {
+    fn process(&mut self, minibatch: &[u64]) {
+        self.estimator.process_minibatch(minibatch);
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Infinite-window heavy-hitter tracking as a pipeline operator.
+pub struct HeavyHitterOperator {
+    label: String,
+    tracker: InfiniteHeavyHitters,
+}
+
+impl HeavyHitterOperator {
+    /// Wraps a heavy-hitter tracker under the given display label.
+    pub fn new(label: impl Into<String>, tracker: InfiniteHeavyHitters) -> Self {
+        Self { label: label.into(), tracker }
+    }
+
+    /// Access to the wrapped tracker.
+    pub fn tracker(&self) -> &InfiniteHeavyHitters {
+        &self.tracker
+    }
+}
+
+impl MinibatchOperator for HeavyHitterOperator {
+    fn process(&mut self, minibatch: &[u64]) {
+        self.tracker.process_minibatch(minibatch);
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// A parallel Count-Min sketch as a pipeline operator.
+pub struct SketchOperator {
+    label: String,
+    sketch: ParallelCountMin,
+}
+
+impl SketchOperator {
+    /// Wraps a Count-Min sketch under the given display label.
+    pub fn new(label: impl Into<String>, sketch: ParallelCountMin) -> Self {
+        Self { label: label.into(), sketch }
+    }
+
+    /// Access to the wrapped sketch.
+    pub fn sketch(&self) -> &ParallelCountMin {
+        &self.sketch
+    }
+}
+
+impl MinibatchOperator for SketchOperator {
+    fn process(&mut self, minibatch: &[u64]) {
+        self.sketch.process_minibatch(minibatch);
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psfa_freq::SlidingFreqWorkEfficient;
+    use psfa_stream::{Pipeline, StreamGenerator, ZipfGenerator};
+
+    #[test]
+    fn operators_run_inside_a_pipeline() {
+        let mut pipeline = Pipeline::new();
+        pipeline.add_operator(FrequencyOperator::new(
+            "sliding-work-efficient",
+            SlidingFreqWorkEfficient::new(0.01, 50_000),
+        ));
+        pipeline.add_operator(HeavyHitterOperator::new(
+            "infinite-hh",
+            InfiniteHeavyHitters::new(0.05, 0.01),
+        ));
+        pipeline.add_operator(SketchOperator::new(
+            "count-min",
+            ParallelCountMin::new(0.01, 0.01, 7),
+        ));
+        let mut generator = ZipfGenerator::new(10_000, 1.2, 3);
+        let report = pipeline.run(&mut generator, 10, 2000);
+        assert_eq!(report.operators.len(), 3);
+        for op in &report.operators {
+            assert_eq!(op.items, 20_000);
+        }
+    }
+
+    #[test]
+    fn wrapped_state_is_queryable_after_use() {
+        let mut op = HeavyHitterOperator::new("hh", InfiniteHeavyHitters::new(0.1, 0.01));
+        let mut generator = ZipfGenerator::new(1000, 1.5, 5);
+        for _ in 0..5 {
+            let batch = generator.next_minibatch(1000);
+            op.process(&batch);
+        }
+        assert!(!op.tracker().query().is_empty());
+        assert_eq!(op.name(), "hh");
+    }
+}

@@ -1,0 +1,198 @@
+//! Sequential Count-Min sketch (Cormode–Muthukrishnan), the baseline the
+//! parallel minibatch version of Section 6 builds on.
+
+use psfa_primitives::{HashFamily, PolynomialHash};
+
+/// A Count-Min sketch: `d = ⌈ln(1/δ)⌉` rows of `w = ⌈e/ε⌉` counters.
+///
+/// For a stream of `m` updates, a point query returns `a_e` with
+/// `f_e ≤ a_e ≤ f_e + εm` with probability at least `1 − δ`.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    epsilon: f64,
+    delta: f64,
+    width: usize,
+    depth: usize,
+    /// Row-major counter array, `depth` rows of `width` counters.
+    rows: Vec<Vec<u64>>,
+    hashes: Vec<PolynomialHash>,
+    /// Total mass added so far (`m`).
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch for error `ε` and failure probability `δ`, seeded
+    /// deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε < 1` and `0 < δ < 1`.
+    pub fn new(epsilon: f64, delta: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        let hashes = (0..depth)
+            .map(|i| PolynomialHash::from_seed(2, width as u64, seed ^ (0x9E37 + i as u64)))
+            .collect();
+        Self {
+            epsilon,
+            delta,
+            width,
+            depth,
+            rows: vec![vec![0u64; width]; depth],
+            hashes,
+            total: 0,
+        }
+    }
+
+    /// The error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The failure probability δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Number of counters per row, `w = ⌈e/ε⌉`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows, `d = ⌈ln(1/δ)⌉`.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Total mass inserted so far (`m = Σ counts`).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of counters, `w·d` — the space bound `O(ε⁻¹ log(1/δ))`.
+    pub fn num_counters(&self) -> usize {
+        self.width * self.depth
+    }
+
+    /// Column used by row `row` for `item` (exposed for the parallel updater).
+    pub(crate) fn column(&self, row: usize, item: u64) -> usize {
+        self.hashes[row].hash(item) as usize
+    }
+
+    /// Adds `count` occurrences of `item` (the classic per-element update,
+    /// applied once per distinct item when driven from a histogram).
+    pub fn update(&mut self, item: u64, count: u64) {
+        for row in 0..self.depth {
+            let col = self.column(row, item);
+            self.rows[row][col] += count;
+        }
+        self.total += count;
+    }
+
+    /// Point query: an overestimate of the frequency of `item`.
+    pub fn query(&self, item: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.rows[row][self.column(row, item)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Mutable access to a row (used by the parallel minibatch updater).
+    pub(crate) fn rows_mut(&mut self) -> &mut Vec<Vec<u64>> {
+        &mut self.rows
+    }
+
+    /// Adds to the running total (used by the parallel minibatch updater).
+    pub(crate) fn add_total(&mut self, count: u64) {
+        self.total += count;
+    }
+
+    /// Read-only access to the counter matrix (tests / experiments).
+    pub fn counters(&self) -> &[Vec<u64>] {
+        &self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn dimensions_follow_epsilon_delta() {
+        let cm = CountMinSketch::new(0.01, 0.01, 1);
+        assert_eq!(cm.width(), (std::f64::consts::E / 0.01).ceil() as usize);
+        assert_eq!(cm.depth(), 5); // ln(100) ≈ 4.6
+        assert_eq!(cm.num_counters(), cm.width() * cm.depth());
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut cm = CountMinSketch::new(0.01, 0.05, 7);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut state = 5u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = (state >> 33) % 500;
+            cm.update(item, 1);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        for (&item, &f) in &truth {
+            assert!(cm.query(item) >= f);
+        }
+    }
+
+    #[test]
+    fn overestimate_bounded_by_epsilon_m_for_most_items() {
+        let epsilon = 0.005;
+        let mut cm = CountMinSketch::new(epsilon, 0.01, 3);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut state = 9u64;
+        let m = 50_000u64;
+        for _ in 0..m {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let item = (state >> 33) % 2000;
+            cm.update(item, 1);
+            *truth.entry(item).or_insert(0) += 1;
+        }
+        assert_eq!(cm.total(), m);
+        let bound = (epsilon * m as f64).ceil() as u64;
+        let violations = truth
+            .iter()
+            .filter(|(&item, &f)| cm.query(item) > f + bound)
+            .count();
+        // With probability 1 − δ per item the bound holds; allow a small
+        // number of unlucky items (δ = 1%, 2000 items ⇒ expected ≈ 20).
+        assert!(
+            violations <= truth.len() / 20,
+            "{violations} of {} items exceeded the εm bound",
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn unseen_item_query_is_small() {
+        let mut cm = CountMinSketch::new(0.01, 0.01, 11);
+        for item in 0..1000u64 {
+            cm.update(item, 1);
+        }
+        // An unseen item's estimate is bounded by collisions only.
+        assert!(cm.query(999_999) <= (0.01f64 * 1000.0).ceil() as u64 + 1);
+    }
+
+    #[test]
+    fn weighted_updates_accumulate() {
+        let mut cm = CountMinSketch::new(0.1, 0.1, 2);
+        cm.update(5, 10);
+        cm.update(5, 7);
+        assert!(cm.query(5) >= 17);
+        assert_eq!(cm.total(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn invalid_delta_rejected() {
+        let _ = CountMinSketch::new(0.1, 1.0, 0);
+    }
+}

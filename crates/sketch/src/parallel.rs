@@ -1,0 +1,192 @@
+//! Parallel Count-Min minibatch ingestion (Theorem 6.1).
+//!
+//! Instead of touching the sketch once per stream element, the minibatch is
+//! first collapsed into a histogram with `buildHist` (Theorem 2.3); then, for
+//! every row in parallel, the histogram entries are grouped by their target
+//! column with the linear-work integer sort and each column receives one
+//! combined increment. Work per minibatch is `O(µ + (µ + w)·d)` and the
+//! depth is polylogarithmic; point queries take `O(d)` work with an
+//! `O(log d)`-depth parallel min-reduction.
+
+use psfa_primitives::{build_hist, HistogramEntry};
+use rayon::prelude::*;
+
+use crate::count_min::CountMinSketch;
+
+/// A Count-Min sketch driven by minibatches, wrapping [`CountMinSketch`] with
+/// the parallel update of Section 6.
+#[derive(Debug, Clone)]
+pub struct ParallelCountMin {
+    sketch: CountMinSketch,
+    seed: u64,
+}
+
+impl ParallelCountMin {
+    /// Creates a sketch for error `ε` and failure probability `δ`.
+    pub fn new(epsilon: f64, delta: f64, seed: u64) -> Self {
+        Self { sketch: CountMinSketch::new(epsilon, delta, seed), seed }
+    }
+
+    /// Wraps an existing sequential sketch.
+    pub fn from_sketch(sketch: CountMinSketch) -> Self {
+        Self { sketch, seed: 0x1234_5678 }
+    }
+
+    /// Read-only access to the underlying sketch.
+    pub fn sketch(&self) -> &CountMinSketch {
+        &self.sketch
+    }
+
+    /// Incorporates a minibatch of item identifiers.
+    pub fn process_minibatch(&mut self, minibatch: &[u64]) {
+        if minibatch.is_empty() {
+            return;
+        }
+        self.seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let hist = build_hist(minibatch, self.seed);
+        self.ingest_histogram(&hist);
+    }
+
+    /// Incorporates a pre-computed histogram (useful when the caller already
+    /// ran `buildHist`, e.g. a pipeline stage shared with other aggregates).
+    pub fn ingest_histogram(&mut self, hist: &[HistogramEntry]) {
+        if hist.is_empty() {
+            return;
+        }
+        let added: u64 = hist.iter().map(|e| e.count).sum();
+        let depth = self.sketch.depth();
+        // Pre-compute, for every row, the (column, count) pairs. Reading the
+        // hash functions is immutable, so this pass can run before the rows
+        // are mutated.
+        let per_row_updates: Vec<Vec<(usize, u64)>> = (0..depth)
+            .into_par_iter()
+            .map(|row| {
+                hist.iter()
+                    .map(|e| (self.sketch.column(row, e.item), e.count))
+                    .collect()
+            })
+            .collect();
+        // Every row is owned by exactly one task: simultaneous column updates
+        // within a row are combined by that task, so no atomics are needed.
+        self.sketch
+            .rows_mut()
+            .par_iter_mut()
+            .zip(per_row_updates.into_par_iter())
+            .for_each(|(row, updates)| {
+                for (col, count) in updates {
+                    row[col] += count;
+                }
+            });
+        self.sketch.add_total(added);
+    }
+
+    /// Point query: an overestimate of `item`'s frequency, computed with a
+    /// parallel min-reduction over the rows.
+    pub fn query(&self, item: u64) -> u64 {
+        (0..self.sketch.depth())
+            .into_par_iter()
+            .map(|row| self.sketch.counters()[row][self.sketch.column(row, item)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total mass inserted so far.
+    pub fn total(&self) -> u64 {
+        self.sketch.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_updates_agree_exactly() {
+        // Driving the same sketch (same seeds) per-element or per-minibatch
+        // must produce identical counter arrays.
+        let mut seq = CountMinSketch::new(0.01, 0.02, 42);
+        let mut par = ParallelCountMin::from_sketch(CountMinSketch::new(0.01, 0.02, 42));
+        let mut rng = Lcg(1);
+        for _ in 0..20 {
+            let batch: Vec<u64> = (0..500).map(|_| rng.next() % 300).collect();
+            for &x in &batch {
+                seq.update(x, 1);
+            }
+            par.process_minibatch(&batch);
+        }
+        assert_eq!(seq.counters(), par.sketch().counters());
+        assert_eq!(seq.total(), par.total());
+        for item in 0..300u64 {
+            assert_eq!(seq.query(item), par.query(item));
+        }
+    }
+
+    #[test]
+    fn theorem_6_1_accuracy() {
+        let epsilon = 0.002;
+        let delta = 0.01;
+        let mut par = ParallelCountMin::new(epsilon, delta, 7);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut rng = Lcg(3);
+        for _ in 0..40 {
+            let batch: Vec<u64> = (0..1000)
+                .map(|_| {
+                    let r = rng.next();
+                    if r % 2 == 0 {
+                        r % 10
+                    } else {
+                        10 + r % 5000
+                    }
+                })
+                .collect();
+            for &x in &batch {
+                *truth.entry(x).or_insert(0) += 1;
+            }
+            par.process_minibatch(&batch);
+        }
+        let m = par.total();
+        let bound = (epsilon * m as f64).ceil() as u64;
+        let mut violations = 0usize;
+        for (&item, &f) in &truth {
+            let q = par.query(item);
+            assert!(q >= f, "Count-Min must never underestimate");
+            if q > f + bound {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations <= truth.len() / 20,
+            "{violations}/{} items exceeded εm",
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn empty_minibatch_is_noop() {
+        let mut par = ParallelCountMin::new(0.1, 0.1, 1);
+        par.process_minibatch(&[]);
+        assert_eq!(par.total(), 0);
+    }
+
+    #[test]
+    fn histogram_ingestion_matches_expanded_stream() {
+        let mut a = ParallelCountMin::new(0.05, 0.05, 9);
+        let mut b = ParallelCountMin::new(0.05, 0.05, 9);
+        let hist = vec![
+            HistogramEntry { item: 1, count: 5 },
+            HistogramEntry { item: 2, count: 3 },
+        ];
+        a.ingest_histogram(&hist);
+        b.process_minibatch(&[1, 1, 1, 1, 1, 2, 2, 2]);
+        assert_eq!(a.sketch().counters(), b.sketch().counters());
+    }
+}

@@ -1,0 +1,36 @@
+//! # psfa-stream
+//!
+//! Discretized-stream substrate and workload generation for the PSFA
+//! reproduction.
+//!
+//! The paper adopts the minibatch ("discretized stream") processing model of
+//! systems like Spark Streaming: the input is chopped into minibatches, each
+//! minibatch is processed — possibly in parallel — as a unit, and queries
+//! reflect all minibatches processed so far. This crate provides:
+//!
+//! * [`generators`] — synthetic workload generators (uniform, Zipf, bursty,
+//!   adversarial churn, synthetic packet-flow traces, and binary streams of
+//!   configurable density). The paper has no published dataset; these
+//!   generators stand in for the network-monitoring workloads its
+//!   introduction motivates (see DESIGN.md §3).
+//! * [`zipf`] — a seeded Zipf(α) sampler used by the generators.
+//! * [`pipeline`] — a small driver that feeds minibatches from a generator
+//!   into one or more operators and records per-operator throughput, the
+//!   harness used by the examples and the experiment binaries.
+//! * [`metrics`] — throughput/latency accounting.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod generators;
+pub mod metrics;
+pub mod pipeline;
+pub mod zipf;
+
+pub use generators::{
+    AdversarialChurnGenerator, BinaryStreamGenerator, BurstyGenerator, PacketTraceGenerator,
+    StreamGenerator, UniformGenerator, ZipfGenerator,
+};
+pub use metrics::ThroughputMeter;
+pub use pipeline::{MinibatchOperator, Pipeline, PipelineReport};
+pub use zipf::ZipfSampler;

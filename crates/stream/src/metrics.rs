@@ -1,0 +1,93 @@
+//! Throughput and latency accounting for pipeline runs and experiments.
+
+use std::time::{Duration, Instant};
+
+/// Accumulates per-minibatch processing times and item counts.
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputMeter {
+    items: u64,
+    batches: u64,
+    busy: Duration,
+    max_batch_latency: Duration,
+}
+
+impl ThroughputMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f` processing a minibatch of `items` elements and records it.
+    pub fn record<R>(&mut self, items: u64, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed();
+        self.items += items;
+        self.batches += 1;
+        self.busy += elapsed;
+        self.max_batch_latency = self.max_batch_latency.max(elapsed);
+        out
+    }
+
+    /// Total items processed.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Total minibatches processed.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Total busy time.
+    pub fn busy(&self) -> Duration {
+        self.busy
+    }
+
+    /// The largest single-minibatch latency observed.
+    pub fn max_batch_latency(&self) -> Duration {
+        self.max_batch_latency
+    }
+
+    /// Items per second over the busy time (0 if nothing was recorded).
+    pub fn items_per_second(&self) -> f64 {
+        let secs = self.busy.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.items as f64 / secs
+        }
+    }
+
+    /// Average nanoseconds spent per item (0 if nothing was recorded).
+    pub fn nanos_per_item(&self) -> f64 {
+        if self.items == 0 {
+            0.0
+        } else {
+            self.busy.as_nanos() as f64 / self.items as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut m = ThroughputMeter::new();
+        let r = m.record(100, || 42);
+        assert_eq!(r, 42);
+        m.record(200, || ());
+        assert_eq!(m.items(), 300);
+        assert_eq!(m.batches(), 2);
+        assert!(m.busy() > Duration::ZERO || m.items_per_second() >= 0.0);
+    }
+
+    #[test]
+    fn empty_meter_reports_zero() {
+        let m = ThroughputMeter::new();
+        assert_eq!(m.items_per_second(), 0.0);
+        assert_eq!(m.nanos_per_item(), 0.0);
+    }
+}

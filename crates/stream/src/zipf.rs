@@ -1,0 +1,102 @@
+//! Seeded Zipf(α) sampling over a finite universe.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf(α) sampler over the universe `{0, 1, …, universe − 1}`, where item
+/// `i` has probability proportional to `1/(i+1)^α`.
+///
+/// Sampling uses a precomputed cumulative table and binary search, so each
+/// draw costs `O(log |universe|)`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    rng: StdRng,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler for the given universe size, skew `alpha ≥ 0`, and
+    /// seed.
+    ///
+    /// # Panics
+    /// Panics if `universe == 0` or `alpha < 0`.
+    pub fn new(universe: u64, alpha: f64, seed: u64) -> Self {
+        assert!(universe >= 1, "universe must be non-empty");
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        let mut cdf = Vec::with_capacity(universe as usize);
+        let mut acc = 0.0f64;
+        for i in 0..universe {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The universe size.
+    pub fn universe(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Draws one item.
+    pub fn sample(&mut self) -> u64 {
+        let u: f64 = self.rng.gen();
+        // Binary search for the first CDF entry >= u.
+        match self.cdf.binary_search_by(|probe| probe.partial_cmp(&u).unwrap()) {
+            Ok(i) => i as u64,
+            Err(i) => (i as u64).min(self.universe() - 1),
+        }
+    }
+
+    /// Draws `n` items.
+    pub fn sample_batch(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_universe() {
+        let mut z = ZipfSampler::new(100, 1.2, 42);
+        for _ in 0..10_000 {
+            assert!(z.sample() < 100);
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_roughly_uniform() {
+        let mut z = ZipfSampler::new(10, 0.0, 7);
+        let mut counts = vec![0u64; 10];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[z.sample() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > n / 10 / 2 && c < n / 10 * 2, "counts not roughly uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn high_alpha_concentrates_on_small_items() {
+        let mut z = ZipfSampler::new(1000, 1.5, 11);
+        let n = 50_000;
+        let head = (0..n).filter(|_| z.sample() < 10).count();
+        assert!(
+            head as f64 > 0.6 * n as f64,
+            "Zipf(1.5): expected >60% of mass on the top-10 items, got {head}/{n}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ZipfSampler::new(50, 1.0, 3);
+        let mut b = ZipfSampler::new(50, 1.0, 3);
+        assert_eq!(a.sample_batch(100), b.sample_batch(100));
+    }
+}

@@ -1,0 +1,237 @@
+//! Basic counting over a sliding window (Theorem 4.1).
+//!
+//! The basic-counting structure answers "how many 1s are in the last `n`
+//! stream positions?" with relative error at most ε using `O(ε⁻¹ log n)`
+//! words. Following the paper (and Lee–Ting), it keeps a geometric ladder of
+//! space-bounded block counters Γ₀, Γ₁, …, Γ_k where Γ_i is a
+//! `(σ, λ_i)`-SBBC with σ = ⌈2/ε⌉ and λ_i halving at each level down to the
+//! exact level λ = 2 (γ = 1, which counts exactly). A query walks from the
+//! finest level upwards and reports the first counter that has not
+//! overflowed; the overflow of the next-finer level certifies that the true
+//! count is large enough for the chosen level's additive error to be within
+//! ε relative error.
+//!
+//! A minibatch is incorporated by advancing **all** levels in parallel
+//! (`rayon`), giving `O(S + µ)` work and polylogarithmic depth per minibatch.
+
+use rayon::prelude::*;
+
+use psfa_primitives::CompactedSegment;
+
+use crate::sbbc::{QueryResult, Sbbc};
+
+/// ε-relative-error basic counting over a count-based sliding window.
+#[derive(Debug, Clone)]
+pub struct BasicCounter {
+    epsilon: f64,
+    n: u64,
+    /// Ladder of counters, coarsest (largest λ) first, finest (λ = 2) last.
+    levels: Vec<Sbbc>,
+}
+
+impl BasicCounter {
+    /// Creates a basic counter for window size `n` and relative error `ε`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not in `(0, 1)` or `n == 0`.
+    pub fn new(epsilon: f64, n: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        assert!(n >= 1, "window size must be at least 1");
+        let sigma = (2.0 / epsilon).ceil() as u64;
+        // λ₀ = largest power of two ≤ εn (at least 2); levels halve down to 2.
+        let target = (epsilon * n as f64).max(2.0);
+        let mut lambda0 = 2u64;
+        while (lambda0 * 2) as f64 <= target {
+            lambda0 *= 2;
+        }
+        let mut levels = Vec::new();
+        let mut lambda = lambda0;
+        loop {
+            levels.push(Sbbc::new(sigma, lambda, n));
+            if lambda == 2 {
+                break;
+            }
+            lambda /= 2;
+        }
+        Self { epsilon, n, levels }
+    }
+
+    /// The relative-error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The window size n.
+    pub fn window(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of SBBC levels maintained (Θ(log(εn))).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total number of sampled blocks stored across all levels — the dominant
+    /// memory footprint, `O(ε⁻¹ log n)` by Theorem 4.1.
+    pub fn space_blocks(&self) -> usize {
+        self.levels.iter().map(Sbbc::space_blocks).sum()
+    }
+
+    /// Total stream length ingested so far.
+    pub fn stream_len(&self) -> u64 {
+        self.levels.first().map_or(0, Sbbc::stream_len)
+    }
+
+    /// Incorporates a minibatch given as a compacted segment, advancing every
+    /// level in parallel.
+    pub fn advance(&mut self, segment: &CompactedSegment) {
+        self.levels.par_iter_mut().for_each(|level| level.advance(segment));
+    }
+
+    /// Convenience wrapper: incorporates a minibatch given as a bit slice.
+    pub fn advance_bits(&mut self, bits: &[bool]) {
+        self.advance(&CompactedSegment::from_bits(bits));
+    }
+
+    /// Returns the ε-approximate count of 1s in the current window.
+    ///
+    /// The estimate `m̂` satisfies `m ≤ m̂ ≤ (1 + ε)·m` where `m` is the true
+    /// count (Theorem 4.1).
+    pub fn estimate(&self) -> u64 {
+        // Walk from the finest level to the coarsest and return the first
+        // non-overflowed estimate. Γ₀ can never overflow because
+        // σ·λ₀ ≥ (2/ε)(εn/2) = n ≥ m.
+        for level in self.levels.iter().rev() {
+            if let QueryResult::Estimate(v) = level.query() {
+                return v;
+            }
+        }
+        unreachable!("the coarsest SBBC can never overflow (σ·λ₀ ≥ n)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+    }
+
+    fn window_count(bits: &[bool], n: u64) -> u64 {
+        let start = bits.len().saturating_sub(n as usize);
+        bits[start..].iter().filter(|&&b| b).count() as u64
+    }
+
+    fn drive(epsilon: f64, n: u64, batches: usize, mu: usize, one_in: u64, seed: u64) {
+        let mut counter = BasicCounter::new(epsilon, n);
+        let mut rng = Lcg(seed);
+        let mut bits: Vec<bool> = Vec::new();
+        for _ in 0..batches {
+            let piece: Vec<bool> = (0..mu).map(|_| rng.next() % one_in == 0).collect();
+            counter.advance_bits(&piece);
+            bits.extend_from_slice(&piece);
+            let m = window_count(&bits, n);
+            let est = counter.estimate();
+            assert!(est >= m, "estimate {est} below true count {m}");
+            let bound = (m as f64 * (1.0 + epsilon)).ceil() as u64 + 1;
+            assert!(
+                est <= bound,
+                "estimate {est} exceeds (1+ε)m = {bound} (ε={epsilon}, m={m})"
+            );
+        }
+    }
+
+    #[test]
+    fn relative_error_dense_stream() {
+        drive(0.1, 4096, 30, 500, 1, 1);
+        drive(0.1, 4096, 30, 500, 2, 2);
+    }
+
+    #[test]
+    fn relative_error_sparse_stream() {
+        drive(0.1, 4096, 30, 500, 50, 3);
+        drive(0.25, 2048, 30, 300, 10, 4);
+    }
+
+    #[test]
+    fn relative_error_fine_epsilon() {
+        drive(0.02, 8192, 20, 1000, 3, 5);
+    }
+
+    #[test]
+    fn exact_for_tiny_counts() {
+        // With very few ones in the window the finest (exact) level answers.
+        let mut counter = BasicCounter::new(0.1, 10_000);
+        let mut bits = vec![false; 5000];
+        bits[10] = true;
+        bits[4999] = true;
+        counter.advance_bits(&bits);
+        assert_eq!(counter.estimate(), 2);
+    }
+
+    #[test]
+    fn zero_stream_reports_zero() {
+        let mut counter = BasicCounter::new(0.1, 1000);
+        counter.advance_bits(&vec![false; 3000]);
+        assert_eq!(counter.estimate(), 0);
+    }
+
+    #[test]
+    fn all_ones_stream_reports_window_size_approximately() {
+        let n = 2048u64;
+        let mut counter = BasicCounter::new(0.05, n);
+        counter.advance_bits(&vec![true; 5000]);
+        let est = counter.estimate();
+        assert!(est >= n && est as f64 <= n as f64 * 1.05 + 1.0);
+    }
+
+    #[test]
+    fn space_is_bounded_by_eps_inverse_log_n() {
+        let epsilon = 0.05;
+        let n = 1 << 16;
+        let mut counter = BasicCounter::new(epsilon, n);
+        let mut rng = Lcg(9);
+        for _ in 0..40 {
+            let piece: Vec<bool> = (0..2000).map(|_| rng.next() % 2 == 0).collect();
+            counter.advance_bits(&piece);
+        }
+        let levels = counter.num_levels() as f64;
+        let sigma = (2.0 / epsilon).ceil();
+        let bound = levels * (2.0 * sigma + 2.0);
+        assert!(
+            (counter.space_blocks() as f64) <= bound,
+            "space {} exceeds per-level cap total {bound}",
+            counter.space_blocks()
+        );
+        // And the number of levels is logarithmic in n.
+        assert!(levels <= (n as f64).log2() + 1.0);
+    }
+
+    #[test]
+    fn window_smaller_than_minibatch() {
+        // Minibatches larger than the window must still give correct answers.
+        let n = 256u64;
+        let mut counter = BasicCounter::new(0.1, n);
+        let mut rng = Lcg(11);
+        let mut bits = Vec::new();
+        for _ in 0..5 {
+            let piece: Vec<bool> = (0..1000).map(|_| rng.next() % 3 == 0).collect();
+            counter.advance_bits(&piece);
+            bits.extend_from_slice(&piece);
+            let m = window_count(&bits, n);
+            let est = counter.estimate();
+            assert!(est >= m && est as f64 <= m as f64 * 1.1 + 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn invalid_epsilon_rejected() {
+        let _ = BasicCounter::new(1.5, 100);
+    }
+}

@@ -1,0 +1,36 @@
+//! # psfa-window
+//!
+//! Sliding-window counting substrate of the PSFA reproduction: Sections 3
+//! and 4 of Tangwongsan, Tirthapura and Wu, *Parallel Streaming
+//! Frequency-Based Aggregates* (SPAA 2014).
+//!
+//! * [`snapshot`] — the γ-snapshot deterministic sampling synopsis of Lee and
+//!   Ting (Definition 3.1, Lemmas 3.2–3.3) with parallel minibatch ingestion.
+//! * [`sbbc`] — the (σ, λ) **space-bounded block counter** of Theorem 3.4:
+//!   an approximate count of the 1 bits in a sliding window with additive
+//!   error λ, a hard space cap σ, and `advance` / `query` / `decrement`
+//!   operations.
+//! * [`basic_counting`] — Theorem 4.1: relative-error-ε basic counting over a
+//!   count-based sliding window using a geometric ladder of SBBCs in
+//!   `O(ε⁻¹ log n)` space.
+//! * [`sum`] — Theorem 4.2: the sliding-window sum of integers in `[0, R]`
+//!   via one basic counter per bit position.
+//!
+//! Positions are 1-indexed along the stream (matching the paper); minibatch
+//! contents arrive as [`CompactedSegment`]s whose positions are 0-indexed
+//! within the segment.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod basic_counting;
+pub mod sbbc;
+pub mod snapshot;
+pub mod sum;
+
+pub use basic_counting::BasicCounter;
+pub use sbbc::{QueryResult, Sbbc};
+pub use snapshot::GammaSnapshot;
+pub use sum::WindowedSum;
+
+pub use psfa_primitives::CompactedSegment;

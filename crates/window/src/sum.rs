@@ -1,0 +1,178 @@
+//! Sliding-window sum of bounded non-negative integers (Theorem 4.2).
+//!
+//! For a stream of integers in `{0, …, R}`, the windowed sum is maintained by
+//! keeping one [`BasicCounter`] per bit position of the binary representation
+//! of the values: counter `D_i` counts how many in-window values have bit `i`
+//! set, and the sum estimate is `Σ_i 2^i · D_i`. Since every per-bit count is
+//! an overestimate by at most a factor `(1 + ε)` and all weights are
+//! positive, the weighted total inherits the same relative error bound.
+//!
+//! Processing a minibatch extracts the per-bit indicator sequences and
+//! advances all `⌈log₂(R+1)⌉` counters in parallel, for `O((S + µ) log R)`
+//! work and polylogarithmic depth.
+
+use rayon::prelude::*;
+
+use psfa_primitives::CompactedSegment;
+
+use crate::basic_counting::BasicCounter;
+
+/// ε-relative-error sum of the last `n` stream values, each in `{0, …, R}`.
+#[derive(Debug, Clone)]
+pub struct WindowedSum {
+    epsilon: f64,
+    n: u64,
+    max_value: u64,
+    /// One basic counter per bit position, least significant first.
+    bit_counters: Vec<BasicCounter>,
+}
+
+impl WindowedSum {
+    /// Creates a windowed-sum structure for window size `n`, relative error
+    /// `ε`, and values bounded by `max_value` (the paper's `R`).
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not in `(0, 1)`, `n == 0`, or `max_value == 0`.
+    pub fn new(epsilon: f64, n: u64, max_value: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        assert!(n >= 1, "window size must be at least 1");
+        assert!(max_value >= 1, "max_value must be at least 1");
+        let bits = 64 - max_value.leading_zeros();
+        let bit_counters = (0..bits).map(|_| BasicCounter::new(epsilon, n)).collect();
+        Self { epsilon, n, max_value, bit_counters }
+    }
+
+    /// The relative-error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The window size n.
+    pub fn window(&self) -> u64 {
+        self.n
+    }
+
+    /// The value bound R.
+    pub fn max_value(&self) -> u64 {
+        self.max_value
+    }
+
+    /// Number of per-bit basic counters (⌈log₂(R+1)⌉).
+    pub fn num_bit_counters(&self) -> usize {
+        self.bit_counters.len()
+    }
+
+    /// Total sampled blocks stored across all per-bit counters.
+    pub fn space_blocks(&self) -> usize {
+        self.bit_counters.iter().map(BasicCounter::space_blocks).sum()
+    }
+
+    /// Incorporates a minibatch of values.
+    ///
+    /// # Panics
+    /// Panics if any value exceeds `max_value`.
+    pub fn advance(&mut self, values: &[u64]) {
+        if let Some(&bad) = values.iter().find(|&&v| v > self.max_value) {
+            panic!("value {bad} exceeds the configured bound {}", self.max_value);
+        }
+        self.bit_counters.par_iter_mut().enumerate().for_each(|(bit, counter)| {
+            let segment =
+                CompactedSegment::from_predicate(values, |&v| (v >> bit) & 1 == 1);
+            counter.advance(&segment);
+        });
+    }
+
+    /// Returns the ε-approximate sum of the values in the current window.
+    pub fn estimate(&self) -> u64 {
+        self.bit_counters
+            .par_iter()
+            .enumerate()
+            .map(|(bit, counter)| counter.estimate() << bit)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+    }
+
+    fn window_sum(values: &[u64], n: u64) -> u64 {
+        let start = values.len().saturating_sub(n as usize);
+        values[start..].iter().sum()
+    }
+
+    fn drive(epsilon: f64, n: u64, max_value: u64, batches: usize, mu: usize, seed: u64) {
+        let mut ws = WindowedSum::new(epsilon, n, max_value);
+        let mut rng = Lcg(seed);
+        let mut values: Vec<u64> = Vec::new();
+        for _ in 0..batches {
+            let piece: Vec<u64> = (0..mu).map(|_| rng.next() % (max_value + 1)).collect();
+            ws.advance(&piece);
+            values.extend_from_slice(&piece);
+            let truth = window_sum(&values, n);
+            let est = ws.estimate();
+            assert!(est >= truth, "estimate {est} below true sum {truth}");
+            let bound = (truth as f64 * (1.0 + epsilon)).ceil() as u64 + ws.num_bit_counters() as u64;
+            assert!(est <= bound, "estimate {est} exceeds (1+ε)·sum = {bound}");
+        }
+    }
+
+    #[test]
+    fn relative_error_small_values() {
+        drive(0.1, 2048, 7, 20, 400, 1);
+    }
+
+    #[test]
+    fn relative_error_large_values() {
+        drive(0.1, 2048, 65_535, 20, 400, 2);
+        drive(0.05, 4096, 1 << 20, 15, 600, 3);
+    }
+
+    #[test]
+    fn binary_values_match_basic_counting() {
+        // With values in {0, 1} the sum is exactly basic counting.
+        drive(0.1, 1024, 1, 25, 300, 4);
+    }
+
+    #[test]
+    fn zero_values_give_zero_sum() {
+        let mut ws = WindowedSum::new(0.1, 500, 100);
+        ws.advance(&vec![0u64; 2000]);
+        assert_eq!(ws.estimate(), 0);
+    }
+
+    #[test]
+    fn counter_count_is_log_r() {
+        assert_eq!(WindowedSum::new(0.1, 100, 1).num_bit_counters(), 1);
+        assert_eq!(WindowedSum::new(0.1, 100, 255).num_bit_counters(), 8);
+        assert_eq!(WindowedSum::new(0.1, 100, 256).num_bit_counters(), 9);
+        assert_eq!(WindowedSum::new(0.1, 100, (1 << 32) - 1).num_bit_counters(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the configured bound")]
+    fn out_of_range_value_rejected() {
+        let mut ws = WindowedSum::new(0.1, 100, 10);
+        ws.advance(&[5, 11]);
+    }
+
+    #[test]
+    fn mean_can_be_derived_from_sum() {
+        // The paper notes the mean reduces to the sum; sanity-check that use.
+        let n = 1000u64;
+        let mut ws = WindowedSum::new(0.05, n, 1000);
+        let values: Vec<u64> = (0..3000u64).map(|i| (i * 37) % 1001).collect();
+        ws.advance(&values);
+        let truth: f64 = window_sum(&values, n) as f64 / n as f64;
+        let est = ws.estimate() as f64 / n as f64;
+        assert!(est >= truth && est <= truth * 1.06 + 1.0);
+    }
+}

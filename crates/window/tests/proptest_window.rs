@@ -1,0 +1,160 @@
+//! Property-based tests: the sliding-window counting structures must satisfy
+//! the paper's accuracy invariants on arbitrary streams and minibatch splits.
+
+use proptest::prelude::*;
+
+use psfa_window::{BasicCounter, CompactedSegment, GammaSnapshot, QueryResult, Sbbc, WindowedSum};
+
+fn window_count(bits: &[bool], n: u64) -> u64 {
+    let start = bits.len().saturating_sub(n as usize);
+    bits[start..].iter().filter(|&&b| b).count() as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 3.2: m ≤ val ≤ m + 2γ for arbitrary bit streams, γ, window and
+    /// minibatch boundaries.
+    #[test]
+    fn gamma_snapshot_value_bounds(
+        bits in prop::collection::vec(any::<bool>(), 1..2500),
+        gamma in 1u64..16,
+        window in 1u64..2000,
+        chunk in 1usize..300,
+    ) {
+        let mut snap = GammaSnapshot::new(gamma);
+        let mut consumed = 0u64;
+        for piece in bits.chunks(chunk) {
+            snap.ingest(&CompactedSegment::from_bits(piece), consumed);
+            consumed += piece.len() as u64;
+        }
+        let t = bits.len() as u64;
+        let start = t.saturating_sub(window) + 1;
+        snap.expire_before(start);
+        let m = window_count(&bits, window);
+        prop_assert!(snap.val() >= m);
+        prop_assert!(snap.val() <= m + 2 * gamma);
+    }
+
+    /// Corollary 3.5 + Theorem 3.4: a non-overflowed SBBC estimate is within
+    /// [m, m + λ]; an overflowed one certifies m ≥ σλ.
+    #[test]
+    fn sbbc_estimate_or_overflow_guarantee(
+        bits in prop::collection::vec(any::<bool>(), 1..2500),
+        lambda_half in 1u64..12,
+        sigma in 1u64..40,
+        window in 16u64..2000,
+        chunk in 1usize..400,
+    ) {
+        let lambda = lambda_half * 2;
+        let mut sbbc = Sbbc::new(sigma, lambda, window);
+        let mut consumed: Vec<bool> = Vec::new();
+        for piece in bits.chunks(chunk) {
+            sbbc.advance(&CompactedSegment::from_bits(piece));
+            consumed.extend_from_slice(piece);
+            let m = window_count(&consumed, window);
+            match sbbc.query() {
+                QueryResult::Estimate(est) => {
+                    prop_assert!(est >= m);
+                    prop_assert!(est <= m + lambda);
+                }
+                QueryResult::Overflowed => {
+                    prop_assert!(m >= sigma * lambda, "overflow with m = {m} < σλ = {}", sigma * lambda);
+                }
+            }
+        }
+    }
+
+    /// Theorem 3.4 (space): the number of stored blocks never exceeds the cap
+    /// derived from σ nor the O(m/λ) bound.
+    #[test]
+    fn sbbc_space_bounds(
+        bits in prop::collection::vec(any::<bool>(), 1..2500),
+        lambda_half in 1u64..8,
+        sigma in 1u64..30,
+        chunk in 1usize..300,
+    ) {
+        let lambda = lambda_half * 2;
+        let window = 100_000u64; // effectively infinite: everything stays in-window
+        let mut sbbc = Sbbc::new(sigma, lambda, window);
+        let mut ones = 0u64;
+        for piece in bits.chunks(chunk) {
+            sbbc.advance(&CompactedSegment::from_bits(piece));
+            ones += piece.iter().filter(|&&b| b).count() as u64;
+            let blocks = sbbc.space_blocks() as u64;
+            prop_assert!(blocks <= 2 * sigma + 2);
+            prop_assert!(blocks <= 2 * ones / lambda + 2);
+        }
+    }
+
+    /// Theorem 4.1: basic counting has one-sided relative error at most ε.
+    #[test]
+    fn basic_counting_relative_error(
+        bits in prop::collection::vec(any::<bool>(), 1..3000),
+        eps_percent in 2u32..50,
+        window_log in 6u32..12,
+        chunk in 1usize..500,
+    ) {
+        let epsilon = eps_percent as f64 / 100.0;
+        let window = 1u64 << window_log;
+        let mut counter = BasicCounter::new(epsilon, window);
+        let mut consumed: Vec<bool> = Vec::new();
+        for piece in bits.chunks(chunk) {
+            counter.advance_bits(piece);
+            consumed.extend_from_slice(piece);
+            let m = window_count(&consumed, window);
+            let est = counter.estimate();
+            prop_assert!(est >= m);
+            prop_assert!(est as f64 <= m as f64 * (1.0 + epsilon) + 1e-9);
+        }
+    }
+
+    /// Theorem 4.2: the windowed sum has one-sided relative error at most ε.
+    #[test]
+    fn windowed_sum_relative_error(
+        values in prop::collection::vec(0u64..200, 1..1500),
+        eps_percent in 5u32..40,
+        window_log in 6u32..11,
+        chunk in 1usize..400,
+    ) {
+        let epsilon = eps_percent as f64 / 100.0;
+        let window = 1u64 << window_log;
+        let mut ws = WindowedSum::new(epsilon, window, 255);
+        let mut consumed: Vec<u64> = Vec::new();
+        for piece in values.chunks(chunk) {
+            ws.advance(piece);
+            consumed.extend_from_slice(piece);
+            let start = consumed.len().saturating_sub(window as usize);
+            let truth: u64 = consumed[start..].iter().sum();
+            let est = ws.estimate();
+            prop_assert!(est >= truth);
+            prop_assert!(est as f64 <= truth as f64 * (1.0 + epsilon) + ws.num_bit_counters() as f64);
+        }
+    }
+
+    /// Decrement semantics: decrementing by r reduces the value by exactly r
+    /// (down to zero) and never breaks later ingestion.
+    #[test]
+    fn sbbc_decrement_then_advance_is_consistent(
+        ones_a in 0u64..500,
+        dec in 0u64..700,
+        ones_b in 0u64..300,
+        lambda_half in 1u64..8,
+    ) {
+        let lambda = lambda_half * 2;
+        let mut sbbc = Sbbc::unbounded(lambda, 1_000_000);
+        let bits_a: Vec<bool> = (0..ones_a).map(|_| true).collect();
+        sbbc.advance(&CompactedSegment::from_bits(&bits_a));
+        let before = sbbc.value().unwrap();
+        sbbc.decrement(dec);
+        prop_assert_eq!(sbbc.value().unwrap(), before.saturating_sub(dec));
+        let bits_b: Vec<bool> = (0..ones_b).map(|_| true).collect();
+        sbbc.advance(&CompactedSegment::from_bits(&bits_b));
+        let after = sbbc.value().unwrap();
+        // The counter still overestimates the "logical" count (ones_a - dec + ones_b)
+        // by at most λ and never undercounts it.
+        let logical = before.saturating_sub(dec) + ones_b;
+        prop_assert!(after >= logical.saturating_sub(0));
+        prop_assert!(after <= logical + lambda);
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: track heavy hitters over an infinite window, minibatch by
+//! minibatch, and compare the estimates with the exact frequencies.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::collections::HashMap;
+
+use psfa::prelude::*;
+
+fn main() {
+    // A Zipf(1.2)-distributed stream over 100k distinct items, processed in
+    // minibatches of 10k elements (the discretized-stream model of the paper).
+    let mut generator = ZipfGenerator::new(100_000, 1.2, 42);
+    let phi = 0.02; // heavy-hitter threshold: 2% of the stream
+    let epsilon = 0.002; // estimation error: 0.2% of the stream
+    let mut tracker = InfiniteHeavyHitters::new(phi, epsilon);
+    let mut exact: HashMap<u64, u64> = HashMap::new();
+
+    let batches = 50;
+    let batch_size = 10_000;
+    for _ in 0..batches {
+        let minibatch = generator.next_minibatch(batch_size);
+        for &item in &minibatch {
+            *exact.entry(item).or_insert(0) += 1;
+        }
+        tracker.process_minibatch(&minibatch);
+    }
+
+    let total = (batches * batch_size) as u64;
+    println!("processed {total} items in {batches} minibatches of {batch_size}");
+    println!("summary size: {} counters (ε = {epsilon})\n", tracker.estimator().num_counters());
+    println!("{:<10} {:>12} {:>12} {:>10}", "item", "estimate", "exact", "share");
+    for hh in tracker.query().into_iter().take(10) {
+        let truth = exact.get(&hh.item).copied().unwrap_or(0);
+        println!(
+            "{:<10} {:>12} {:>12} {:>9.2}%",
+            hh.item,
+            hh.estimate,
+            truth,
+            100.0 * truth as f64 / total as f64
+        );
+        assert!(hh.estimate <= truth, "estimates are one-sided (never overestimate)");
+        assert!(
+            hh.estimate as f64 >= truth as f64 - epsilon * total as f64,
+            "estimates are within εm of the truth"
+        );
+    }
+    println!("\nall reported estimates satisfy f - εm ≤ f̂ ≤ f ✓");
+}

@@ -1,0 +1,65 @@
+//! Count-Min sketch point queries (Section 6) compared against Count-Sketch
+//! and the exact answer, on a skewed stream processed in minibatches — and
+//! all three aggregates driven side by side through the pipeline API.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example sketch_queries
+//! ```
+
+use std::collections::HashMap;
+
+use psfa::prelude::*;
+
+fn main() {
+    let epsilon = 0.0005;
+    let delta = 0.01;
+    let batch_size = 20_000;
+    let batches = 50;
+
+    // Drive the Count-Min operator (plus companions) through the pipeline to
+    // show the multi-operator minibatch architecture of Figure 1.
+    let mut pipeline = Pipeline::new();
+    pipeline.add_operator(SketchOperator::new(
+        "parallel count-min",
+        ParallelCountMin::new(epsilon, delta, 99),
+    ));
+    pipeline.add_operator(HeavyHitterOperator::new(
+        "misra-gries heavy hitters",
+        InfiniteHeavyHitters::new(0.01, 0.001),
+    ));
+    let mut generator = ZipfGenerator::new(1_000_000, 1.1, 5);
+    let report = pipeline.run(&mut generator, batches, batch_size);
+    println!("pipeline throughput:\n{}", report.to_table());
+
+    // Re-run the same stream standalone to compare CM, Count-Sketch and the
+    // exact frequencies on the most frequent items.
+    let mut generator = ZipfGenerator::new(1_000_000, 1.1, 5);
+    let mut cm = ParallelCountMin::new(epsilon, delta, 99);
+    let mut cs = CountSketch::new(0.01, delta, 17);
+    let mut exact: HashMap<u64, u64> = HashMap::new();
+    for _ in 0..batches {
+        let minibatch = generator.next_minibatch(batch_size);
+        cm.process_minibatch(&minibatch);
+        cs.process_minibatch(&minibatch);
+        for &x in &minibatch {
+            *exact.entry(x).or_insert(0) += 1;
+        }
+    }
+
+    let m = cm.total();
+    println!("point queries after {m} updates (εm = {:.0}):", epsilon * m as f64);
+    println!("{:<8} {:>10} {:>12} {:>12}", "item", "exact", "count-min", "count-sketch");
+    for item in 0..10u64 {
+        let truth = exact.get(&item).copied().unwrap_or(0);
+        let cm_est = cm.query(item);
+        let cs_est = cs.query(item).max(0) as u64;
+        println!("{item:<8} {truth:>10} {cm_est:>12} {cs_est:>12}");
+        assert!(cm_est >= truth, "Count-Min never underestimates");
+        assert!(
+            cm_est as f64 <= truth as f64 + epsilon * m as f64 + 1.0,
+            "Count-Min overestimate within εm (w.h.p.)"
+        );
+    }
+    println!("\nsketch dimensions: {} x {} counters", cm.sketch().depth(), cm.sketch().width());
+}

@@ -1,0 +1,77 @@
+//! Sliding-window dashboard: basic counting and windowed sums (Sections 3–4)
+//! on a simulated sensor/event stream.
+//!
+//! Scenario: a monitoring dashboard tracks, over the most recent `n` events,
+//! (a) how many events were errors (basic counting on a bit stream) and
+//! (b) the total payload bytes transferred (sum of bounded integers), both
+//! with ε relative error and far less memory than buffering the window.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example sliding_window_dashboard
+//! ```
+
+use psfa::prelude::*;
+
+fn main() {
+    let window: u64 = 1 << 18; // last 262,144 events
+    let epsilon = 0.01;
+    let max_payload: u64 = 64 * 1024; // bytes per event, bounded by 64 KiB
+    let batch_size = 8192;
+    let batches = 80;
+
+    let mut error_bits = BinaryStreamGenerator::new(0.03, 11); // ~3% error rate
+    let mut payloads = BinaryStreamGenerator::new(0.7, 12); // 70% events carry payload
+
+    let mut error_counter = BasicCounter::new(epsilon, window);
+    let mut byte_sum = WindowedSum::new(epsilon, window, max_payload);
+
+    // Exact references kept only for the demonstration.
+    let mut exact_bits: Vec<bool> = Vec::new();
+    let mut exact_values: Vec<u64> = Vec::new();
+
+    for batch_idx in 0..batches {
+        let bits = error_bits.next_bits(batch_size);
+        let values = payloads.next_values(batch_size, max_payload);
+        error_counter.advance_bits(&bits);
+        byte_sum.advance(&values);
+        exact_bits.extend_from_slice(&bits);
+        exact_values.extend_from_slice(&values);
+
+        if (batch_idx + 1) % 20 == 0 {
+            let start_b = exact_bits.len().saturating_sub(window as usize);
+            let true_errors = exact_bits[start_b..].iter().filter(|&&b| b).count() as u64;
+            let start_v = exact_values.len().saturating_sub(window as usize);
+            let true_bytes: u64 = exact_values[start_v..].iter().sum();
+            let est_errors = error_counter.estimate();
+            let est_bytes = byte_sum.estimate();
+            println!("after {:>7} events:", (batch_idx + 1) * batch_size);
+            println!(
+                "  errors in window : est {est_errors:>9}  exact {true_errors:>9}  (rel err {:+.3}%)",
+                100.0 * (est_errors as f64 - true_errors as f64) / true_errors.max(1) as f64
+            );
+            println!(
+                "  bytes in window  : est {est_bytes:>12}  exact {true_bytes:>12}  (rel err {:+.3}%)",
+                100.0 * (est_bytes as f64 - true_bytes as f64) / true_bytes.max(1) as f64
+            );
+            assert!(est_errors >= true_errors);
+            assert!(est_errors as f64 <= true_errors as f64 * (1.0 + epsilon) + 1.0);
+            assert!(est_bytes >= true_bytes);
+            assert!(
+                est_bytes as f64
+                    <= true_bytes as f64 * (1.0 + epsilon) + byte_sum.num_bit_counters() as f64
+            );
+        }
+    }
+
+    println!(
+        "\nmemory: basic counter stores {} sampled blocks across {} levels; \
+         windowed sum stores {} blocks across {} bit counters \
+         (vs {} buffered events for the exact answer)",
+        error_counter.space_blocks(),
+        error_counter.num_levels(),
+        byte_sum.space_blocks(),
+        byte_sum.num_bit_counters(),
+        window
+    );
+}

@@ -1,0 +1,3 @@
+//! Support crate for the workspace-level integration tests. The tests
+//! themselves live in `tests/tests/` and exercise the public `psfa` API
+//! across crate boundaries; this library intentionally exports nothing.
