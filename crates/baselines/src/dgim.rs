@@ -40,7 +40,13 @@ impl DgimCounter {
         assert!(n >= 1, "window size must be at least 1");
         // error ≤ 1/(2(r − 1)) ≤ ε  ⇒  r ≥ 1/(2ε) + 1.
         let max_per_size = (1.0 / (2.0 * epsilon)).ceil() as usize + 1;
-        Self { epsilon, n, max_per_size, buckets: VecDeque::new(), time: 0 }
+        Self {
+            epsilon,
+            n,
+            max_per_size,
+            buckets: VecDeque::new(),
+            time: 0,
+        }
     }
 
     /// The relative-error parameter ε.
@@ -75,7 +81,10 @@ impl DgimCounter {
         if !bit {
             return;
         }
-        self.buckets.push_front(Bucket { timestamp: self.time, size: 1 });
+        self.buckets.push_front(Bucket {
+            timestamp: self.time,
+            size: 1,
+        });
         // Merge oldest pairs whenever a size class overflows.
         let mut size = 1u64;
         loop {
@@ -94,7 +103,10 @@ impl DgimCounter {
             let last = indices.pop().expect("count > max_per_size >= 1");
             let second_last = indices.pop().expect("count >= 2");
             let newer = self.buckets[second_last];
-            self.buckets[last] = Bucket { timestamp: newer.timestamp, size: size * 2 };
+            self.buckets[last] = Bucket {
+                timestamp: newer.timestamp,
+                size: size * 2,
+            };
             self.buckets.remove(second_last);
             size *= 2;
         }
@@ -138,7 +150,7 @@ mod tests {
         let mut state = 3u64;
         for i in 0..20_000u64 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let bit = (state >> 33) % 3 != 0;
+            let bit = !(state >> 33).is_multiple_of(3);
             dgim.update(bit);
             bits.push(bit);
             if i % 500 == 0 && i > 0 {
@@ -176,6 +188,10 @@ mod tests {
         let mut dgim = DgimCounter::new(0.1, n);
         dgim.update_all(&vec![true; 100_000]);
         // O(ε⁻¹ log n) buckets: with r = 6 and 17 size classes, ≲ 120.
-        assert!(dgim.num_buckets() <= 150, "buckets = {}", dgim.num_buckets());
+        assert!(
+            dgim.num_buckets() <= 150,
+            "buckets = {}",
+            dgim.num_buckets()
+        );
     }
 }

@@ -22,7 +22,11 @@ impl ExactSlidingWindow {
     /// Panics if `n == 0`.
     pub fn new(n: u64) -> Self {
         assert!(n >= 1, "window size must be at least 1");
-        Self { n, buffer: VecDeque::with_capacity(n as usize), counts: HashMap::new() }
+        Self {
+            n,
+            buffer: VecDeque::with_capacity(n as usize),
+            counts: HashMap::new(),
+        }
     }
 
     /// The window size n.
@@ -87,7 +91,7 @@ impl ExactSlidingWindow {
             .filter(|&(_, &c)| c as f64 >= threshold)
             .map(|(&k, &v)| (k, v))
             .collect();
-        out.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        out.sort_unstable_by_key(|entry| std::cmp::Reverse(entry.1));
         out
     }
 }
@@ -128,7 +132,11 @@ mod tests {
         let mut exact = ExactSlidingWindow::new(100);
         exact.process_minibatch(&[1; 60]);
         exact.process_minibatch(&[2; 40]);
-        let hh: Vec<u64> = exact.heavy_hitters(0.5).into_iter().map(|(i, _)| i).collect();
+        let hh: Vec<u64> = exact
+            .heavy_hitters(0.5)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(hh, vec![1]);
     }
 

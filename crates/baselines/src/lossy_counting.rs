@@ -60,8 +60,9 @@ impl LossyCounting {
             .and_modify(|(c, _)| *c += 1)
             .or_insert((1, bucket - 1));
         // Prune at bucket boundaries.
-        if self.stream_len % self.bucket_width == 0 {
-            self.counters.retain(|_, &mut (c, delta)| c + delta > bucket);
+        if self.stream_len.is_multiple_of(self.bucket_width) {
+            self.counters
+                .retain(|_, &mut (c, delta)| c + delta > bucket);
         }
     }
 
@@ -86,7 +87,7 @@ impl LossyCounting {
             .filter(|&(_, &(c, _))| c as f64 >= threshold)
             .map(|(&k, &(c, _))| (k, c))
             .collect();
-        out.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        out.sort_unstable_by_key(|entry| std::cmp::Reverse(entry.1));
         out
     }
 }
@@ -104,7 +105,11 @@ mod tests {
         let mut state = 77u64;
         for i in 0..50_000u64 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let item = if i % 5 != 0 { (state >> 33) % 20 } else { (state >> 33) % 3000 };
+            let item = if i % 5 != 0 {
+                (state >> 33) % 20
+            } else {
+                (state >> 33) % 3000
+            };
             lc.update(item);
             *truth.entry(item).or_insert(0) += 1;
         }
@@ -126,13 +131,19 @@ mod tests {
             lc.update((state >> 33) % 50_000);
         }
         // The classic bound is (1/ε)·log(εm) ≈ 100 · log(1000) ≈ 690.
-        assert!(lc.num_counters() <= 1500, "counters = {}", lc.num_counters());
+        assert!(
+            lc.num_counters() <= 1500,
+            "counters = {}",
+            lc.num_counters()
+        );
     }
 
     #[test]
     fn heavy_hitters_found() {
         let mut lc = LossyCounting::new(0.05);
-        let stream: Vec<u64> = (0..10_000).map(|i| if i % 3 == 0 { 1 } else { i }).collect();
+        let stream: Vec<u64> = (0..10_000)
+            .map(|i| if i % 3 == 0 { 1 } else { i })
+            .collect();
         lc.update_all(&stream);
         let hh: Vec<u64> = lc.heavy_hitters(0.2).into_iter().map(|(i, _)| i).collect();
         assert!(hh.contains(&1));

@@ -34,7 +34,12 @@ impl IndependentMgSummaries {
         assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
         assert!(p >= 1, "at least one worker is required");
         let capacity = (1.0 / epsilon).ceil() as usize;
-        Self { epsilon, capacity, workers: vec![HashMap::new(); p], stream_len: 0 }
+        Self {
+            epsilon,
+            capacity,
+            workers: vec![HashMap::new(); p],
+            stream_len: 0,
+        }
     }
 
     /// The error parameter ε.
@@ -133,7 +138,7 @@ impl IndependentMgSummaries {
             .into_iter()
             .filter(|&(_, c)| c as f64 >= threshold)
             .collect();
-        out.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        out.sort_unstable_by_key(|entry| std::cmp::Reverse(entry.1));
         out
     }
 }
@@ -170,7 +175,7 @@ mod tests {
                 .map(|_| {
                     state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                     let r = state >> 33;
-                    if r % 3 != 0 {
+                    if !r.is_multiple_of(3) {
                         r % 10
                     } else {
                         10 + r % 2000
@@ -209,7 +214,7 @@ mod tests {
                     .map(|_| {
                         state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
                         let r = state >> 33;
-                        if r % 10 != 0 {
+                        if !r.is_multiple_of(10) {
                             r % 60
                         } else {
                             60 + r % 100_000
@@ -220,8 +225,14 @@ mod tests {
             }
             per_p.push(ind.total_counters());
         }
-        assert!(per_p[1] > per_p[0] * 2, "memory should grow with p: {per_p:?}");
-        assert!(per_p[2] > per_p[1] * 2, "memory should grow with p: {per_p:?}");
+        assert!(
+            per_p[1] > per_p[0] * 2,
+            "memory should grow with p: {per_p:?}"
+        );
+        assert!(
+            per_p[2] > per_p[1] * 2,
+            "memory should grow with p: {per_p:?}"
+        );
     }
 
     #[test]

@@ -21,7 +21,12 @@ impl SequentialMisraGries {
     pub fn new(epsilon: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
         let capacity = (1.0 / epsilon).ceil() as usize;
-        Self { epsilon, capacity, counters: HashMap::with_capacity(capacity + 1), stream_len: 0 }
+        Self {
+            epsilon,
+            capacity,
+            counters: HashMap::with_capacity(capacity + 1),
+            stream_len: 0,
+        }
     }
 
     /// The error parameter ε.
@@ -89,7 +94,7 @@ impl SequentialMisraGries {
             .filter(|&(_, &c)| c as f64 >= threshold)
             .map(|(&k, &v)| (k, v))
             .collect();
-        out.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        out.sort_unstable_by_key(|entry| std::cmp::Reverse(entry.1));
         out
     }
 }
@@ -107,7 +112,11 @@ mod tests {
         let mut state = 123u64;
         for i in 0..30_000u64 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let item = if i % 4 != 0 { (state >> 33) % 10 } else { (state >> 33) % 1000 };
+            let item = if i % 4 != 0 {
+                (state >> 33) % 10
+            } else {
+                (state >> 33) % 1000
+            };
             mg.update(item);
             *truth.entry(item).or_insert(0) += 1;
         }

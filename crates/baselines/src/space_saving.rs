@@ -25,7 +25,12 @@ impl SpaceSaving {
     pub fn new(epsilon: f64) -> Self {
         assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
         let capacity = (1.0 / epsilon).ceil() as usize;
-        Self { epsilon, capacity, counters: HashMap::with_capacity(capacity + 1), stream_len: 0 }
+        Self {
+            epsilon,
+            capacity,
+            counters: HashMap::with_capacity(capacity + 1),
+            stream_len: 0,
+        }
     }
 
     /// The error parameter ε.
@@ -78,7 +83,10 @@ impl SpaceSaving {
 
     /// Guaranteed lower bound on the true frequency of a tracked item.
     pub fn guaranteed_count(&self, item: u64) -> u64 {
-        self.counters.get(&item).map(|&(c, err)| c - err).unwrap_or(0)
+        self.counters
+            .get(&item)
+            .map(|&(c, err)| c - err)
+            .unwrap_or(0)
     }
 
     /// All tracked `(item, estimate)` pairs.
@@ -94,7 +102,7 @@ impl SpaceSaving {
             .into_iter()
             .filter(|&(_, c)| c as f64 >= threshold)
             .collect();
-        out.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        out.sort_unstable_by_key(|entry| std::cmp::Reverse(entry.1));
         out
     }
 }
@@ -112,14 +120,21 @@ mod tests {
         let mut state = 321u64;
         for i in 0..20_000u64 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let item = if i % 3 != 0 { (state >> 33) % 8 } else { (state >> 33) % 500 };
+            let item = if i % 3 != 0 {
+                (state >> 33) % 8
+            } else {
+                (state >> 33) % 500
+            };
             ss.update(item);
             *truth.entry(item).or_insert(0) += 1;
         }
         let m = ss.stream_len();
         for (item, est) in ss.entries() {
             let f = truth.get(&item).copied().unwrap_or(0);
-            assert!(est >= f, "Space-Saving must not underestimate tracked items");
+            assert!(
+                est >= f,
+                "Space-Saving must not underestimate tracked items"
+            );
             assert!(est as f64 <= f as f64 + epsilon * m as f64 + 1.0);
             assert!(ss.guaranteed_count(item) <= f);
         }

@@ -17,13 +17,17 @@ fn bench_basic_counting(c: &mut Criterion) {
         for bits in binary_minibatches(0.3, 10, 16_384, 8) {
             warmed.advance_bits(&bits);
         }
-        group.bench_with_input(BenchmarkId::new("parallel_sbbc_ladder", eps), &eps, |b, _| {
-            b.iter_batched(
-                || warmed.clone(),
-                |mut counter| counter.advance_bits(batch),
-                BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parallel_sbbc_ladder", eps),
+            &eps,
+            |b, _| {
+                b.iter_batched(
+                    || warmed.clone(),
+                    |mut counter| counter.advance_bits(batch),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
         let mut dgim = DgimCounter::new(eps, n);
         for bits in binary_minibatches(0.3, 10, 16_384, 8) {
             dgim.update_all(&bits);

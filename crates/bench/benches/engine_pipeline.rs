@@ -1,0 +1,62 @@
+//! E9 bench: sharded engine vs single-threaded pipeline throughput on the
+//! same Zipf workload — the perf trajectory for the serving layer.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psfa::prelude::*;
+use psfa_bench::zipf_minibatches;
+
+const BATCHES: usize = 20;
+const BATCH_SIZE: usize = 10_000;
+
+fn bench_engine_vs_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_vs_pipeline");
+    let batches = zipf_minibatches(200_000, 1.1, BATCHES, BATCH_SIZE, 5);
+    let items = (BATCHES * BATCH_SIZE) as u64;
+    group.throughput(Throughput::Elements(items));
+
+    group.bench_function("single_thread_hh_cm", |b| {
+        b.iter(|| {
+            let mut hh = InfiniteHeavyHitters::new(0.01, 0.001);
+            let mut cm = ParallelCountMin::new(0.0005, 0.01, 3);
+            for batch in &batches {
+                hh.process_minibatch(batch);
+                cm.process_minibatch(batch);
+            }
+            hh.query().len()
+        })
+    });
+
+    for &shards in &[2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("engine_hh_cm", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let engine = Engine::spawn(
+                        EngineConfig::with_shards(shards)
+                            .heavy_hitters(0.01, 0.001)
+                            .count_min(0.0005, 0.01, 3),
+                    );
+                    let handle = engine.handle();
+                    for batch in &batches {
+                        handle.ingest(batch).unwrap();
+                    }
+                    engine.drain();
+                    let reported = handle.heavy_hitters().len();
+                    engine.shutdown();
+                    reported
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_engine_vs_pipeline
+}
+criterion_main!(benches);

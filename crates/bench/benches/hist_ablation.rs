@@ -13,9 +13,17 @@ fn bench_hist(c: &mut Criterion) {
     let mut group = c.benchmark_group("hist_ablation");
     for &universe in &[100u64, 10_000, 1_000_000] {
         let batch = &zipf_minibatches(universe, 0.8, 1, 50_000, 3)[0];
-        group.bench_with_input(BenchmarkId::new("build_hist_50k", universe), &universe, |b, _| {
-            b.iter_batched(|| batch.clone(), |items| build_hist(&items, 7), BatchSize::SmallInput)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_hist_50k", universe),
+            &universe,
+            |b, _| {
+                b.iter_batched(
+                    || batch.clone(),
+                    |items| build_hist(&items, 7),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("hashmap_fold_reduce_50k", universe),
             &universe,

@@ -45,9 +45,11 @@ fn bench_independent_vs_shared(c: &mut Criterion) {
                 BatchSize::SmallInput,
             )
         });
-        group.bench_with_input(BenchmarkId::new("independent_merge_query", p), &p, |b, _| {
-            b.iter(|| warmed.merged())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("independent_merge_query", p),
+            &p,
+            |b, _| b.iter(|| warmed.merged()),
+        );
     }
     group.finish();
 }

@@ -31,8 +31,14 @@ fn bench_sliding(c: &mut Criterion) {
     }
 
     bench_variant!("basic_thm5_5_10k", SlidingFreqBasic::new(eps, n));
-    bench_variant!("space_efficient_thm5_8_10k", SlidingFreqSpaceEfficient::new(eps, n));
-    bench_variant!("work_efficient_thm5_4_10k", SlidingFreqWorkEfficient::new(eps, n));
+    bench_variant!(
+        "space_efficient_thm5_8_10k",
+        SlidingFreqSpaceEfficient::new(eps, n)
+    );
+    bench_variant!(
+        "work_efficient_thm5_4_10k",
+        SlidingFreqWorkEfficient::new(eps, n)
+    );
     group.bench_function("exact_window_10k", |b| {
         let mut warmed = ExactSlidingWindow::new(n);
         for w in &warmup {

@@ -17,13 +17,17 @@ fn bench_window_sum(c: &mut Criterion) {
         for _ in 0..5 {
             warmed.advance(&generator.next_values(8_192, max_value));
         }
-        group.bench_with_input(BenchmarkId::new("advance_8k", max_value), &max_value, |b, _| {
-            b.iter_batched(
-                || warmed.clone(),
-                |mut sum| sum.advance(&batch),
-                BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("advance_8k", max_value),
+            &max_value,
+            |b, _| {
+                b.iter_batched(
+                    || warmed.clone(),
+                    |mut sum| sum.advance(&batch),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
     }
     group.finish();
 }

@@ -1,16 +1,34 @@
-//! Regenerates every experiment in DESIGN.md §4 (E1–E8, F2) and prints the
-//! result tables recorded in EXPERIMENTS.md.
+//! Regenerates every experiment in DESIGN.md §4 (E1–E8, F2) plus the engine
+//! serving experiment (E9) and prints the result tables recorded in
+//! EXPERIMENTS.md.
 //!
 //! Usage:
 //! ```text
 //! cargo run --release -p psfa-bench --bin reproduce            # all experiments
 //! cargo run --release -p psfa-bench --bin reproduce -- --exp e4
+//! cargo run --release -p psfa-bench --bin reproduce -- --quick # small batch counts
 //! ```
+//!
+//! `--quick` divides every experiment's batch count by 8 (minimum 3) so a
+//! full sweep finishes in seconds — for CI smoke runs and local iteration;
+//! recorded numbers should come from a full run.
 
 use std::collections::HashMap;
 
 use psfa::prelude::*;
-use psfa_bench::{binary_minibatches, exact_window_counts, header, row, threads, timed, zipf_minibatches};
+use psfa_bench::{
+    binary_minibatches, exact_window_counts, header, row, threads, timed, zipf_minibatches,
+};
+
+/// Number of batches to drive: the experiment's full count, or a small
+/// count under `--quick`.
+fn scaled(full: usize, quick: bool) -> usize {
+    if quick {
+        (full / 8).max(3)
+    } else {
+        full
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -20,31 +38,39 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|s| s.to_lowercase());
     let want = |name: &str| selected.as_deref().is_none_or(|s| s == name);
+    let quick = args.iter().any(|a| a == "--quick");
 
-    println!("PSFA experiment reproduction (rayon threads = {})\n", threads());
+    println!(
+        "PSFA experiment reproduction (rayon threads = {}{})\n",
+        threads(),
+        if quick { ", --quick" } else { "" }
+    );
     if want("e1") {
-        e1_sbbc();
+        e1_sbbc(quick);
     }
     if want("e2") {
-        e2_basic_counting();
+        e2_basic_counting(quick);
     }
     if want("e3") {
-        e3_sum();
+        e3_sum(quick);
     }
     if want("e4") {
-        e4_infinite_window();
+        e4_infinite_window(quick);
     }
     if want("e5") {
-        e5_sliding_variants();
+        e5_sliding_variants(quick);
     }
     if want("e6") {
-        e6_count_min();
+        e6_count_min(quick);
     }
     if want("e7") {
-        e7_independent_vs_shared();
+        e7_independent_vs_shared(quick);
     }
     if want("e8") {
-        e8_work_optimality();
+        e8_work_optimality(quick);
+    }
+    if want("e9") {
+        e9_engine(quick);
     }
     if want("f2") {
         f2_snapshot_example();
@@ -52,13 +78,25 @@ fn main() {
 }
 
 /// E1 — SBBC value bounds and space (Theorem 3.4, Lemma 3.2).
-fn e1_sbbc() {
-    println!("== E1: space-bounded block counter — additive error ≤ λ, space ≤ min{{2σ+2, 2m/λ+2}} ==");
-    println!("{}", header(&["lambda", "density", "max add err", "bound λ", "blocks", "2m/λ+2"]));
+fn e1_sbbc(quick: bool) {
+    println!(
+        "== E1: space-bounded block counter — additive error ≤ λ, space ≤ min{{2σ+2, 2m/λ+2}} =="
+    );
+    println!(
+        "{}",
+        header(&[
+            "lambda",
+            "density",
+            "max add err",
+            "bound λ",
+            "blocks",
+            "2m/λ+2"
+        ])
+    );
     let n = 50_000u64;
     for &lambda in &[8u64, 32, 128] {
         for &density in &[0.05f64, 0.5] {
-            let batches = binary_minibatches(density, 40, 5_000, lambda ^ 7);
+            let batches = binary_minibatches(density, scaled(40, quick), 5_000, lambda ^ 7);
             let mut sbbc = Sbbc::unbounded(lambda, n);
             let mut history: Vec<bool> = Vec::new();
             let mut max_err = 0i64;
@@ -90,15 +128,17 @@ fn e1_sbbc() {
 }
 
 /// E2 — basic counting vs the DGIM sequential baseline (Theorem 4.1).
-fn e2_basic_counting() {
-    println!("== E2: basic counting over a sliding window — ε relative error, O(ε⁻¹ log n) space ==");
+fn e2_basic_counting(quick: bool) {
+    println!(
+        "== E2: basic counting over a sliding window — ε relative error, O(ε⁻¹ log n) space =="
+    );
     println!(
         "{}",
         header(&["eps", "n", "algo", "Mitems/s", "max rel err", "space"])
     );
     let n = 1u64 << 18;
     for &eps in &[0.1f64, 0.01] {
-        let batches = binary_minibatches(0.3, 60, 8_192, 42);
+        let batches = binary_minibatches(0.3, scaled(60, quick), 8_192, 42);
         let total_items: usize = batches.iter().map(Vec::len).sum();
 
         let mut counter = BasicCounter::new(eps, n);
@@ -150,13 +190,18 @@ fn e2_basic_counting() {
 }
 
 /// E3 — windowed sum of bounded integers (Theorem 4.2).
-fn e3_sum() {
+fn e3_sum(quick: bool) {
     println!("== E3: sliding-window sum of integers in [0, R] — ε relative error ==");
-    println!("{}", header(&["eps", "R", "Mitems/s", "rel err", "space (blocks)"]));
+    println!(
+        "{}",
+        header(&["eps", "R", "Mitems/s", "rel err", "space (blocks)"])
+    );
     let n = 1u64 << 16;
     for &(eps, max_value) in &[(0.05f64, 255u64), (0.05, 65_535), (0.01, 65_535)] {
         let mut generator = BinaryStreamGenerator::new(0.6, 9);
-        let batches: Vec<Vec<u64>> = (0..40).map(|_| generator.next_values(4096, max_value)).collect();
+        let batches: Vec<Vec<u64>> = (0..scaled(40, quick))
+            .map(|_| generator.next_values(4096, max_value))
+            .collect();
         let total_items: usize = batches.iter().map(Vec::len).sum();
         let mut sum = WindowedSum::new(eps, n, max_value);
         let (_, secs) = timed(|| {
@@ -183,15 +228,24 @@ fn e3_sum() {
 }
 
 /// E4 — infinite-window frequency estimation / heavy hitters (Theorem 5.2).
-fn e4_infinite_window() {
-    println!("== E4: infinite-window frequency estimation — parallel MG vs sequential baselines ==");
+fn e4_infinite_window(quick: bool) {
+    println!(
+        "== E4: infinite-window frequency estimation — parallel MG vs sequential baselines =="
+    );
     println!(
         "{}",
-        header(&["eps", "workload", "algo", "Mitems/s", "max err/εm", "counters"])
+        header(&[
+            "eps",
+            "workload",
+            "algo",
+            "Mitems/s",
+            "max err/εm",
+            "counters"
+        ])
     );
     for &eps in &[0.01f64, 0.001] {
         for &(alpha, label) in &[(1.2f64, "zipf1.2"), (0.0, "uniform")] {
-            let batches = zipf_minibatches(200_000, alpha, 40, 20_000, 7);
+            let batches = zipf_minibatches(200_000, alpha, scaled(40, quick), 20_000, 7);
             let total_items: usize = batches.iter().map(Vec::len).sum();
             let mut truth: HashMap<u64, u64> = HashMap::new();
             for b in &batches {
@@ -271,7 +325,7 @@ fn e4_infinite_window() {
 }
 
 /// E5 — the three sliding-window variants (Theorems 5.5, 5.8, 5.4).
-fn e5_sliding_variants() {
+fn e5_sliding_variants(quick: bool) {
     println!("== E5: sliding-window frequency estimation — basic vs space-efficient vs work-efficient ==");
     println!(
         "{}",
@@ -279,7 +333,7 @@ fn e5_sliding_variants() {
     );
     let eps = 0.01f64;
     let n = 1u64 << 18;
-    let batches = zipf_minibatches(100_000, 1.1, 40, 10_000, 23);
+    let batches = zipf_minibatches(100_000, 1.1, scaled(40, quick), 10_000, 23);
     let history: Vec<u64> = batches.concat();
     let truth = exact_window_counts(&history, n);
     let total_items = history.len() as f64;
@@ -312,14 +366,41 @@ fn e5_sliding_variants() {
         ])
     }
 
-    println!("{}", run(SlidingFreqBasic::new(eps, n), "basic (Thm 5.5)", &batches, &truth, eps, n, total_items));
     println!(
         "{}",
-        run(SlidingFreqSpaceEfficient::new(eps, n), "space-eff (Thm 5.8)", &batches, &truth, eps, n, total_items)
+        run(
+            SlidingFreqBasic::new(eps, n),
+            "basic (Thm 5.5)",
+            &batches,
+            &truth,
+            eps,
+            n,
+            total_items
+        )
     );
     println!(
         "{}",
-        run(SlidingFreqWorkEfficient::new(eps, n), "work-eff (Thm 5.4)", &batches, &truth, eps, n, total_items)
+        run(
+            SlidingFreqSpaceEfficient::new(eps, n),
+            "space-eff (Thm 5.8)",
+            &batches,
+            &truth,
+            eps,
+            n,
+            total_items
+        )
+    );
+    println!(
+        "{}",
+        run(
+            SlidingFreqWorkEfficient::new(eps, n),
+            "work-eff (Thm 5.4)",
+            &batches,
+            &truth,
+            eps,
+            n,
+            total_items
+        )
     );
     // Exact baseline for context.
     let mut exact = ExactSlidingWindow::new(n);
@@ -343,14 +424,21 @@ fn e5_sliding_variants() {
 }
 
 /// E6 — parallel Count-Min minibatch ingestion (Theorem 6.1).
-fn e6_count_min() {
+fn e6_count_min(quick: bool) {
     println!("== E6: count-min sketch — parallel minibatch ingestion vs per-element updates ==");
     println!(
         "{}",
-        header(&["eps", "delta", "algo", "Mitems/s", "err>εm items", "counters"])
+        header(&[
+            "eps",
+            "delta",
+            "algo",
+            "Mitems/s",
+            "err>εm items",
+            "counters"
+        ])
     );
     for &(eps, delta) in &[(1e-3f64, 0.01f64), (1e-4, 0.004)] {
-        let batches = zipf_minibatches(500_000, 1.05, 30, 20_000, 13);
+        let batches = zipf_minibatches(500_000, 1.05, scaled(30, quick), 20_000, 13);
         let total: usize = batches.iter().map(Vec::len).sum();
         let mut truth: HashMap<u64, u64> = HashMap::new();
         for b in &batches {
@@ -410,14 +498,21 @@ fn e6_count_min() {
 }
 
 /// E7 — shared structure vs independent per-worker structures (Section 5.4).
-fn e7_independent_vs_shared() {
+fn e7_independent_vs_shared(quick: bool) {
     println!("== E7: shared summary vs independent per-worker summaries (mergeable, §5.4) ==");
     println!(
         "{}",
-        header(&["eps", "p", "algo", "total counters", "query time µs", "max err/εm"])
+        header(&[
+            "eps",
+            "p",
+            "algo",
+            "total counters",
+            "query time µs",
+            "max err/εm"
+        ])
     );
     let eps = 0.001f64;
-    let batches = zipf_minibatches(300_000, 1.1, 30, 20_000, 31);
+    let batches = zipf_minibatches(300_000, 1.1, scaled(30, quick), 20_000, 31);
     let mut truth: HashMap<u64, u64> = HashMap::new();
     for b in &batches {
         for &x in b {
@@ -475,13 +570,16 @@ fn e7_independent_vs_shared() {
 }
 
 /// E8 — work optimality (Corollary 5.11): per-item work flattens once µ ≳ 1/ε.
-fn e8_work_optimality() {
+fn e8_work_optimality(quick: bool) {
     println!("== E8: work per item vs minibatch size (work meter, ε = 0.001 ⇒ 1/ε = 1000) ==");
-    println!("{}", header(&["minibatch µ", "µ·ε", "work/item", "ns/item"]));
+    println!(
+        "{}",
+        header(&["minibatch µ", "µ·ε", "work/item", "ns/item"])
+    );
     let eps = 0.001f64;
-    let total_items = 400_000usize;
+    let total_items = if quick { 100_000usize } else { 400_000usize };
     for &mu in &[100usize, 300, 1_000, 3_000, 10_000, 30_000, 100_000] {
-        let batches = zipf_minibatches(100_000, 1.1, total_items / mu, mu, 17);
+        let batches = zipf_minibatches(100_000, 1.1, (total_items / mu).max(1), mu, 17);
         let meter = WorkMeter::new();
         let mut est = ParallelFrequencyEstimator::new(eps).with_meter(meter.clone());
         let (_, secs) = timed(|| {
@@ -503,21 +601,98 @@ fn e8_work_optimality() {
     println!();
 }
 
+/// E9 — the sharded ingestion engine vs the single-threaded pipeline on one
+/// Zipf workload: ingestion throughput and (identical) answer quality.
+fn e9_engine(quick: bool) {
+    println!("== E9: sharded engine vs single-threaded pipeline — same stream, same (φ, ε) ==");
+    println!(
+        "{}",
+        header(&["config", "Mitems/s", "heavy hitters", "max err/εm"])
+    );
+    let phi = 0.01;
+    let eps = 0.001;
+    let batches = zipf_minibatches(200_000, 1.1, scaled(48, quick), 20_000, 29);
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    for b in &batches {
+        for &x in b {
+            *truth.entry(x).or_insert(0) += 1;
+        }
+    }
+    let m: u64 = truth.values().sum();
+
+    let report_row = |label: String, secs: f64, hh: usize, max_err: f64| {
+        row(&[
+            label,
+            format!("{:.2}", m as f64 / secs / 1e6),
+            hh.to_string(),
+            format!("{:.3}", max_err / (eps * m as f64)),
+        ])
+    };
+
+    // Single-threaded reference.
+    let mut single = InfiniteHeavyHitters::new(phi, eps);
+    let (_, secs) = timed(|| {
+        for b in &batches {
+            single.process_minibatch(b);
+        }
+    });
+    let max_err = truth
+        .iter()
+        .map(|(&item, &f)| f.saturating_sub(single.estimator().estimate(item)) as f64)
+        .fold(0.0f64, f64::max);
+    println!(
+        "{}",
+        report_row("single-thread".into(), secs, single.query().len(), max_err)
+    );
+
+    // The engine at increasing shard counts; ingestion from this thread,
+    // workers on their own cores, drain() included in the timing.
+    for &shards in &[2usize, 4, 8] {
+        let engine = Engine::spawn(EngineConfig::with_shards(shards).heavy_hitters(phi, eps));
+        let handle = engine.handle();
+        let (_, secs) = timed(|| {
+            for b in &batches {
+                handle.ingest(b).expect("engine closed");
+            }
+            engine.drain();
+        });
+        let max_err = truth
+            .iter()
+            .map(|(&item, &f)| f.saturating_sub(handle.estimate(item)) as f64)
+            .fold(0.0f64, f64::max);
+        let hh = handle.heavy_hitters().len();
+        engine.shutdown();
+        println!(
+            "{}",
+            report_row(format!("engine x{shards}"), secs, hh, max_err)
+        );
+    }
+    println!();
+}
+
 /// F2 — the γ-snapshot worked example of Figure 2.
 fn f2_snapshot_example() {
     println!("== F2: γ-snapshot worked example (Figure 2): 23-bit stream, γ = 3, window 12 ==");
-    let bits: Vec<bool> = [0, 1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 0]
-        .iter()
-        .map(|&x| x == 1)
-        .collect();
+    let bits: Vec<bool> = [
+        0, 1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 0,
+    ]
+    .iter()
+    .map(|&x| x == 1)
+    .collect();
     let mut sbbc = Sbbc::unbounded(6, 12); // λ = 6 ⇒ γ = 3
     sbbc.advance(&CompactedSegment::from_bits(&bits));
     let snapshot = sbbc.snapshot();
     let m = bits[bits.len() - 12..].iter().filter(|&&b| b).count() as u64;
-    println!("  sampled blocks Q = {:?}", snapshot.blocks().collect::<Vec<_>>());
+    println!(
+        "  sampled blocks Q = {:?}",
+        snapshot.blocks().collect::<Vec<_>>()
+    );
     println!("  trailing ones  ℓ = {}", snapshot.ell());
     println!("  val = γ|Q| + ℓ  = {}", snapshot.val());
-    println!("  true window count m = {m}  (Lemma 3.2: m ≤ val ≤ m + 2γ = {})", m + 6);
+    println!(
+        "  true window count m = {m}  (Lemma 3.2: m ≤ val ≤ m + 2γ = {})",
+        m + 6
+    );
     println!(
         "  (the figure lists Q = {{4, 7}}, ℓ = 1 under its deferred-tail-block convention; \
          Definition 3.1 as written also records block 8 — see DESIGN.md)"

@@ -49,7 +49,9 @@ pub fn zipf_minibatches(
     seed: u64,
 ) -> Vec<Vec<u64>> {
     let mut generator = ZipfGenerator::new(universe, alpha, seed);
-    (0..batches).map(|_| generator.next_minibatch(batch_size)).collect()
+    (0..batches)
+        .map(|_| generator.next_minibatch(batch_size))
+        .collect()
 }
 
 /// Pre-generated binary minibatches of a given 1-density (experiments E1–E2).
@@ -60,7 +62,9 @@ pub fn binary_minibatches(
     seed: u64,
 ) -> Vec<Vec<bool>> {
     let mut generator = BinaryStreamGenerator::new(density, seed);
-    (0..batches).map(|_| generator.next_bits(batch_size)).collect()
+    (0..batches)
+        .map(|_| generator.next_bits(batch_size))
+        .collect()
 }
 
 /// Exact frequencies of the last `n` items of a concatenated stream.

@@ -1,0 +1,149 @@
+//! Engine configuration.
+
+/// Configuration of a sharded ingestion engine.
+///
+/// The accuracy parameters mirror the single-threaded operators: each shard
+/// owns an infinite-window heavy-hitter tracker (`φ`, `ε`), a Count-Min
+/// sketch (`cm_epsilon`, `cm_delta`, `cm_seed` — the *same* seed on every
+/// shard so per-shard sketches stay mergeable), and optionally a
+/// sliding-window frequency estimator over the shard's substream.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Number of shard workers (and worker threads).
+    pub shards: usize,
+    /// Bounded per-shard queue capacity, in minibatches. When a queue is
+    /// full, [`crate::EngineHandle::ingest`] blocks — backpressure.
+    pub queue_capacity: usize,
+    /// Heavy-hitter threshold φ.
+    pub phi: f64,
+    /// Frequency-estimation error ε (must satisfy `0 < ε < φ < 1`).
+    pub epsilon: f64,
+    /// Count-Min error parameter.
+    pub cm_epsilon: f64,
+    /// Count-Min failure probability.
+    pub cm_delta: f64,
+    /// Count-Min hash seed, shared by all shards so sketches merge.
+    pub cm_seed: u64,
+    /// Sliding-window size per shard substream; `None` disables the
+    /// sliding-window operator.
+    pub window: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(2),
+            queue_capacity: 32,
+            phi: 0.01,
+            epsilon: 0.001,
+            cm_epsilon: 0.0005,
+            cm_delta: 0.01,
+            cm_seed: 0x00C0_FFEE,
+            window: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Starts from defaults with an explicit shard count.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the per-shard queue capacity (in minibatches).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the heavy-hitter threshold φ and estimation error ε.
+    pub fn heavy_hitters(mut self, phi: f64, epsilon: f64) -> Self {
+        self.phi = phi;
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the Count-Min parameters.
+    pub fn count_min(mut self, epsilon: f64, delta: f64, seed: u64) -> Self {
+        self.cm_epsilon = epsilon;
+        self.cm_delta = delta;
+        self.cm_seed = seed;
+        self
+    }
+
+    /// Enables the per-shard sliding-window estimator with window `n`.
+    pub fn sliding_window(mut self, n: u64) -> Self {
+        self.window = Some(n);
+        self
+    }
+
+    /// Checks parameter ranges.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters; called by [`crate::Engine`] at spawn.
+    pub fn validate(&self) {
+        assert!(self.shards >= 1, "engine needs at least one shard");
+        assert!(
+            self.queue_capacity >= 1,
+            "queue capacity must be at least 1"
+        );
+        assert!(
+            self.epsilon > 0.0 && self.epsilon < self.phi && self.phi < 1.0,
+            "heavy hitters require 0 < epsilon < phi < 1"
+        );
+        assert!(
+            self.cm_epsilon > 0.0 && self.cm_epsilon < 1.0,
+            "count-min epsilon must be in (0, 1)"
+        );
+        assert!(
+            self.cm_delta > 0.0 && self.cm_delta < 1.0,
+            "count-min delta must be in (0, 1)"
+        );
+        if let Some(n) = self.window {
+            assert!(n >= 1, "sliding window must be non-empty");
+            assert!(
+                self.epsilon * n as f64 >= 16.0,
+                "sliding window requires epsilon * window >= 16 \
+                 (the work-efficient estimator's minimum counter granularity)"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        EngineConfig::default().validate();
+        assert!(EngineConfig::default().shards >= 2);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let config = EngineConfig::with_shards(4)
+            .queue_capacity(8)
+            .heavy_hitters(0.05, 0.01)
+            .count_min(0.001, 0.02, 7)
+            .sliding_window(1 << 16);
+        config.validate();
+        assert_eq!(config.shards, 4);
+        assert_eq!(config.queue_capacity, 8);
+        assert_eq!(config.window, Some(1 << 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon < phi")]
+    fn epsilon_above_phi_rejected() {
+        EngineConfig::with_shards(2)
+            .heavy_hitters(0.01, 0.1)
+            .validate();
+    }
+}

@@ -1,0 +1,648 @@
+//! The engine: shard spawning, routed ingestion, live cross-shard queries,
+//! drain and shutdown.
+
+use std::fmt;
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+
+use psfa_freq::{HeavyHitter, InfiniteHeavyHitters, ParallelFrequencyEstimator};
+use psfa_sketch::ParallelCountMin;
+use psfa_stream::{partition_by_key, shard_of, MinibatchOperator};
+
+use crate::config::EngineConfig;
+use crate::metrics::EngineMetrics;
+use crate::operator::ShardedOperator;
+use crate::shard::{ShardCommand, ShardFinal, ShardShared, ShardSnapshot, ShardWorker};
+
+/// Error returned when ingesting into an engine whose workers have exited.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineClosed;
+
+impl fmt::Display for EngineClosed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "engine is shut down; ingestion channel closed")
+    }
+}
+
+impl std::error::Error for EngineClosed {}
+
+/// Builder collecting lifted operators before the workers start.
+pub struct EngineBuilder {
+    config: EngineConfig,
+    lifted: Vec<Vec<(String, Box<dyn MinibatchOperator + Send>)>>,
+}
+
+impl EngineBuilder {
+    fn new(config: EngineConfig) -> Self {
+        config.validate();
+        let lifted = (0..config.shards).map(|_| Vec::new()).collect();
+        Self { config, lifted }
+    }
+
+    /// Lifts a [`ShardedOperator`] into the engine: one instance is built
+    /// per shard and sees exactly the minibatches routed to that shard.
+    pub fn lift<S: ShardedOperator>(mut self, mut sharded: S) -> Self {
+        let name = sharded.name();
+        for (shard, ops) in self.lifted.iter_mut().enumerate() {
+            ops.push((name.clone(), Box::new(sharded.build_shard(shard)) as Box<_>));
+        }
+        self
+    }
+
+    /// Spawns the shard workers and returns the running engine.
+    pub fn spawn(self) -> Engine {
+        let EngineBuilder { config, lifted } = self;
+        let shared: Arc<Vec<Arc<ShardShared>>> = Arc::new(
+            (0..config.shards)
+                .map(|shard| Arc::new(ShardShared::new(shard, &config)))
+                .collect(),
+        );
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for (shard, ops) in lifted.into_iter().enumerate() {
+            let (tx, rx) = sync_channel(config.queue_capacity);
+            let worker = ShardWorker::new(shard, &config, ops, shared[shard].clone());
+            let join = std::thread::Builder::new()
+                .name(format!("psfa-shard-{shard}"))
+                .spawn(move || worker.run(rx))
+                .expect("failed to spawn shard worker thread");
+            senders.push(tx);
+            workers.push(join);
+        }
+        let handle = EngineHandle {
+            senders: Arc::new(senders),
+            shared,
+            closed: Arc::new(RwLock::new(false)),
+            phi: config.phi,
+            epsilon: config.epsilon,
+            window: config.window,
+        };
+        Engine { handle, workers }
+    }
+}
+
+/// A multi-threaded sharded ingestion engine.
+///
+/// Construction spawns one worker thread per shard; [`Engine::handle`] hands
+/// out cloneable [`EngineHandle`]s for concurrent producers and queriers;
+/// [`Engine::shutdown`] drains gracefully and returns the final per-shard
+/// operator state.
+pub struct Engine {
+    handle: EngineHandle,
+    workers: Vec<JoinHandle<ShardFinal>>,
+}
+
+impl Engine {
+    /// Spawns an engine with the given configuration and no lifted
+    /// operators.
+    pub fn spawn(config: EngineConfig) -> Engine {
+        Engine::builder(config).spawn()
+    }
+
+    /// Starts building an engine (add lifted operators, then `spawn`).
+    pub fn builder(config: EngineConfig) -> EngineBuilder {
+        EngineBuilder::new(config)
+    }
+
+    /// A cloneable handle for ingestion and live queries.
+    pub fn handle(&self) -> EngineHandle {
+        self.handle.clone()
+    }
+
+    /// Blocks until every minibatch enqueued *before this call* has been
+    /// processed by its shard.
+    pub fn drain(&self) {
+        self.handle.drain();
+    }
+
+    /// Drains, stops every worker, and returns the final per-shard state.
+    ///
+    /// Outstanding [`EngineHandle`]s stay valid for queries against the last
+    /// published snapshots, but further [`EngineHandle::ingest`] calls fail
+    /// with [`EngineClosed`] — including calls racing this shutdown: every
+    /// `ingest` that returned `Ok` is guaranteed to be processed.
+    pub fn shutdown(self) -> EngineReport {
+        // Taking the write lock waits for every in-flight enqueue (which
+        // holds a read guard across its send) to finish, and flips `closed`
+        // so later enqueues fail fast. Everything successfully sent is
+        // therefore FIFO-ordered *before* the Shutdown commands below —
+        // workers process all of it before exiting.
+        *self
+            .handle
+            .closed
+            .write()
+            .expect("engine closed flag poisoned") = true;
+        for sender in self.handle.senders.iter() {
+            // A send error means the worker already exited; shutdown
+            // proceeds to join either way.
+            let _ = sender.send(ShardCommand::Shutdown);
+        }
+        let shards: Vec<ShardFinal> = self
+            .workers
+            .into_iter()
+            .map(|w| w.join().expect("shard worker panicked"))
+            .collect();
+        EngineReport {
+            epsilon: self.handle.epsilon,
+            shards,
+        }
+    }
+}
+
+/// Cloneable handle for concurrent ingestion and live cross-shard queries.
+///
+/// ## Consistency model
+///
+/// Ingestion is routed by [`shard_of`], so each key is owned by exactly one
+/// shard. Queries merge per-shard [`ShardSnapshot`]s published under an
+/// epoch discipline: each snapshot is internally consistent at its shard's
+/// epoch, and epochs only move forward. A cross-shard query therefore sees,
+/// for every shard, *some* recently completed prefix of that shard's
+/// substream — exactly the guarantee a minibatch system gives between
+/// batches — and the paper's one-sided error bounds hold for the observed
+/// prefix: estimates never exceed true frequencies, and underestimate by at
+/// most `ε · m_s ≤ ε · m` for the owning shard's `m_s`.
+#[derive(Clone)]
+pub struct EngineHandle {
+    senders: Arc<Vec<SyncSender<ShardCommand>>>,
+    shared: Arc<Vec<Arc<ShardShared>>>,
+    /// False while the engine accepts ingestion. Enqueues hold a read guard
+    /// across their send so [`Engine::shutdown`]'s write acquisition
+    /// serialises after every accepted batch.
+    closed: Arc<RwLock<bool>>,
+    phi: f64,
+    epsilon: f64,
+    window: Option<u64>,
+}
+
+impl EngineHandle {
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The engine's heavy-hitter threshold φ.
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+
+    /// The engine's estimation error ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The per-shard sliding window size, when configured.
+    pub fn window(&self) -> Option<u64> {
+        self.window
+    }
+
+    /// Routes one minibatch to its shards and enqueues the per-shard
+    /// sub-batches, blocking while any target queue is full (backpressure).
+    ///
+    /// Safe to call from many threads at once; item order per key is
+    /// preserved per producer. Atomic with respect to [`Engine::shutdown`]:
+    /// `Ok` means the whole minibatch will be processed, and
+    /// `Err(EngineClosed)` from a graceful shutdown means none of it was.
+    pub fn ingest(&self, minibatch: &[u64]) -> Result<(), EngineClosed> {
+        if minibatch.is_empty() {
+            return Ok(());
+        }
+        // One read guard across every per-shard send (see `closed`): a
+        // racing shutdown either happens entirely before this call (Err,
+        // nothing enqueued) or entirely after it (Ok, everything enqueued).
+        let closed = self.closed.read().expect("engine closed flag poisoned");
+        if *closed {
+            return Err(EngineClosed);
+        }
+        let parts = partition_by_key(minibatch, self.shards());
+        for (shard, part) in parts.into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            self.send_part(shard, part)?;
+        }
+        Ok(())
+    }
+
+    /// Enqueues one pre-routed sub-batch onto `shard`'s queue. Useful with
+    /// [`psfa_stream::SplitGenerator`] when the caller splits upstream.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn enqueue(&self, shard: usize, part: Vec<u64>) -> Result<(), EngineClosed> {
+        // Hold the read guard across the send: Engine::shutdown's write
+        // acquisition then serialises after this batch, guaranteeing the
+        // worker processes everything accepted here (see shutdown()).
+        let closed = self.closed.read().expect("engine closed flag poisoned");
+        if *closed {
+            return Err(EngineClosed);
+        }
+        self.send_part(shard, part)
+    }
+
+    /// Sends one sub-batch; the caller must hold the `closed` read guard.
+    fn send_part(&self, shard: usize, part: Vec<u64>) -> Result<(), EngineClosed> {
+        use std::sync::atomic::Ordering;
+        let len = part.len() as u64;
+        self.senders[shard]
+            .send(ShardCommand::Batch(part))
+            .map_err(|_| EngineClosed)?;
+        // Counters only after a successful send, so a refused batch never
+        // leaves phantom queue depth behind.
+        let stats = &self.shared[shard].stats;
+        stats.items_enqueued.fetch_add(len, Ordering::AcqRel);
+        stats.batches_enqueued.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Non-blocking variant of [`EngineHandle::enqueue`]: returns the batch
+    /// if the shard's queue is full so the caller can shed or retry.
+    pub fn try_enqueue(&self, shard: usize, part: Vec<u64>) -> Result<(), TrySendError<Vec<u64>>> {
+        use std::sync::atomic::Ordering;
+        let closed = self.closed.read().expect("engine closed flag poisoned");
+        if *closed {
+            return Err(TrySendError::Disconnected(part));
+        }
+        let len = part.len() as u64;
+        match self.senders[shard].try_send(ShardCommand::Batch(part)) {
+            Ok(()) => {
+                let stats = &self.shared[shard].stats;
+                stats.items_enqueued.fetch_add(len, Ordering::AcqRel);
+                stats.batches_enqueued.fetch_add(1, Ordering::AcqRel);
+                Ok(())
+            }
+            Err(TrySendError::Full(ShardCommand::Batch(part))) => Err(TrySendError::Full(part)),
+            Err(TrySendError::Disconnected(ShardCommand::Batch(part))) => {
+                Err(TrySendError::Disconnected(part))
+            }
+            Err(_) => unreachable!("try_send returns the command it was given"),
+        }
+    }
+
+    /// Blocks until every minibatch enqueued before this call is processed.
+    pub fn drain(&self) {
+        let mut acks = Vec::with_capacity(self.shards());
+        for sender in self.senders.iter() {
+            let (ack_tx, ack_rx) = sync_channel(1);
+            if sender.send(ShardCommand::Barrier(ack_tx)).is_ok() {
+                acks.push(ack_rx);
+            }
+        }
+        for ack in acks {
+            // A receive error means the worker exited after draining its
+            // queue — equivalent to an acknowledgement.
+            let _ = ack.recv();
+        }
+    }
+
+    /// Current snapshots of every shard (each at its own epoch).
+    pub fn snapshots(&self) -> Vec<Arc<ShardSnapshot>> {
+        self.shared.iter().map(|s| s.load_snapshot()).collect()
+    }
+
+    /// The shard that owns `item`.
+    pub fn shard_of(&self, item: u64) -> usize {
+        shard_of(item, self.shards())
+    }
+
+    /// Total items reflected in the current snapshots (`m` of the observed
+    /// prefix).
+    pub fn total_items(&self) -> u64 {
+        self.snapshots().iter().map(|s| s.stream_len).sum()
+    }
+
+    /// Per-shard epochs (minibatches processed) of the current snapshots.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.snapshots().iter().map(|s| s.epoch).collect()
+    }
+
+    /// Live point-frequency estimate for `item` from the owning shard's
+    /// snapshot: one-sided, `f − ε·m ≤ f̂ ≤ f` over the observed prefix.
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.shared[self.shard_of(item)]
+            .load_snapshot()
+            .estimate(item)
+    }
+
+    /// Live sliding-window estimate for `item` over the owning shard's
+    /// substream window; `0` when the engine runs without a window.
+    pub fn sliding_estimate(&self, item: u64) -> u64 {
+        self.shared[self.shard_of(item)]
+            .load_snapshot()
+            .sliding_estimate(item)
+    }
+
+    /// Live Count-Min overestimate for `item` (`f ≤ f̂ ≤ f + ε_cm·m_s`),
+    /// answered by the owning shard's sketch under its lock.
+    pub fn cm_estimate(&self, item: u64) -> u64 {
+        let shard = self.shard_of(item);
+        self.shared[shard]
+            .count_min
+            .lock()
+            .expect("count-min lock poisoned")
+            .query(item)
+    }
+
+    /// Live φ-heavy hitters of the full stream, merged across shards from
+    /// the current snapshots, most frequent first.
+    ///
+    /// Guarantees over the observed prefix of `m` items: every item with
+    /// true frequency `≥ φm` is reported; no item with true frequency
+    /// `< (φ − ε)m` is reported.
+    pub fn heavy_hitters(&self) -> Vec<HeavyHitter> {
+        let snapshots = self.snapshots();
+        let m: u64 = snapshots.iter().map(|s| s.stream_len).sum();
+        let threshold = ((self.phi - self.epsilon) * m as f64).max(0.0);
+        let mut out: Vec<HeavyHitter> = snapshots
+            .iter()
+            .flat_map(|s| s.hh_entries.iter())
+            .filter(|&&(_, est)| est as f64 >= threshold)
+            .map(|&(item, estimate)| HeavyHitter { item, estimate })
+            .collect();
+        out.sort_unstable_by(|a, b| b.estimate.cmp(&a.estimate).then(a.item.cmp(&b.item)));
+        out
+    }
+
+    /// Merges every shard's Count-Min sketch into one global sketch of the
+    /// full stream (all shards share hash seeds, so the merge is exact).
+    /// Locks each shard's sketch briefly, one at a time.
+    pub fn merged_count_min(&self) -> ParallelCountMin {
+        let mut merged = self.shared[0]
+            .count_min
+            .lock()
+            .expect("count-min lock poisoned")
+            .clone();
+        for shared in &self.shared[1..] {
+            merged.merge(&shared.count_min.lock().expect("count-min lock poisoned"));
+        }
+        merged
+    }
+
+    /// Point-in-time shard and queue metrics.
+    pub fn metrics(&self) -> EngineMetrics {
+        EngineMetrics {
+            shards: self
+                .shared
+                .iter()
+                .enumerate()
+                .map(|(shard, s)| s.stats.snapshot(shard))
+                .collect(),
+        }
+    }
+}
+
+/// Final state returned by [`Engine::shutdown`].
+pub struct EngineReport {
+    epsilon: f64,
+    /// Per-shard final operator state, in shard order.
+    pub shards: Vec<ShardFinal>,
+}
+
+impl EngineReport {
+    /// Total items processed across shards.
+    pub fn total_items(&self) -> u64 {
+        self.shards.iter().map(|s| s.items).sum()
+    }
+
+    /// Merges the per-shard infinite-window estimators into one global
+    /// estimator of the full stream (mergeable-summaries semantics; the
+    /// global error stays `ε · m`).
+    pub fn merged_estimator(&self) -> ParallelFrequencyEstimator {
+        let mut merged = ParallelFrequencyEstimator::new(self.epsilon);
+        for shard in &self.shards {
+            merged.merge(shard.heavy_hitters.estimator());
+        }
+        merged
+    }
+
+    /// Consumes the report and returns the per-shard heavy-hitter trackers.
+    pub fn into_heavy_hitters(self) -> Vec<InfiniteHeavyHitters> {
+        self.shards.into_iter().map(|s| s.heavy_hitters).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psfa_stream::{StreamGenerator, ZipfGenerator};
+    use std::collections::HashMap;
+
+    fn config() -> EngineConfig {
+        EngineConfig::with_shards(4)
+            .queue_capacity(8)
+            .heavy_hitters(0.05, 0.01)
+    }
+
+    #[test]
+    fn ingest_drain_query_shutdown_roundtrip() {
+        let engine = Engine::spawn(config());
+        let handle = engine.handle();
+        let mut generator = ZipfGenerator::new(10_000, 1.3, 11);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut total = 0u64;
+        for _ in 0..20 {
+            let batch = generator.next_minibatch(2_000);
+            for &x in &batch {
+                *truth.entry(x).or_insert(0) += 1;
+            }
+            total += batch.len() as u64;
+            handle.ingest(&batch).unwrap();
+        }
+        engine.drain();
+        assert_eq!(handle.total_items(), total);
+        assert_eq!(handle.metrics().items_processed(), total);
+        assert_eq!(handle.metrics().queue_depth(), 0);
+
+        // One-sided point estimates.
+        let slack = (0.01 * total as f64).ceil() as u64;
+        for (&item, &f) in &truth {
+            let est = handle.estimate(item);
+            assert!(est <= f, "estimate {est} above truth {f}");
+            assert!(
+                est + slack >= f,
+                "estimate {est} under truth {f} by more than εm"
+            );
+            assert!(
+                handle.cm_estimate(item) >= f,
+                "count-min must never underestimate"
+            );
+        }
+
+        // Heavy hitters: no false negatives, no far false positives.
+        let reported: Vec<u64> = handle.heavy_hitters().iter().map(|h| h.item).collect();
+        for (&item, &f) in &truth {
+            if f as f64 >= 0.05 * total as f64 {
+                assert!(reported.contains(&item), "missed heavy hitter {item}");
+            }
+            if (f as f64) < (0.05 - 0.01) * total as f64 {
+                assert!(!reported.contains(&item), "false positive {item}");
+            }
+        }
+
+        let report = engine.shutdown();
+        assert_eq!(report.total_items(), total);
+        // After shutdown the handle still answers queries but refuses
+        // ingestion.
+        assert_eq!(handle.total_items(), total);
+        assert_eq!(handle.ingest(&[1, 2, 3]), Err(EngineClosed));
+
+        // The merged estimator covers the full stream.
+        let merged = report.merged_estimator();
+        assert_eq!(merged.stream_len(), total);
+        for (&item, &f) in &truth {
+            assert!(merged.estimate(item) <= f);
+        }
+    }
+
+    #[test]
+    fn epochs_advance_and_snapshots_are_monotone() {
+        let engine = Engine::spawn(config());
+        let handle = engine.handle();
+        handle.ingest(&(0..1000u64).collect::<Vec<_>>()).unwrap();
+        engine.drain();
+        let before = handle.epochs();
+        handle.ingest(&(0..1000u64).collect::<Vec<_>>()).unwrap();
+        engine.drain();
+        let after = handle.epochs();
+        for (b, a) in before.iter().zip(&after) {
+            assert!(a > b, "epochs must advance: {before:?} -> {after:?}");
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn keys_are_partitioned_not_duplicated() {
+        let engine = Engine::spawn(config());
+        let handle = engine.handle();
+        let batch: Vec<u64> = (0..10_000u64).flat_map(|k| [k, k]).collect();
+        handle.ingest(&batch).unwrap();
+        engine.drain();
+        // Every key lives on exactly one shard; summing shard stream lengths
+        // must equal the batch length exactly.
+        assert_eq!(handle.total_items(), batch.len() as u64);
+        let m = handle.metrics();
+        assert!(
+            m.shards.iter().all(|s| s.items_processed > 0),
+            "all shards used"
+        );
+        engine.shutdown();
+    }
+
+    #[test]
+    fn merged_count_min_sees_the_whole_stream() {
+        let engine = Engine::spawn(config().count_min(0.001, 0.01, 5));
+        let handle = engine.handle();
+        let batch: Vec<u64> = (0..5_000u64).map(|i| i % 100).collect();
+        handle.ingest(&batch).unwrap();
+        engine.drain();
+        let merged = handle.merged_count_min();
+        assert_eq!(merged.total(), batch.len() as u64);
+        for item in 0..100u64 {
+            assert!(merged.query(item) >= 50);
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn sliding_window_surface_is_exposed_when_configured() {
+        let engine = Engine::spawn(config().sliding_window(10_000));
+        let handle = engine.handle();
+        assert_eq!(handle.window(), Some(10_000));
+        let batch = vec![42u64; 1_000];
+        handle.ingest(&batch).unwrap();
+        engine.drain();
+        assert!(handle.sliding_estimate(42) > 0);
+        assert_eq!(handle.sliding_estimate(43), 0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn every_accepted_ingest_is_processed_even_racing_shutdown() {
+        // Producers hammer ingest while the main thread shuts down; every
+        // batch for which ingest returned Ok must appear in the final
+        // counts — none silently dropped in the shutdown race.
+        for round in 0..10u64 {
+            let engine = Engine::spawn(
+                EngineConfig::with_shards(2)
+                    .queue_capacity(2)
+                    .heavy_hitters(0.05, 0.01),
+            );
+            let mut producers = Vec::new();
+            for p in 0..3u64 {
+                let handle = engine.handle();
+                producers.push(std::thread::spawn(move || {
+                    let mut accepted = 0u64;
+                    let batch: Vec<u64> = (0..200u64).map(|i| i * 3 + p).collect();
+                    loop {
+                        match handle.ingest(&batch) {
+                            Ok(()) => accepted += batch.len() as u64,
+                            Err(EngineClosed) => return accepted,
+                        }
+                    }
+                }));
+            }
+            // Let the race land at varying points.
+            if round % 2 == 0 {
+                std::thread::yield_now();
+            }
+            let report = engine.shutdown();
+            let accepted: u64 = producers.into_iter().map(|p| p.join().unwrap()).sum();
+            assert_eq!(
+                report.total_items(),
+                accepted,
+                "round {round}: accepted batches must never be dropped"
+            );
+        }
+    }
+
+    #[test]
+    fn rejected_ingest_leaves_no_phantom_queue_depth() {
+        let engine = Engine::spawn(config());
+        let handle = engine.handle();
+        handle.ingest(&[1, 2, 3, 4]).unwrap();
+        let report = engine.shutdown();
+        assert_eq!(report.total_items(), 4);
+        // Post-shutdown attempts are refused and must not move counters.
+        assert_eq!(handle.ingest(&[5, 6, 7]), Err(EngineClosed));
+        assert!(matches!(
+            handle.try_enqueue(0, vec![8]),
+            Err(TrySendError::Disconnected(_))
+        ));
+        let m = handle.metrics();
+        assert_eq!(m.items_enqueued(), 4);
+        assert_eq!(m.items_processed(), 4);
+        assert_eq!(
+            m.queue_depth(),
+            0,
+            "refused batches must not inflate queue depth"
+        );
+    }
+
+    #[test]
+    fn try_enqueue_reports_full_queues() {
+        // One shard, capacity 1, and a worker kept busy by a barrier that we
+        // never... actually barriers ack immediately; instead saturate with
+        // large batches and observe at least one Full result under load.
+        let engine = Engine::spawn(
+            EngineConfig::with_shards(1)
+                .queue_capacity(1)
+                .heavy_hitters(0.05, 0.01),
+        );
+        let handle = engine.handle();
+        let mut full_seen = false;
+        for _ in 0..200 {
+            match handle.try_enqueue(0, vec![1; 50_000]) {
+                Ok(()) => {}
+                Err(TrySendError::Full(batch)) => {
+                    full_seen = true;
+                    assert_eq!(batch.len(), 50_000, "full queue returns the batch");
+                    break;
+                }
+                Err(TrySendError::Disconnected(_)) => panic!("engine closed unexpectedly"),
+            }
+        }
+        assert!(full_seen, "a capacity-1 queue must report Full under load");
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,72 @@
+//! # psfa-engine
+//!
+//! A multi-threaded, sharded ingestion engine over the PSFA aggregates:
+//! the serving layer that turns the paper's single-summary minibatch
+//! algorithms into a system that ingests concurrent traffic and answers
+//! queries *while ingestion runs*.
+//!
+//! ```text
+//!  producers (any thread, cloneable EngineHandle)
+//!      │  ingest(&[u64])
+//!      ▼
+//!  hash router (psfa_stream::shard_of — each key owned by one shard)
+//!      │  bounded sync channels (backpressure when full)
+//!      ▼
+//!  shard workers 0..N   each owns: InfiniteHeavyHitters   (φ, ε)
+//!      │                           SlidingFreqWorkEfficient (optional)
+//!      │                           ParallelCountMin       (shared seed)
+//!      │                           lifted MinibatchOperators
+//!      ▼
+//!  per-shard epoch snapshots  ──►  EngineHandle queries
+//!      (Arc swap per batch)        estimate / heavy_hitters / cm_estimate
+//! ```
+//!
+//! ## Why sharding preserves the paper's guarantees
+//!
+//! The router assigns every key to exactly one shard
+//! ([`psfa_stream::shard_of`] is a pure function of the key), so per-shard
+//! summaries partition the key space instead of overlapping:
+//!
+//! * A **point query** is answered entirely by the owning shard. Its
+//!   Misra–Gries estimate satisfies `f − ε·m_s ≤ f̂ ≤ f` for the shard's
+//!   substream length `m_s ≤ m`, which implies the global one-sided bound
+//!   `f − ε·m ≤ f̂ ≤ f`.
+//! * A **heavy-hitter query** takes the union of per-shard summary entries
+//!   against the global threshold `(φ − ε)·m`: every item with `f ≥ φm` is
+//!   kept (its estimate is at least `f − ε·m_s ≥ (φ − ε)m`), and nothing
+//!   with `f < (φ − ε)m` survives (estimates never overestimate). These are
+//!   exactly the guarantees of the single-summary algorithm (Theorem 5.2 and
+//!   the Section 5 reduction).
+//! * The per-shard **Count-Min** sketches share one hash seed, so they are
+//!   counter-wise mergeable ([`psfa_sketch::CountMinSketch::merge`]) into a
+//!   sketch of the full stream; single-shard point queries are already
+//!   global upper bounds with error `ε_cm · m_s`.
+//!
+//! This is the concurrent-ADT architecture of Gulisano et al. (producers
+//! decoupled from aggregators by explicit in-flight state) combined with the
+//! query/parallelism split of QPOPSS (queries run against published epochs,
+//! never against half-updated operator state).
+//!
+//! ## Consistency
+//!
+//! Each shard publishes an immutable [`ShardSnapshot`] after every
+//! minibatch; queries read the latest snapshots without stalling ingestion.
+//! Cross-shard queries therefore observe a *recent prefix per shard* — the
+//! natural consistency of a discretized-stream system between minibatches —
+//! with epochs exposed via [`EngineHandle::epochs`] for callers that need to
+//! wait for progress ([`EngineHandle::drain`] gives a full barrier).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+mod engine;
+mod metrics;
+mod operator;
+mod shard;
+
+pub use config::EngineConfig;
+pub use engine::{Engine, EngineBuilder, EngineClosed, EngineHandle, EngineReport};
+pub use metrics::{EngineMetrics, ShardMetrics};
+pub use operator::{EngineOperator, ShardedOperator};
+pub use shard::{ShardFinal, ShardSnapshot};

@@ -1,0 +1,163 @@
+//! Shard and queue metrics.
+//!
+//! Every shard updates a set of atomic counters on the hot path (enqueue and
+//! batch completion); [`EngineMetrics`] is a point-in-time copy assembled by
+//! [`crate::EngineHandle::metrics`]. Counters are monotone, so queue depths
+//! derived from them are exact up to in-flight updates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live atomic counters of one shard (shared between producers, the shard
+/// worker, and query handles).
+#[derive(Debug, Default)]
+pub(crate) struct ShardStats {
+    pub items_enqueued: AtomicU64,
+    pub items_processed: AtomicU64,
+    pub batches_enqueued: AtomicU64,
+    pub batches_processed: AtomicU64,
+}
+
+impl ShardStats {
+    pub(crate) fn snapshot(&self, shard: usize) -> ShardMetrics {
+        // Read processed before enqueued so depth never goes negative.
+        let batches_processed = self.batches_processed.load(Ordering::Acquire);
+        let items_processed = self.items_processed.load(Ordering::Acquire);
+        let batches_enqueued = self.batches_enqueued.load(Ordering::Acquire);
+        let items_enqueued = self.items_enqueued.load(Ordering::Acquire);
+        ShardMetrics {
+            shard,
+            items_enqueued,
+            items_processed,
+            batches_enqueued,
+            batches_processed,
+            queue_depth: batches_enqueued.saturating_sub(batches_processed),
+        }
+    }
+}
+
+/// Point-in-time metrics of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Shard index.
+    pub shard: usize,
+    /// Items handed to this shard's queue so far.
+    pub items_enqueued: u64,
+    /// Items the worker has finished processing.
+    pub items_processed: u64,
+    /// Minibatches handed to this shard's queue so far.
+    pub batches_enqueued: u64,
+    /// Minibatches the worker has finished processing.
+    pub batches_processed: u64,
+    /// Minibatches currently queued or in flight.
+    pub queue_depth: u64,
+}
+
+/// Point-in-time metrics of the whole engine.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardMetrics>,
+}
+
+impl EngineMetrics {
+    /// Total items processed across shards.
+    pub fn items_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.items_processed).sum()
+    }
+
+    /// Total items enqueued across shards.
+    pub fn items_enqueued(&self) -> u64 {
+        self.shards.iter().map(|s| s.items_enqueued).sum()
+    }
+
+    /// Total minibatches currently queued or in flight.
+    pub fn queue_depth(&self) -> u64 {
+        self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Largest per-shard share of processed items (1/shards = perfectly
+    /// balanced); `None` before any item is processed.
+    pub fn max_shard_share(&self) -> Option<f64> {
+        let total = self.items_processed();
+        if total == 0 {
+            return None;
+        }
+        self.shards
+            .iter()
+            .map(|s| s.items_processed as f64 / total as f64)
+            .max_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Renders the metrics as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<6} {:>14} {:>14} {:>10} {:>10} {:>8}\n",
+            "shard", "items in", "items done", "batches", "done", "queued"
+        ));
+        for s in &self.shards {
+            out.push_str(&format!(
+                "{:<6} {:>14} {:>14} {:>10} {:>10} {:>8}\n",
+                s.shard,
+                s.items_enqueued,
+                s.items_processed,
+                s.batches_enqueued,
+                s.batches_processed,
+                s.queue_depth
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_computes_queue_depth() {
+        let stats = ShardStats::default();
+        stats.batches_enqueued.store(7, Ordering::Release);
+        stats.batches_processed.store(4, Ordering::Release);
+        stats.items_enqueued.store(700, Ordering::Release);
+        stats.items_processed.store(400, Ordering::Release);
+        let m = stats.snapshot(2);
+        assert_eq!(m.shard, 2);
+        assert_eq!(m.queue_depth, 3);
+    }
+
+    #[test]
+    fn engine_metrics_aggregate() {
+        let shards = vec![
+            ShardMetrics {
+                shard: 0,
+                items_enqueued: 100,
+                items_processed: 90,
+                batches_enqueued: 10,
+                batches_processed: 9,
+                queue_depth: 1,
+            },
+            ShardMetrics {
+                shard: 1,
+                items_enqueued: 50,
+                items_processed: 30,
+                batches_enqueued: 5,
+                batches_processed: 3,
+                queue_depth: 2,
+            },
+        ];
+        let m = EngineMetrics { shards };
+        assert_eq!(m.items_processed(), 120);
+        assert_eq!(m.items_enqueued(), 150);
+        assert_eq!(m.queue_depth(), 3);
+        assert!((m.max_shard_share().unwrap() - 0.75).abs() < 1e-12);
+        assert!(m.to_table().contains("queued"));
+    }
+
+    #[test]
+    fn empty_engine_has_no_share() {
+        let m = EngineMetrics { shards: Vec::new() };
+        assert_eq!(m.items_processed(), 0);
+        assert!(m.max_shard_share().is_none());
+    }
+}

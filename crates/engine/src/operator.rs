@@ -1,0 +1,158 @@
+//! Lifting operators into — and wrapping the engine as — a
+//! [`MinibatchOperator`].
+//!
+//! Two directions of interop with the single-threaded pipeline layer:
+//!
+//! * **Lifting** ([`ShardedOperator`]): any existing [`MinibatchOperator`]
+//!   can run *inside* the engine, one instance per shard, each seeing only
+//!   the keys its shard owns. A factory builds the per-shard instances.
+//! * **Wrapping** ([`EngineOperator`]): a whole engine can sit *inside* a
+//!   [`psfa_stream::Pipeline`] as a single operator, so existing drivers and
+//!   examples gain sharded multi-threaded ingestion without restructuring.
+
+use psfa_stream::MinibatchOperator;
+
+use crate::engine::EngineHandle;
+
+/// Factory lifting an operator family into the engine: one instance per
+/// shard, built by [`ShardedOperator::build_shard`].
+///
+/// Implemented for `(String, F)` closure factories, mirroring the
+/// `(String, FnMut)` convenience impl of [`MinibatchOperator`]:
+///
+/// ```
+/// use psfa_engine::{Engine, EngineConfig};
+/// use psfa_freq::SlidingFreqWorkEfficient;
+/// use psfa_stream::MinibatchOperator;
+///
+/// struct SlidingOp(SlidingFreqWorkEfficient);
+/// impl MinibatchOperator for SlidingOp {
+///     fn process(&mut self, minibatch: &[u64]) {
+///         self.0.process_minibatch(minibatch);
+///     }
+///     fn name(&self) -> String {
+///         "sliding".into()
+///     }
+/// }
+/// # use psfa_freq::SlidingFrequencyEstimator;
+///
+/// let engine = Engine::builder(EngineConfig::with_shards(2))
+///     .lift(("sliding".to_string(), |_shard: usize| {
+///         SlidingOp(SlidingFreqWorkEfficient::new(0.01, 10_000))
+///     }))
+///     .spawn();
+/// let handle = engine.handle();
+/// handle.ingest(&[1, 2, 3, 4]).unwrap();
+/// let report = engine.shutdown();
+/// assert_eq!(report.shards[0].lifted[0].0, "sliding");
+/// ```
+pub trait ShardedOperator {
+    /// The per-shard operator type.
+    type Shard: MinibatchOperator + Send + 'static;
+
+    /// Builds the instance owned by `shard`.
+    fn build_shard(&mut self, shard: usize) -> Self::Shard;
+
+    /// Label under which the per-shard instances are registered.
+    fn name(&self) -> String;
+}
+
+impl<O, F> ShardedOperator for (String, F)
+where
+    O: MinibatchOperator + Send + 'static,
+    F: FnMut(usize) -> O,
+{
+    type Shard = O;
+
+    fn build_shard(&mut self, shard: usize) -> O {
+        (self.1)(shard)
+    }
+
+    fn name(&self) -> String {
+        self.0.clone()
+    }
+}
+
+/// An [`EngineHandle`](crate::EngineHandle) wrapped as a pipeline operator:
+/// `process` routes the minibatch into the engine (blocking under
+/// backpressure), so a sharded engine can be driven by
+/// [`psfa_stream::Pipeline::run`] next to single-threaded operators.
+///
+/// Note the measured "processing time" of this operator is the *enqueue*
+/// time; ingestion itself proceeds on the shard threads. Call
+/// [`drain`](crate::EngineHandle::drain) before reading engine-side results.
+pub struct EngineOperator {
+    label: String,
+    handle: EngineHandle,
+}
+
+impl EngineOperator {
+    /// Wraps `handle` under the given display label.
+    pub fn new(label: impl Into<String>, handle: EngineHandle) -> Self {
+        Self {
+            label: label.into(),
+            handle,
+        }
+    }
+
+    /// Access to the wrapped handle (for queries mid-run).
+    pub fn handle(&self) -> &EngineHandle {
+        &self.handle
+    }
+}
+
+impl MinibatchOperator for EngineOperator {
+    fn process(&mut self, minibatch: &[u64]) {
+        self.handle
+            .ingest(minibatch)
+            .expect("engine was shut down while a pipeline was still feeding it");
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use crate::engine::Engine;
+    use psfa_stream::{Pipeline, ZipfGenerator};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn closure_factory_builds_one_instance_per_shard() {
+        let built = Arc::new(AtomicU64::new(0));
+        let b = built.clone();
+        let engine = Engine::builder(EngineConfig::with_shards(3).heavy_hitters(0.1, 0.01))
+            .lift(("probe".to_string(), move |shard: usize| {
+                b.fetch_add(1 << (8 * shard), Ordering::Relaxed);
+                (format!("probe-{shard}"), move |_batch: &[u64]| {})
+            }))
+            .spawn();
+        // One instance per shard, each with its own shard index.
+        assert_eq!(built.load(Ordering::Relaxed), 0x01_01_01);
+        let report = engine.shutdown();
+        for (shard, fin) in report.shards.iter().enumerate() {
+            assert_eq!(fin.lifted[0].0, "probe");
+            assert_eq!(fin.lifted[0].1.name(), format!("probe-{shard}"));
+        }
+    }
+
+    #[test]
+    fn engine_runs_inside_a_pipeline() {
+        let engine = Engine::spawn(EngineConfig::with_shards(2).heavy_hitters(0.05, 0.01));
+        let mut pipeline = Pipeline::new();
+        pipeline.add_operator(EngineOperator::new("engine", engine.handle()));
+        let mut generator = ZipfGenerator::new(5_000, 1.2, 9);
+        let report = pipeline.run(&mut generator, 10, 1_000);
+        assert_eq!(report.items_drawn, 10_000);
+        engine.drain();
+        let handle = engine.handle();
+        assert_eq!(handle.total_items(), 10_000);
+        assert!(!handle.heavy_hitters().is_empty());
+        engine.shutdown();
+    }
+}

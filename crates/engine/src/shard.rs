@@ -1,0 +1,302 @@
+//! Shard workers: the ingestion side of the engine.
+//!
+//! Each shard owns its operator set outright — there is no locking on the
+//! heavy-hitter or sliding-window update path. After every minibatch the
+//! worker *publishes* an immutable [`ShardSnapshot`] (an `Arc` swapped under
+//! a short write lock), so query handles read a consistent frozen view of
+//! the shard at some epoch without ever blocking ingestion for more than a
+//! pointer swap. The Count-Min sketch is kept behind a mutex instead of
+//! being snapshotted: cloning `w × d` counters per minibatch would dwarf the
+//! `O(1/ε)` cost of the summary snapshot, while point queries under the
+//! mutex are `O(d)`.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex, RwLock};
+
+use psfa_freq::{InfiniteHeavyHitters, SlidingFreqWorkEfficient, SlidingFrequencyEstimator};
+use psfa_sketch::ParallelCountMin;
+use psfa_stream::MinibatchOperator;
+
+use crate::config::EngineConfig;
+use crate::metrics::ShardStats;
+
+/// Commands accepted by a shard worker, in queue order.
+pub(crate) enum ShardCommand {
+    /// One routed minibatch to ingest.
+    Batch(Vec<u64>),
+    /// Drain checkpoint: acknowledge once every earlier command is done.
+    Barrier(SyncSender<()>),
+    /// Finish queued work, then exit and hand back the operator state.
+    Shutdown,
+}
+
+/// Immutable view of one shard's summaries at one epoch.
+///
+/// Snapshots freeze the *query surfaces* (Misra–Gries entries, stream
+/// length, sliding-window tracked items) — `O(1/ε)` data — not the raw
+/// operator state. `epoch` equals the number of minibatches the shard had
+/// processed when the snapshot was published; it is strictly increasing, so
+/// callers can detect progress between reads.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Owning shard index.
+    pub shard: usize,
+    /// Minibatches processed when this snapshot was taken.
+    pub epoch: u64,
+    /// Items processed by this shard (its `m_s`).
+    pub stream_len: u64,
+    /// Misra–Gries `(item, estimate)` entries of the infinite-window
+    /// estimator; estimates are one-sided: `f − ε·m_s ≤ f̂ ≤ f`.
+    pub hh_entries: Vec<(u64, u64)>,
+    /// Tracked `(item, estimate)` pairs of the sliding-window estimator
+    /// (empty when the engine runs without a window).
+    pub sliding_entries: Vec<(u64, u64)>,
+}
+
+impl ShardSnapshot {
+    pub(crate) fn empty(shard: usize) -> Self {
+        Self {
+            shard,
+            epoch: 0,
+            stream_len: 0,
+            hh_entries: Vec::new(),
+            sliding_entries: Vec::new(),
+        }
+    }
+
+    /// The Misra–Gries estimate for `item` (`0` when untracked).
+    pub fn estimate(&self, item: u64) -> u64 {
+        self.hh_entries
+            .iter()
+            .find(|&&(i, _)| i == item)
+            .map_or(0, |&(_, e)| e)
+    }
+
+    /// The sliding-window estimate for `item` (`0` when untracked).
+    pub fn sliding_estimate(&self, item: u64) -> u64 {
+        self.sliding_entries
+            .iter()
+            .find(|&&(i, _)| i == item)
+            .map_or(0, |&(_, e)| e)
+    }
+}
+
+/// State of one shard shared between producers, the worker, and queries.
+pub(crate) struct ShardShared {
+    pub stats: ShardStats,
+    pub snapshot: RwLock<Arc<ShardSnapshot>>,
+    pub count_min: Mutex<ParallelCountMin>,
+}
+
+impl ShardShared {
+    pub(crate) fn new(shard: usize, config: &EngineConfig) -> Self {
+        Self {
+            stats: ShardStats::default(),
+            snapshot: RwLock::new(Arc::new(ShardSnapshot::empty(shard))),
+            count_min: Mutex::new(ParallelCountMin::new(
+                config.cm_epsilon,
+                config.cm_delta,
+                config.cm_seed,
+            )),
+        }
+    }
+
+    pub(crate) fn load_snapshot(&self) -> Arc<ShardSnapshot> {
+        self.snapshot
+            .read()
+            .expect("shard snapshot lock poisoned")
+            .clone()
+    }
+}
+
+/// Final operator state a shard worker hands back at shutdown.
+pub struct ShardFinal {
+    /// Shard index.
+    pub shard: usize,
+    /// Items this shard processed.
+    pub items: u64,
+    /// The shard's infinite-window heavy-hitter tracker.
+    pub heavy_hitters: InfiniteHeavyHitters,
+    /// The shard's sliding-window estimator, when configured.
+    pub sliding: Option<SlidingFreqWorkEfficient>,
+    /// Lifted operators, labelled, in registration order.
+    pub lifted: Vec<(String, Box<dyn MinibatchOperator + Send>)>,
+}
+
+/// The worker loop: owned operators plus the shared query surface.
+pub(crate) struct ShardWorker {
+    shard: usize,
+    epoch: u64,
+    items: u64,
+    heavy_hitters: InfiniteHeavyHitters,
+    sliding: Option<SlidingFreqWorkEfficient>,
+    lifted: Vec<(String, Box<dyn MinibatchOperator + Send>)>,
+    shared: Arc<ShardShared>,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(
+        shard: usize,
+        config: &EngineConfig,
+        lifted: Vec<(String, Box<dyn MinibatchOperator + Send>)>,
+        shared: Arc<ShardShared>,
+    ) -> Self {
+        Self {
+            shard,
+            epoch: 0,
+            items: 0,
+            heavy_hitters: InfiniteHeavyHitters::new(config.phi, config.epsilon),
+            sliding: config
+                .window
+                .map(|n| SlidingFreqWorkEfficient::new(config.epsilon, n)),
+            lifted,
+            shared,
+        }
+    }
+
+    /// Runs until [`ShardCommand::Shutdown`] (or every sender is dropped)
+    /// and returns the final operator state.
+    pub(crate) fn run(mut self, queue: Receiver<ShardCommand>) -> ShardFinal {
+        while let Ok(command) = queue.recv() {
+            match command {
+                ShardCommand::Batch(minibatch) => self.ingest(&minibatch),
+                ShardCommand::Barrier(ack) => {
+                    // FIFO queue ⇒ everything enqueued before the barrier is
+                    // already processed; a failed send means the drainer gave
+                    // up waiting, which is not the worker's problem.
+                    let _ = ack.send(());
+                }
+                ShardCommand::Shutdown => break,
+            }
+        }
+        ShardFinal {
+            shard: self.shard,
+            items: self.items,
+            heavy_hitters: self.heavy_hitters,
+            sliding: self.sliding,
+            lifted: self.lifted,
+        }
+    }
+
+    fn ingest(&mut self, minibatch: &[u64]) {
+        self.heavy_hitters.process_minibatch(minibatch);
+        if let Some(sliding) = &mut self.sliding {
+            sliding.process_minibatch(minibatch);
+        }
+        {
+            let mut cm = self
+                .shared
+                .count_min
+                .lock()
+                .expect("count-min lock poisoned");
+            cm.process_minibatch(minibatch);
+        }
+        for (_, op) in &mut self.lifted {
+            op.process(minibatch);
+        }
+        self.epoch += 1;
+        self.items += minibatch.len() as u64;
+        self.publish_snapshot();
+        // Stats last: queries that see the counts also find the snapshot.
+        self.shared
+            .stats
+            .items_processed
+            .fetch_add(minibatch.len() as u64, Ordering::AcqRel);
+        self.shared
+            .stats
+            .batches_processed
+            .fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn publish_snapshot(&self) {
+        let snapshot = Arc::new(ShardSnapshot {
+            shard: self.shard,
+            epoch: self.epoch,
+            stream_len: self.items,
+            hh_entries: self.heavy_hitters.estimator().tracked_items(),
+            sliding_entries: self
+                .sliding
+                .as_ref()
+                .map(|s| s.tracked_items())
+                .unwrap_or_default(),
+        });
+        *self
+            .shared
+            .snapshot
+            .write()
+            .expect("shard snapshot lock poisoned") = snapshot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    fn test_config() -> EngineConfig {
+        EngineConfig::with_shards(1)
+            .heavy_hitters(0.1, 0.01)
+            .sliding_window(10_000)
+    }
+
+    #[test]
+    fn worker_processes_batches_and_publishes_snapshots() {
+        let config = test_config();
+        let shared = Arc::new(ShardShared::new(0, &config));
+        let worker = ShardWorker::new(0, &config, Vec::new(), shared.clone());
+        let (tx, rx) = sync_channel(4);
+        tx.send(ShardCommand::Batch(vec![7; 100])).unwrap();
+        tx.send(ShardCommand::Batch(vec![7, 8, 9])).unwrap();
+        tx.send(ShardCommand::Shutdown).unwrap();
+        let fin = worker.run(rx);
+        assert_eq!(fin.items, 103);
+        let snap = shared.load_snapshot();
+        assert_eq!(snap.epoch, 2);
+        assert_eq!(snap.stream_len, 103);
+        assert!(snap.estimate(7) >= 100, "dominant item must be tracked");
+        assert!(snap.sliding_estimate(7) > 0);
+        assert_eq!(shared.count_min.lock().unwrap().query(7), 101);
+        assert_eq!(fin.heavy_hitters.estimator().stream_len(), 103);
+    }
+
+    #[test]
+    fn barrier_acknowledges_after_prior_batches() {
+        let config = test_config();
+        let shared = Arc::new(ShardShared::new(0, &config));
+        let worker = ShardWorker::new(0, &config, Vec::new(), shared.clone());
+        let (tx, rx) = sync_channel(4);
+        let (ack_tx, ack_rx) = sync_channel(1);
+        tx.send(ShardCommand::Batch(vec![1; 50])).unwrap();
+        tx.send(ShardCommand::Barrier(ack_tx)).unwrap();
+        let handle = std::thread::spawn(move || worker.run(rx));
+        ack_rx.recv().expect("barrier must be acknowledged");
+        assert_eq!(shared.load_snapshot().stream_len, 50);
+        drop(tx); // closing the queue ends the worker too
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn lifted_operators_see_every_batch() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let config = test_config();
+        let shared = Arc::new(ShardShared::new(0, &config));
+        let count = Arc::new(AtomicU64::new(0));
+        let c = count.clone();
+        let lifted: Vec<(String, Box<dyn MinibatchOperator + Send>)> = vec![(
+            "counter".to_string(),
+            Box::new(("counter".to_string(), move |b: &[u64]| {
+                c.fetch_add(b.len() as u64, Ordering::Relaxed);
+            })),
+        )];
+        let worker = ShardWorker::new(0, &config, lifted, shared);
+        let (tx, rx) = sync_channel(4);
+        tx.send(ShardCommand::Batch(vec![1, 2, 3])).unwrap();
+        tx.send(ShardCommand::Batch(vec![4; 10])).unwrap();
+        drop(tx);
+        let fin = worker.run(rx);
+        assert_eq!(count.load(Ordering::Relaxed), 13);
+        assert_eq!(fin.lifted.len(), 1);
+        assert_eq!(fin.lifted[0].0, "counter");
+    }
+}

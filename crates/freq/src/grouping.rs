@@ -52,7 +52,10 @@ mod tests {
         let groups = group_by_item(&batch);
         assert_eq!(groups.len(), 23);
         for (&item, css) in &groups {
-            assert_eq!(*css, CompactedSegment::from_predicate(&batch, |&x| x == item));
+            assert_eq!(
+                *css,
+                CompactedSegment::from_predicate(&batch, |&x| x == item)
+            );
         }
         let total: u64 = groups.values().map(CompactedSegment::count_ones).sum();
         assert_eq!(total, batch.len() as u64);

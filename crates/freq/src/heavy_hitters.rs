@@ -35,8 +35,14 @@ impl InfiniteHeavyHitters {
     /// Panics unless `0 < ε < φ < 1`.
     pub fn new(phi: f64, epsilon: f64) -> Self {
         assert!(phi > 0.0 && phi < 1.0, "phi must be in (0, 1)");
-        assert!(epsilon > 0.0 && epsilon < phi, "epsilon must be in (0, phi)");
-        Self { phi, estimator: ParallelFrequencyEstimator::new(epsilon) }
+        assert!(
+            epsilon > 0.0 && epsilon < phi,
+            "epsilon must be in (0, phi)"
+        );
+        Self {
+            phi,
+            estimator: ParallelFrequencyEstimator::new(epsilon),
+        }
     }
 
     /// The heavy-hitter threshold φ.
@@ -62,6 +68,16 @@ impl InfiniteHeavyHitters {
             .map(|(item, estimate)| HeavyHitter { item, estimate })
             .collect()
     }
+
+    /// Merges another tracker over a disjoint or concatenated stream into
+    /// this one; the φ/ε guarantees then hold for the combined stream (see
+    /// [`ParallelFrequencyEstimator::merge`]).
+    ///
+    /// # Panics
+    /// Panics if the trackers' error parameters differ.
+    pub fn merge(&mut self, other: &InfiniteHeavyHitters) {
+        self.estimator.merge(&other.estimator);
+    }
 }
 
 /// Continuous φ-heavy-hitter tracking over a sliding window, generic over the
@@ -78,7 +94,10 @@ impl<E: SlidingFrequencyEstimator> SlidingHeavyHitters<E> {
     /// # Panics
     /// Panics unless `estimator.epsilon() < φ < 1`.
     pub fn new(phi: f64, estimator: E) -> Self {
-        assert!(phi > estimator.epsilon() && phi < 1.0, "phi must be in (epsilon, 1)");
+        assert!(
+            phi > estimator.epsilon() && phi < 1.0,
+            "phi must be in (epsilon, 1)"
+        );
         Self { phi, estimator }
     }
 
@@ -101,9 +120,8 @@ impl<E: SlidingFrequencyEstimator> SlidingHeavyHitters<E> {
     /// frequent first: all items with window frequency `≥ φn` are included
     /// and no item with window frequency `< (φ − ε)n` appears.
     pub fn query(&self) -> Vec<HeavyHitter> {
-        let threshold = ((self.phi - self.estimator.epsilon())
-            * self.estimator.window() as f64)
-            .max(0.0);
+        let threshold =
+            ((self.phi - self.estimator.epsilon()) * self.estimator.window() as f64).max(0.0);
         let mut out: Vec<HeavyHitter> = self
             .estimator
             .tracked_items()
@@ -163,7 +181,10 @@ mod tests {
         let reported: Vec<u64> = hh.query().into_iter().map(|h| h.item).collect();
         for (&item, &f) in &truth {
             if f as f64 >= phi * window_len as f64 {
-                assert!(reported.contains(&item), "missed sliding heavy hitter {item} (f={f})");
+                assert!(
+                    reported.contains(&item),
+                    "missed sliding heavy hitter {item} (f={f})"
+                );
             }
             if (f as f64) < (phi - epsilon) * window_len as f64 - epsilon * n as f64 {
                 assert!(!reported.contains(&item), "false positive {item} (f={f})");

@@ -75,11 +75,16 @@ impl ParallelFrequencyEstimator {
         if minibatch.is_empty() {
             return;
         }
-        self.seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        self.seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1);
         let hist = build_hist(minibatch, self.seed);
         if let Some(meter) = &self.meter {
             // buildHist is Θ(µ); MGaugment is Θ(S + p) with p ≤ µ.
-            meter.charge(minibatch.len() as u64 + self.summary.capacity() as u64 + hist.len() as u64);
+            meter.charge(
+                minibatch.len() as u64 + self.summary.capacity() as u64 + hist.len() as u64,
+            );
         }
         self.summary.augment(&hist);
         self.stream_len += minibatch.len() as u64;
@@ -88,6 +93,26 @@ impl ParallelFrequencyEstimator {
     /// Returns the estimate `f̂ₑ ∈ [fₑ − εm, fₑ]` for `item`.
     pub fn estimate(&self, item: u64) -> u64 {
         self.summary.estimate(item)
+    }
+
+    /// Merges another estimator over a *disjoint or concatenated* stream
+    /// into this one (mergeable-summaries semantics; see
+    /// [`crate::MgSummary::merge`]).
+    ///
+    /// After merging, `self` estimates frequencies of the combined stream of
+    /// `m = m₁ + m₂` elements with the same one-sided guarantee
+    /// `f̂ₑ ∈ [fₑ − εm, fₑ]`.
+    ///
+    /// # Panics
+    /// Panics if the two estimators were built with different `ε` (their
+    /// summaries would have incompatible capacities).
+    pub fn merge(&mut self, other: &ParallelFrequencyEstimator) {
+        assert!(
+            self.summary.capacity() == other.summary.capacity(),
+            "merge requires estimators with matching epsilon/capacity"
+        );
+        self.summary.merge(&other.summary);
+        self.stream_len += other.stream_len;
     }
 
     /// All tracked `(item, estimate)` pairs in unspecified order.
@@ -120,7 +145,10 @@ mod tests {
     struct Lcg(u64);
     impl Lcg {
         fn next(&mut self) -> u64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             self.0 >> 33
         }
     }
@@ -136,7 +164,7 @@ mod tests {
             let batch: Vec<u64> = (0..mu)
                 .map(|_| {
                     let r = rng.next();
-                    if skew && r % 3 != 0 {
+                    if skew && !r.is_multiple_of(3) {
                         r % 8 // heavy items
                     } else {
                         r % universe
@@ -152,7 +180,10 @@ mod tests {
             for (&item, &f) in &truth {
                 let fh = est.estimate(item);
                 assert!(fh <= f, "estimate {fh} above true frequency {f}");
-                assert!(fh + allowed >= f, "estimate {fh} under {f} by more than εm = {allowed}");
+                assert!(
+                    fh + allowed >= f,
+                    "estimate {fh} under {f} by more than εm = {allowed}"
+                );
             }
         }
         assert_eq!(est.stream_len(), m);
@@ -185,7 +216,7 @@ mod tests {
             let batch: Vec<u64> = (0..1000)
                 .map(|_| {
                     let r = rng.next();
-                    if r % 2 == 0 {
+                    if r.is_multiple_of(2) {
                         r % 5 // five genuinely heavy items
                     } else {
                         5 + r % 5000
@@ -202,7 +233,10 @@ mod tests {
         // Every item with f >= φm must be reported.
         for (&item, &f) in &truth {
             if f as f64 >= phi * m as f64 {
-                assert!(reported.contains(&item), "missed heavy hitter {item} (f = {f})");
+                assert!(
+                    reported.contains(&item),
+                    "missed heavy hitter {item} (f = {f})"
+                );
             }
         }
         // No reported item may have f < (φ - ε)m.
@@ -274,5 +308,47 @@ mod tests {
     #[should_panic(expected = "epsilon")]
     fn invalid_epsilon_rejected() {
         let _ = ParallelFrequencyEstimator::new(0.0);
+    }
+
+    #[test]
+    fn merged_estimators_cover_the_combined_stream() {
+        let epsilon = 0.05;
+        let mut rng = Lcg(41);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut parts = Vec::new();
+        for _ in 0..3 {
+            let mut est = ParallelFrequencyEstimator::new(epsilon);
+            for _ in 0..10 {
+                let batch: Vec<u64> = (0..400).map(|_| rng.next() % 50).collect();
+                for &x in &batch {
+                    *truth.entry(x).or_insert(0) += 1;
+                }
+                est.process_minibatch(&batch);
+            }
+            parts.push(est);
+        }
+        let mut merged = parts.swap_remove(0);
+        for part in &parts {
+            merged.merge(part);
+        }
+        let m: u64 = truth.values().sum();
+        assert_eq!(merged.stream_len(), m);
+        let allowed = (epsilon * m as f64).ceil() as u64;
+        for (&item, &f) in &truth {
+            let fh = merged.estimate(item);
+            assert!(fh <= f, "merged estimate {fh} above true frequency {f}");
+            assert!(
+                fh + allowed >= f,
+                "merged estimate {fh} under {f} by more than εm"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matching epsilon")]
+    fn merge_rejects_mismatched_epsilon() {
+        let mut a = ParallelFrequencyEstimator::new(0.1);
+        let b = ParallelFrequencyEstimator::new(0.01);
+        a.merge(&b);
     }
 }

@@ -54,10 +54,7 @@ pub fn sift(minibatch: &[u64], survivors: &[u64]) -> HashMap<u64, CompactedSegme
     let perm = sort_indices_by_key(&keys, survivors.len() as u64);
 
     // Slice out each survivor's run of positions.
-    let sorted: Vec<(u64, u64)> = perm
-        .par_iter()
-        .map(|&i| filtered[i as usize])
-        .collect();
+    let sorted: Vec<(u64, u64)> = perm.par_iter().map(|&i| filtered[i as usize]).collect();
     let mut out: HashMap<u64, CompactedSegment> = HashMap::with_capacity(survivors.len());
     let mut cursor = 0usize;
     for (idx, &item) in survivors.iter().enumerate() {

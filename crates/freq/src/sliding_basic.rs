@@ -42,7 +42,12 @@ impl SlidingFreqBasic {
         // λ = n/S, rounded down to an even integer ≥ 2 so the additive error
         // never exceeds εn.
         let lambda = (((n as f64 / s) as u64) & !1).max(2);
-        Self { epsilon, n, lambda, counters: HashMap::new() }
+        Self {
+            epsilon,
+            n,
+            lambda,
+            counters: HashMap::new(),
+        }
     }
 
     /// The per-counter additive slack λ = n/S.
@@ -67,15 +72,17 @@ impl SlidingFrequencyEstimator for SlidingFreqBasic {
         // advance every counter (absent items over an all-zero segment).
         let template = self.new_counter();
         for &item in segments.keys() {
-            self.counters.entry(item).or_insert_with(|| template.clone());
+            self.counters
+                .entry(item)
+                .or_insert_with(|| template.clone());
         }
         let zero = CompactedSegment::zeros(mu);
-        self.counters.par_iter_mut().for_each(|(item, counter)| {
-            match segments.get(item) {
+        self.counters
+            .par_iter_mut()
+            .for_each(|(item, counter)| match segments.get(item) {
                 Some(css) => counter.advance(css),
                 None => counter.advance(&zero),
-            }
-        });
+            });
         segments.clear();
     }
 
@@ -104,7 +111,10 @@ impl SlidingFrequencyEstimator for SlidingFreqBasic {
     }
 
     fn tracked_items(&self) -> Vec<(u64, u64)> {
-        self.counters.keys().map(|&item| (item, self.estimate(item))).collect()
+        self.counters
+            .keys()
+            .map(|&item| (item, self.estimate(item)))
+            .collect()
     }
 }
 

@@ -48,7 +48,13 @@ impl SlidingFreqSpaceEfficient {
         );
         let s = (8.0 / epsilon).ceil() as usize;
         let lambda = ((((epsilon * n as f64) / 4.0) as u64) & !1).max(2);
-        Self { epsilon, n, s, lambda, counters: HashMap::new() }
+        Self {
+            epsilon,
+            n,
+            s,
+            lambda,
+            counters: HashMap::new(),
+        }
     }
 
     /// The pruning capacity `S = ⌈8/ε⌉`.
@@ -72,15 +78,17 @@ impl SlidingFreqSpaceEfficient {
         let segments = group_by_item(minibatch);
         let template = self.new_counter();
         for &item in segments.keys() {
-            self.counters.entry(item).or_insert_with(|| template.clone());
+            self.counters
+                .entry(item)
+                .or_insert_with(|| template.clone());
         }
         let zero = CompactedSegment::zeros(mu);
-        self.counters.par_iter_mut().for_each(|(item, counter)| {
-            match segments.get(item) {
+        self.counters
+            .par_iter_mut()
+            .for_each(|(item, counter)| match segments.get(item) {
                 Some(css) => counter.advance(css),
                 None => counter.advance(&zero),
-            }
-        });
+            });
 
         // Step 3(a): the cut-off ϕ such that at most S counters have value ≥ ϕ.
         let values: Vec<u64> = self
@@ -101,7 +109,8 @@ impl SlidingFreqSpaceEfficient {
         }
         // Counters whose value reached zero (by decrementing or because their
         // window content expired) carry no information; drop them.
-        self.counters.retain(|_, counter| counter.value().unwrap_or(0) > 0);
+        self.counters
+            .retain(|_, counter| counter.value().unwrap_or(0) > 0);
     }
 }
 
@@ -144,7 +153,10 @@ impl SlidingFrequencyEstimator for SlidingFreqSpaceEfficient {
     }
 
     fn tracked_items(&self) -> Vec<(u64, u64)> {
-        self.counters.keys().map(|&item| (item, self.estimate(item))).collect()
+        self.counters
+            .keys()
+            .map(|&item| (item, self.estimate(item)))
+            .collect()
     }
 }
 

@@ -55,7 +55,15 @@ impl SlidingFreqWorkEfficient {
         );
         let s = (8.0 / epsilon).ceil() as usize;
         let lambda = ((((epsilon * n as f64) / 4.0) as u64) & !1).max(2);
-        Self { epsilon, n, s, lambda, counters: HashMap::new(), seed: 0xABCD, meter: None }
+        Self {
+            epsilon,
+            n,
+            s,
+            lambda,
+            counters: HashMap::new(),
+            seed: 0xABCD,
+            meter: None,
+        }
     }
 
     /// Attaches a [`WorkMeter`] charged with `O(µ + 1/ε)` units per minibatch
@@ -78,7 +86,10 @@ impl SlidingFreqWorkEfficient {
     /// `predict` (Section 5.3.3): returns the survivor set `K` and the
     /// cut-off `ϕ` that Algorithm 2 would apply to this minibatch.
     fn predict(&mut self, minibatch: &[u64]) -> (Vec<u64>, u64) {
-        self.seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        self.seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1);
         let hist = build_hist(minibatch, self.seed);
         let mu = minibatch.len() as u64;
 
@@ -136,7 +147,10 @@ impl SlidingFrequencyEstimator for SlidingFreqWorkEfficient {
         let template = Sbbc::unbounded(self.lambda, self.n).assume_zero_history();
         let mut kept: HashMap<u64, Sbbc> = HashMap::with_capacity(survivors.len());
         for &item in &survivors {
-            let counter = self.counters.remove(&item).unwrap_or_else(|| template.clone());
+            let counter = self
+                .counters
+                .remove(&item)
+                .unwrap_or_else(|| template.clone());
             kept.insert(item, counter);
         }
         kept.par_iter_mut().for_each(|(item, counter)| {
@@ -176,7 +190,10 @@ impl SlidingFrequencyEstimator for SlidingFreqWorkEfficient {
     }
 
     fn tracked_items(&self) -> Vec<(u64, u64)> {
-        self.counters.keys().map(|&item| (item, self.estimate(item))).collect()
+        self.counters
+            .keys()
+            .map(|&item| (item, self.estimate(item)))
+            .collect()
     }
 }
 

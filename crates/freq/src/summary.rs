@@ -33,7 +33,10 @@ impl MgSummary {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "summary capacity must be at least 1");
-        Self { capacity, entries: HashMap::with_capacity(capacity + 1) }
+        Self {
+            capacity,
+            entries: HashMap::with_capacity(capacity + 1),
+        }
     }
 
     /// The maximum number of counters retained (`S` in the paper).
@@ -116,6 +119,26 @@ impl MgSummary {
         debug_assert!(self.entries.len() <= self.capacity);
         phi
     }
+
+    /// Merges another summary into this one (mergeable-summaries semantics,
+    /// Agarwal et al.): counters are added item-wise, then the combined set
+    /// is cut back to `capacity` with the same cut-off rule as
+    /// [`MgSummary::augment`]. Returns the applied cut-off `ϕ`.
+    ///
+    /// If `self` summarises a stream of `m₁` elements with error `m₁/S` and
+    /// `other` summarises `m₂` elements with error `m₂/S`, the merged
+    /// summary underestimates true frequencies of the concatenated stream by
+    /// at most `(m₁ + m₂)/S` — per-shard ε summaries merge into a global ε
+    /// summary. This is the query-side primitive behind cross-shard queries
+    /// in `psfa-engine`.
+    pub fn merge(&mut self, other: &MgSummary) -> u64 {
+        let histogram: Vec<HistogramEntry> = other
+            .entries
+            .iter()
+            .map(|(&item, &count)| HistogramEntry { item, count })
+            .collect();
+        self.augment(&histogram)
+    }
 }
 
 #[cfg(test)]
@@ -123,7 +146,10 @@ mod tests {
     use super::*;
 
     fn hist(pairs: &[(u64, u64)]) -> Vec<HistogramEntry> {
-        pairs.iter().map(|&(item, count)| HistogramEntry { item, count }).collect()
+        pairs
+            .iter()
+            .map(|&(item, count)| HistogramEntry { item, count })
+            .collect()
     }
 
     #[test]
@@ -163,8 +189,10 @@ mod tests {
                 *truth.entry(item).or_insert(0) += 1;
                 m += 1;
             }
-            let h: Vec<HistogramEntry> =
-                counts.into_iter().map(|(item, count)| HistogramEntry { item, count }).collect();
+            let h: Vec<HistogramEntry> = counts
+                .into_iter()
+                .map(|(item, count)| HistogramEntry { item, count })
+                .collect();
             s.augment(&h);
             for (&item, &f) in &truth {
                 let c = s.estimate(item);
@@ -207,8 +235,10 @@ mod tests {
             for &x in chunk {
                 *counts.entry(x).or_insert(0) += 1;
             }
-            let h: Vec<HistogramEntry> =
-                counts.into_iter().map(|(item, count)| HistogramEntry { item, count }).collect();
+            let h: Vec<HistogramEntry> = counts
+                .into_iter()
+                .map(|(item, count)| HistogramEntry { item, count })
+                .collect();
             batched.augment(&h);
         }
         let mut truth: HashMap<u64, u64> = HashMap::new();
@@ -243,5 +273,57 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = MgSummary::new(0);
+    }
+
+    #[test]
+    fn merge_without_overflow_adds_counters() {
+        let mut a = MgSummary::new(10);
+        a.augment(&hist(&[(1, 5), (2, 3)]));
+        let mut b = MgSummary::new(10);
+        b.augment(&hist(&[(1, 2), (3, 4)]));
+        a.merge(&b);
+        assert_eq!(a.estimate(1), 7);
+        assert_eq!(a.estimate(2), 3);
+        assert_eq!(a.estimate(3), 4);
+    }
+
+    #[test]
+    fn merge_preserves_combined_error_bound() {
+        // Summarise two halves of a stream independently, merge, and check
+        // the merged summary against the (m₁ + m₂)/S bound.
+        let capacity = 6usize;
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut halves = Vec::new();
+        let mut state = 99u64;
+        for _ in 0..2 {
+            let mut s = MgSummary::new(capacity);
+            for batch in 0..20 {
+                let mut counts: HashMap<u64, u64> = HashMap::new();
+                for _ in 0..150 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(batch);
+                    let item = (state >> 33) % 15;
+                    *counts.entry(item).or_insert(0) += 1;
+                    *truth.entry(item).or_insert(0) += 1;
+                }
+                let h: Vec<HistogramEntry> = counts
+                    .into_iter()
+                    .map(|(item, count)| HistogramEntry { item, count })
+                    .collect();
+                s.augment(&h);
+            }
+            halves.push(s);
+        }
+        let mut merged = halves.swap_remove(0);
+        merged.merge(&halves[0]);
+        let m: u64 = truth.values().sum();
+        assert!(merged.len() <= capacity);
+        for (&item, &f) in &truth {
+            let c = merged.estimate(item);
+            assert!(c <= f, "merged counter {c} above true frequency {f}");
+            assert!(
+                c + m / capacity as u64 >= f,
+                "merged counter {c} under-estimates {f} by more than m/S"
+            );
+        }
     }
 }

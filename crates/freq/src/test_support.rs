@@ -13,7 +13,10 @@ pub(crate) struct SlidingDriver {
 
 impl SlidingDriver {
     pub fn new(seed: u64) -> Self {
-        Self { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1, history: Vec::new() }
+        Self {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            history: Vec::new(),
+        }
     }
 
     fn next(&mut self) -> u64 {
@@ -38,7 +41,7 @@ impl SlidingDriver {
             .map(|_| {
                 let selector = self.next();
                 let value = self.next();
-                if selector % 3 != 0 {
+                if !selector.is_multiple_of(3) {
                     value % heavy
                 } else {
                     heavy + value % light
@@ -69,7 +72,10 @@ pub(crate) fn check_sliding_bounds<E: SlidingFrequencyEstimator>(
     let slack = (estimator.epsilon() * estimator.window() as f64).ceil() as u64;
     for (&item, &f) in &truth {
         let fh = estimator.estimate(item);
-        assert!(fh <= f, "item {item}: estimate {fh} above true window frequency {f}");
+        assert!(
+            fh <= f,
+            "item {item}: estimate {fh} above true window frequency {f}"
+        );
         assert!(
             fh + slack >= f,
             "item {item}: estimate {fh} below {f} by more than εn = {slack}"
@@ -77,6 +83,9 @@ pub(crate) fn check_sliding_bounds<E: SlidingFrequencyEstimator>(
     }
     for (item, fh) in estimator.tracked_items() {
         let f = truth.get(&item).copied().unwrap_or(0);
-        assert!(fh <= f, "tracked item {item}: estimate {fh} above true frequency {f}");
+        assert!(
+            fh <= f,
+            "tracked item {item}: estimate {fh} above true frequency {f}"
+        );
     }
 }

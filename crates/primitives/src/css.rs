@@ -25,14 +25,23 @@ pub struct CompactedSegment {
 impl CompactedSegment {
     /// A segment of `len` zeros.
     pub fn zeros(len: u64) -> Self {
-        Self { len, ones: Vec::new() }
+        Self {
+            len,
+            ones: Vec::new(),
+        }
     }
 
     /// Builds a CSS from an explicit bit vector in `O(n)` work and
     /// polylogarithmic depth (Lemma 2.1).
     pub fn from_bits(bits: &[bool]) -> Self {
-        let ones = pack_indices(bits).into_par_iter().map(|i| i as u64).collect();
-        Self { len: bits.len() as u64, ones }
+        let ones = pack_indices(bits)
+            .into_par_iter()
+            .map(|i| i as u64)
+            .collect();
+        Self {
+            len: bits.len() as u64,
+            ones,
+        }
     }
 
     /// Builds the CSS of the indicator sequence `1{pred(item)}` over `items`.
@@ -40,9 +49,15 @@ impl CompactedSegment {
     /// This is how the frequency-estimation algorithms derive the per-item
     /// binary stream `1{T_j = e}` from a minibatch `T` (Section 5.3.1).
     pub fn from_predicate<T: Sync>(items: &[T], pred: impl Fn(&T) -> bool + Send + Sync) -> Self {
-        let flags: Vec<bool> = items.par_iter().map(|x| pred(x)).collect();
-        let ones = pack_indices(&flags).into_par_iter().map(|i| i as u64).collect();
-        Self { len: items.len() as u64, ones }
+        let flags: Vec<bool> = items.par_iter().map(pred).collect();
+        let ones = pack_indices(&flags)
+            .into_par_iter()
+            .map(|i| i as u64)
+            .collect();
+        Self {
+            len: items.len() as u64,
+            ones,
+        }
     }
 
     /// Builds a CSS from pre-computed 1-bit positions.
@@ -55,7 +70,10 @@ impl CompactedSegment {
             assert!(w[0] < w[1], "CSS positions must be strictly increasing");
         }
         if let Some(&last) = ones.last() {
-            assert!(last < len, "CSS position {last} out of bounds for length {len}");
+            assert!(
+                last < len,
+                "CSS position {last} out of bounds for length {len}"
+            );
         }
         Self { len, ones }
     }
@@ -94,7 +112,10 @@ impl CompactedSegment {
         let mut ones = Vec::with_capacity(self.ones.len() + other.ones.len());
         ones.extend_from_slice(&self.ones);
         ones.extend(other.ones.iter().map(|&p| p + self.len));
-        CompactedSegment { len: self.len + other.len, ones }
+        CompactedSegment {
+            len: self.len + other.len,
+            ones,
+        }
     }
 }
 
@@ -124,7 +145,10 @@ mod tests {
         let bits: Vec<bool> = (0..50_000).map(|i| (i * 31) % 7 == 0).collect();
         let css = CompactedSegment::from_bits(&bits);
         assert_eq!(css.to_bits(), bits);
-        assert_eq!(css.count_ones() as usize, bits.iter().filter(|&&b| b).count());
+        assert_eq!(
+            css.count_ones() as usize,
+            bits.iter().filter(|&&b| b).count()
+        );
     }
 
     #[test]

@@ -187,7 +187,13 @@ mod tests {
     fn large_skewed_input() {
         // 90% of the mass on item 0, the rest spread out.
         let items: Vec<u64> = (0..80_000u64)
-            .map(|i| if i % 10 != 0 { 0 } else { 1 + (i * 7919) % 10_000 })
+            .map(|i| {
+                if i % 10 != 0 {
+                    0
+                } else {
+                    1 + (i * 7919) % 10_000
+                }
+            })
             .collect();
         check_against_reference(&items, &build_hist(&items, 13));
     }
@@ -203,7 +209,13 @@ mod tests {
         let items = vec![42u64; 50_000];
         let hist = build_hist(&items, 3);
         assert_eq!(hist.len(), 1);
-        assert_eq!(hist[0], HistogramEntry { item: 42, count: 50_000 });
+        assert_eq!(
+            hist[0],
+            HistogramEntry {
+                item: 42,
+                count: 50_000
+            }
+        );
     }
 
     #[test]

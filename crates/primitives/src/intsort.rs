@@ -65,9 +65,11 @@ where
     T: Clone + Send + Sync,
     F: Fn(&T) -> u64 + Send + Sync,
 {
-    let keys: Vec<u64> = items.par_iter().map(|x| key(x)).collect();
+    let keys: Vec<u64> = items.par_iter().map(key).collect();
     let perm = sort_indices_by_key(&keys, range);
-    perm.par_iter().map(|&i| items[i as usize].clone()).collect()
+    perm.par_iter()
+        .map(|&i| items[i as usize].clone())
+        .collect()
 }
 
 /// Sorts `(key, value)` pairs stably by key in `0..range` using `O(n)` work.
@@ -189,7 +191,9 @@ mod tests {
     #[test]
     fn large_input_parallel_path() {
         let n = 80_000usize;
-        let keys: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % (n as u64)).collect();
+        let keys: Vec<u64> = (0..n as u64)
+            .map(|i| (i * 2654435761) % (n as u64))
+            .collect();
         let perm = sort_indices_by_key(&keys, n as u64);
         check_sorted_stable(&keys, &perm);
     }

@@ -107,7 +107,13 @@ where
             let base = ci * chunk;
             c.iter()
                 .enumerate()
-                .filter_map(|(j, x)| if keep(base + j, x) { Some(x.clone()) } else { None })
+                .filter_map(|(j, x)| {
+                    if keep(base + j, x) {
+                        Some(x.clone())
+                    } else {
+                        None
+                    }
+                })
                 .collect()
         })
         .collect();

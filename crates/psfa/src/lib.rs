@@ -35,15 +35,17 @@
 //! |---|---|---|
 //! | [`psfa_primitives`] | §2 | scans, packing, integer sort, selection, `buildHist`, CSS, hash families |
 //! | [`psfa_window`] | §3–§4 | γ-snapshots, SBBC, basic counting, windowed sum |
-//! | [`psfa_freq`] | §5 | parallel Misra–Gries, sliding-window frequency estimation (basic / space- / work-efficient), heavy hitters |
-//! | [`psfa_sketch`] | §6 | Count-Min sketch (sequential + parallel minibatch), Count-Sketch |
+//! | [`psfa_freq`] | §5 | parallel Misra–Gries, sliding-window frequency estimation (basic / space- / work-efficient), heavy hitters, mergeable summaries |
+//! | [`psfa_sketch`] | §6 | Count-Min sketch (sequential + parallel minibatch + mergeable), Count-Sketch |
 //! | [`psfa_baselines`] | §1, §5.4 | sequential comparators and the independent-data-structure approach |
-//! | [`psfa_stream`] | §1 | minibatch model, workload generators, pipeline driver |
+//! | [`psfa_stream`] | §1 | minibatch model, workload generators, pipeline driver, key-space splitting |
+//! | [`psfa_engine`] | beyond the paper | sharded multi-threaded ingestion engine with live cross-shard queries (`Engine`, `EngineHandle`) |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub use psfa_baselines as baselines;
+pub use psfa_engine as engine;
 pub use psfa_freq as freq;
 pub use psfa_primitives as primitives;
 pub use psfa_sketch as sketch;
@@ -58,17 +60,21 @@ pub mod prelude {
         DgimCounter, ExactSlidingWindow, IndependentMgSummaries, LossyCounting,
         SequentialMisraGries, SpaceSaving,
     };
+    pub use psfa_engine::{
+        Engine, EngineConfig, EngineHandle, EngineMetrics, EngineOperator, EngineReport,
+        ShardedOperator,
+    };
     pub use psfa_freq::{
-        HeavyHitter, InfiniteHeavyHitters, MgSummary, ParallelFrequencyEstimator,
-        SlidingFreqBasic, SlidingFreqSpaceEfficient, SlidingFreqWorkEfficient,
-        SlidingFrequencyEstimator, SlidingHeavyHitters,
+        HeavyHitter, InfiniteHeavyHitters, MgSummary, ParallelFrequencyEstimator, SlidingFreqBasic,
+        SlidingFreqSpaceEfficient, SlidingFreqWorkEfficient, SlidingFrequencyEstimator,
+        SlidingHeavyHitters,
     };
     pub use psfa_primitives::{CompactedSegment, WorkMeter};
     pub use psfa_sketch::{CountMinSketch, CountSketch, ParallelCountMin};
     pub use psfa_stream::{
-        AdversarialChurnGenerator, BinaryStreamGenerator, BurstyGenerator, MinibatchOperator,
-        PacketTraceGenerator, Pipeline, PipelineReport, StreamGenerator, UniformGenerator,
-        ZipfGenerator,
+        partition_by_key, shard_of, AdversarialChurnGenerator, BinaryStreamGenerator,
+        BurstyGenerator, MinibatchOperator, PacketTraceGenerator, Pipeline, PipelineReport,
+        SplitGenerator, StreamGenerator, UniformGenerator, ZipfGenerator,
     };
     pub use psfa_window::{BasicCounter, QueryResult, Sbbc, WindowedSum};
 

@@ -14,7 +14,10 @@ pub struct FrequencyOperator<E> {
 impl<E: SlidingFrequencyEstimator> FrequencyOperator<E> {
     /// Wraps `estimator` under the given display label.
     pub fn new(label: impl Into<String>, estimator: E) -> Self {
-        Self { label: label.into(), estimator }
+        Self {
+            label: label.into(),
+            estimator,
+        }
     }
 
     /// Access to the wrapped estimator (for queries after a run).
@@ -42,7 +45,10 @@ pub struct HeavyHitterOperator {
 impl HeavyHitterOperator {
     /// Wraps a heavy-hitter tracker under the given display label.
     pub fn new(label: impl Into<String>, tracker: InfiniteHeavyHitters) -> Self {
-        Self { label: label.into(), tracker }
+        Self {
+            label: label.into(),
+            tracker,
+        }
     }
 
     /// Access to the wrapped tracker.
@@ -70,7 +76,10 @@ pub struct SketchOperator {
 impl SketchOperator {
     /// Wraps a Count-Min sketch under the given display label.
     pub fn new(label: impl Into<String>, sketch: ParallelCountMin) -> Self {
-        Self { label: label.into(), sketch }
+        Self {
+            label: label.into(),
+            sketch,
+        }
     }
 
     /// Access to the wrapped sketch.

@@ -112,6 +112,40 @@ impl CountMinSketch {
     pub fn counters(&self) -> &[Vec<u64>] {
         &self.rows
     }
+
+    /// True if `other` uses identical dimensions *and* hash functions, i.e.
+    /// the two sketches were created with the same `(ε, δ, seed)` and may be
+    /// merged counter-wise.
+    pub fn is_mergeable_with(&self, other: &CountMinSketch) -> bool {
+        self.width == other.width
+            && self.depth == other.depth
+            && self.hashes.iter().zip(&other.hashes).all(|(a, b)| {
+                (0..16u64).all(|probe| a.hash(probe ^ 0xABCD) == b.hash(probe ^ 0xABCD))
+            })
+    }
+
+    /// Merges another sketch into this one by adding counters point-wise.
+    ///
+    /// Both sketches must have been created with the same `(ε, δ, seed)` so
+    /// their rows share hash functions; the merged sketch then answers point
+    /// queries over the union of both input streams with the usual
+    /// `f ≤ f̂ ≤ f + ε(m₁ + m₂)` guarantee — per-shard sketches merge into a
+    /// global sketch of the full stream.
+    ///
+    /// # Panics
+    /// Panics if the sketches' dimensions or hash functions differ.
+    pub fn merge(&mut self, other: &CountMinSketch) {
+        assert!(
+            self.is_mergeable_with(other),
+            "CountMinSketch::merge requires identical (epsilon, delta, seed)"
+        );
+        for (mine, theirs) in self.rows.iter_mut().zip(&other.rows) {
+            for (m, &t) in mine.iter_mut().zip(theirs) {
+                *m += t;
+            }
+        }
+        self.total += other.total;
+    }
 }
 
 #[cfg(test)]

@@ -88,7 +88,10 @@ impl CountSketch {
         if minibatch.is_empty() {
             return;
         }
-        self.seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        self.seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1);
         let hist = build_hist(minibatch, self.seed);
         let added: u64 = hist.iter().map(|e| e.count).sum();
         let updates: Vec<Vec<(usize, i64)>> = (0..self.depth)
@@ -137,7 +140,10 @@ mod tests {
     struct Lcg(u64);
     impl Lcg {
         fn next(&mut self) -> u64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             self.0 >> 33
         }
     }
@@ -170,7 +176,7 @@ mod tests {
             let batch: Vec<u64> = (0..1000)
                 .map(|_| {
                     let r = rng.next();
-                    if r % 2 == 0 {
+                    if r.is_multiple_of(2) {
                         r % 5
                     } else {
                         5 + r % 2000
@@ -188,7 +194,10 @@ mod tests {
             let f = truth[&item] as i64;
             let q = cs.query(item);
             let err = (q - f).abs() as f64;
-            assert!(err <= epsilon * m + 1.0, "item {item}: err {err} too large (m={m})");
+            assert!(
+                err <= epsilon * m + 1.0,
+                "item {item}: err {err} too large (m={m})"
+            );
         }
     }
 

@@ -24,12 +24,18 @@ pub struct ParallelCountMin {
 impl ParallelCountMin {
     /// Creates a sketch for error `ε` and failure probability `δ`.
     pub fn new(epsilon: f64, delta: f64, seed: u64) -> Self {
-        Self { sketch: CountMinSketch::new(epsilon, delta, seed), seed }
+        Self {
+            sketch: CountMinSketch::new(epsilon, delta, seed),
+            seed,
+        }
     }
 
     /// Wraps an existing sequential sketch.
     pub fn from_sketch(sketch: CountMinSketch) -> Self {
-        Self { sketch, seed: 0x1234_5678 }
+        Self {
+            sketch,
+            seed: 0x1234_5678,
+        }
     }
 
     /// Read-only access to the underlying sketch.
@@ -42,7 +48,10 @@ impl ParallelCountMin {
         if minibatch.is_empty() {
             return;
         }
-        self.seed = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        self.seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1);
         let hist = build_hist(minibatch, self.seed);
         self.ingest_histogram(&hist);
     }
@@ -94,6 +103,15 @@ impl ParallelCountMin {
     pub fn total(&self) -> u64 {
         self.sketch.total()
     }
+
+    /// Merges another sketch (same `(ε, δ, seed)`) into this one; see
+    /// [`CountMinSketch::merge`].
+    ///
+    /// # Panics
+    /// Panics if the sketches' dimensions or hash functions differ.
+    pub fn merge(&mut self, other: &ParallelCountMin) {
+        self.sketch.merge(other.sketch());
+    }
 }
 
 #[cfg(test)]
@@ -104,7 +122,10 @@ mod tests {
     struct Lcg(u64);
     impl Lcg {
         fn next(&mut self) -> u64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             self.0 >> 33
         }
     }
@@ -141,7 +162,7 @@ mod tests {
             let batch: Vec<u64> = (0..1000)
                 .map(|_| {
                     let r = rng.next();
-                    if r % 2 == 0 {
+                    if r.is_multiple_of(2) {
                         r % 10
                     } else {
                         10 + r % 5000
@@ -175,6 +196,45 @@ mod tests {
         let mut par = ParallelCountMin::new(0.1, 0.1, 1);
         par.process_minibatch(&[]);
         assert_eq!(par.total(), 0);
+    }
+
+    #[test]
+    fn merged_shards_answer_like_one_sketch() {
+        // Partition a stream across 4 "shards" with independent sketches
+        // (same seed), merge, and compare against one sketch that saw it all.
+        let mut whole = ParallelCountMin::new(0.01, 0.01, 77);
+        let mut shards: Vec<ParallelCountMin> = (0..4)
+            .map(|_| ParallelCountMin::new(0.01, 0.01, 77))
+            .collect();
+        let mut rng = Lcg(5);
+        for _ in 0..10 {
+            let batch: Vec<u64> = (0..2000).map(|_| rng.next() % 500).collect();
+            whole.process_minibatch(&batch);
+            let mut parts: Vec<Vec<u64>> = vec![Vec::new(); 4];
+            for &x in &batch {
+                parts[(x % 4) as usize].push(x);
+            }
+            for (shard, part) in shards.iter_mut().zip(&parts) {
+                shard.process_minibatch(part);
+            }
+        }
+        let mut merged = shards.swap_remove(0);
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.total(), whole.total());
+        assert_eq!(merged.sketch().counters(), whole.sketch().counters());
+        for item in 0..500u64 {
+            assert_eq!(merged.query(item), whole.query(item));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn merge_rejects_mismatched_seeds() {
+        let mut a = ParallelCountMin::new(0.01, 0.01, 1);
+        let b = ParallelCountMin::new(0.01, 0.01, 2);
+        a.merge(&b);
     }
 
     #[test]

@@ -30,13 +30,18 @@ impl UniformGenerator {
     /// Creates a uniform generator over `0..universe`.
     pub fn new(universe: u64, seed: u64) -> Self {
         assert!(universe >= 1, "universe must be non-empty");
-        Self { universe, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            universe,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
 impl StreamGenerator for UniformGenerator {
     fn next_minibatch(&mut self, size: usize) -> Vec<u64> {
-        (0..size).map(|_| self.rng.gen_range(0..self.universe)).collect()
+        (0..size)
+            .map(|_| self.rng.gen_range(0..self.universe))
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -53,7 +58,9 @@ pub struct ZipfGenerator {
 impl ZipfGenerator {
     /// Creates a Zipf generator over `0..universe` with skew `alpha`.
     pub fn new(universe: u64, alpha: f64, seed: u64) -> Self {
-        Self { sampler: ZipfSampler::new(universe, alpha, seed) }
+        Self {
+            sampler: ZipfSampler::new(universe, alpha, seed),
+        }
     }
 }
 
@@ -139,7 +146,12 @@ impl AdversarialChurnGenerator {
     /// items, rotating to a disjoint heavy set every `rotation` items.
     pub fn new(heavy_set_size: u64, rotation: usize, seed: u64) -> Self {
         assert!(heavy_set_size >= 1 && rotation >= 1);
-        Self { heavy_set_size, rotation, position: 0, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            heavy_set_size,
+            rotation,
+            position: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -242,7 +254,10 @@ impl BinaryStreamGenerator {
     /// Panics unless `0 ≤ density ≤ 1`.
     pub fn new(density: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
-        Self { density, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            density,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Produces the next minibatch of bits.
@@ -295,7 +310,10 @@ mod tests {
         let batch = g.next_minibatch(50_000);
         let freq = frequencies(&batch);
         let top: u64 = (0..10).map(|i| freq.get(&i).copied().unwrap_or(0)).sum();
-        assert!(top as f64 > 0.5 * batch.len() as f64, "top-10 mass too small: {top}");
+        assert!(
+            top as f64 > 0.5 * batch.len() as f64,
+            "top-10 mass too small: {top}"
+        );
     }
 
     #[test]
@@ -305,7 +323,10 @@ mod tests {
         let burst = g.next_minibatch(1000);
         let freq = frequencies(&burst);
         let max = freq.values().copied().max().unwrap_or(0);
-        assert!(max > 700, "burst phase should be dominated by one item, max = {max}");
+        assert!(
+            max > 700,
+            "burst phase should be dominated by one item, max = {max}"
+        );
     }
 
     #[test]
@@ -329,8 +350,14 @@ mod tests {
         let freq = frequencies(&batch);
         let max = freq.values().copied().max().unwrap();
         let singletons = freq.values().filter(|&&c| c <= 2).count();
-        assert!(max > 1000, "expected at least one elephant flow, max = {max}");
-        assert!(singletons > 100, "expected many mice flows, got {singletons}");
+        assert!(
+            max > 1000,
+            "expected at least one elephant flow, max = {max}"
+        );
+        assert!(
+            singletons > 100,
+            "expected many mice flows, got {singletons}"
+        );
     }
 
     #[test]

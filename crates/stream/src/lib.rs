@@ -17,6 +17,8 @@
 //! * [`pipeline`] — a small driver that feeds minibatches from a generator
 //!   into one or more operators and records per-operator throughput, the
 //!   harness used by the examples and the experiment binaries.
+//! * [`split`] — key-space splitting of minibatch streams across shards,
+//!   the routing layer under the sharded ingestion engine (`psfa-engine`).
 //! * [`metrics`] — throughput/latency accounting.
 
 #![warn(missing_docs)]
@@ -25,6 +27,7 @@
 pub mod generators;
 pub mod metrics;
 pub mod pipeline;
+pub mod split;
 pub mod zipf;
 
 pub use generators::{
@@ -33,4 +36,5 @@ pub use generators::{
 };
 pub use metrics::ThroughputMeter;
 pub use pipeline::{MinibatchOperator, Pipeline, PipelineReport};
+pub use split::{partition_by_key, shard_of, SplitGenerator};
 pub use zipf::ZipfSampler;

@@ -47,10 +47,14 @@ pub struct OperatorReport {
 /// Result of a pipeline run.
 #[derive(Debug, Clone)]
 pub struct PipelineReport {
-    /// Number of minibatches driven.
+    /// Number of minibatches actually drawn from the generator (may be less
+    /// than requested if the generator ran dry).
     pub batches: u64,
-    /// Minibatch size used.
+    /// Minibatch size *requested* per batch; generators may return fewer.
     pub batch_size: usize,
+    /// Total items actually drawn from the generator — the authoritative
+    /// count, never inferred from `batches * batch_size`.
+    pub items_drawn: u64,
     /// One report per operator, in registration order.
     pub operators: Vec<OperatorReport>,
 }
@@ -87,7 +91,9 @@ impl<'a> Default for Pipeline<'a> {
 impl<'a> Pipeline<'a> {
     /// Creates an empty pipeline.
     pub fn new() -> Self {
-        Self { operators: Vec::new() }
+        Self {
+            operators: Vec::new(),
+        }
     }
 
     /// Registers an operator; every operator sees every minibatch.
@@ -96,25 +102,40 @@ impl<'a> Pipeline<'a> {
         self
     }
 
-    /// Runs `batches` minibatches of `batch_size` items from `generator`
-    /// through every registered operator and reports per-operator throughput.
+    /// Runs up to `batches` minibatches of `batch_size` items from
+    /// `generator` through every registered operator and reports per-operator
+    /// throughput.
+    ///
+    /// Generators are allowed to return short minibatches; an *empty*
+    /// minibatch signals end-of-stream and stops the run early. The report
+    /// records the number of batches and items actually drawn — item counts
+    /// are never inferred from `batches * batch_size`.
     pub fn run(
         &mut self,
         generator: &mut dyn StreamGenerator,
         batches: u64,
         batch_size: usize,
     ) -> PipelineReport {
-        let mut meters: Vec<ThroughputMeter> =
-            (0..self.operators.len()).map(|_| ThroughputMeter::new()).collect();
+        let mut meters: Vec<ThroughputMeter> = (0..self.operators.len())
+            .map(|_| ThroughputMeter::new())
+            .collect();
+        let mut batches_drawn = 0u64;
+        let mut items_drawn = 0u64;
         for _ in 0..batches {
             let minibatch = generator.next_minibatch(batch_size);
+            if minibatch.is_empty() {
+                break;
+            }
+            batches_drawn += 1;
+            items_drawn += minibatch.len() as u64;
             for (op, meter) in self.operators.iter_mut().zip(meters.iter_mut()) {
                 meter.record(minibatch.len() as u64, || op.process(&minibatch));
             }
         }
         PipelineReport {
-            batches,
+            batches: batches_drawn,
             batch_size,
+            items_drawn,
             operators: self
                 .operators
                 .iter()
@@ -156,6 +177,52 @@ mod tests {
         assert_eq!(report.operators.len(), 2);
         assert_eq!(report.operators[0].items, 2500);
         assert!(report.to_table().contains("items/s"));
+    }
+
+    /// A generator with a finite supply: returns short batches near the end
+    /// and empty batches once exhausted.
+    struct FiniteGenerator {
+        remaining: usize,
+    }
+
+    impl StreamGenerator for FiniteGenerator {
+        fn next_minibatch(&mut self, size: usize) -> Vec<u64> {
+            let take = size.min(self.remaining);
+            self.remaining -= take;
+            (0..take as u64).collect()
+        }
+
+        fn name(&self) -> &'static str {
+            "finite"
+        }
+    }
+
+    #[test]
+    fn short_and_empty_minibatches_are_reported_accurately() {
+        // 10 batches of 250 requested, but only 600 items exist: the run must
+        // report 3 batches (250 + 250 + 100) and 600 items, not 2500.
+        let seen = Rc::new(Cell::new(0u64));
+        let s = seen.clone();
+        let mut pipeline = Pipeline::new();
+        pipeline.add_operator(("op".to_string(), move |b: &[u64]| {
+            s.set(s.get() + b.len() as u64)
+        }));
+        let mut generator = FiniteGenerator { remaining: 600 };
+        let report = pipeline.run(&mut generator, 10, 250);
+        assert_eq!(report.batches, 3, "empty minibatch must end the run");
+        assert_eq!(report.items_drawn, 600);
+        assert_eq!(report.operators[0].items, 600);
+        assert_eq!(seen.get(), 600);
+    }
+
+    #[test]
+    fn full_run_reports_requested_batches() {
+        let mut pipeline = Pipeline::new();
+        pipeline.add_operator(("noop".to_string(), |_: &[u64]| {}));
+        let mut generator = UniformGenerator::new(100, 3);
+        let report = pipeline.run(&mut generator, 4, 50);
+        assert_eq!(report.batches, 4);
+        assert_eq!(report.items_drawn, 200);
     }
 
     #[test]

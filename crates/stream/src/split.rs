@@ -1,0 +1,138 @@
+//! Key-space splitting of minibatch streams across shards.
+//!
+//! The sharded ingestion engine (`psfa-engine`) partitions every minibatch
+//! by a *fixed* hash of the item identifier, so that each key is owned by
+//! exactly one shard. Because the assignment is a pure function of the key,
+//! per-shard summaries never disagree about a key's frequency: a global
+//! point query is answered by the owning shard alone, and a global
+//! heavy-hitter query is the union of per-shard answers (see the engine's
+//! crate docs for the error accounting).
+//!
+//! The routing hash is deliberately *independent* of the seeded hash
+//! families in `psfa-primitives`: operators inside a shard must not see a
+//! key distribution correlated with their own hash functions.
+
+use crate::generators::StreamGenerator;
+
+/// Multiplier of the SplitMix64/Fibonacci mixing step used for routing.
+const ROUTE_MULTIPLIER: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The shard in `0..shards` that owns `key`.
+///
+/// Stable across processes and handle clones: routing is a pure function of
+/// `(key, shards)`.
+///
+/// # Panics
+/// Panics if `shards == 0`.
+#[inline]
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    assert!(shards > 0, "shard_of: shards must be non-zero");
+    // Finalizer of SplitMix64: full-avalanche mixing, then a multiply-shift
+    // reduction onto the shard range (unbiased enough for load balancing).
+    let mut z = key.wrapping_add(ROUTE_MULTIPLIER);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (((z as u128) * (shards as u128)) >> 64) as usize
+}
+
+/// Splits one minibatch into `shards` per-shard sub-batches by key
+/// ownership. Item order within each sub-batch preserves stream order.
+pub fn partition_by_key(minibatch: &[u64], shards: usize) -> Vec<Vec<u64>> {
+    assert!(shards > 0, "partition_by_key: shards must be non-zero");
+    let mut parts: Vec<Vec<u64>> = (0..shards)
+        .map(|_| Vec::with_capacity(minibatch.len() / shards + 1))
+        .collect();
+    for &item in minibatch {
+        parts[shard_of(item, shards)].push(item);
+    }
+    parts
+}
+
+/// Adapts one generator into a per-shard view: every call to
+/// [`SplitGenerator::next_minibatches`] draws one minibatch from the
+/// underlying generator and splits it by key ownership, so `shards`
+/// downstream consumers each see exactly the keys they own.
+pub struct SplitGenerator<'a> {
+    inner: &'a mut dyn StreamGenerator,
+    shards: usize,
+}
+
+impl<'a> SplitGenerator<'a> {
+    /// Wraps `inner`, splitting its output across `shards` shards.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(inner: &'a mut dyn StreamGenerator, shards: usize) -> Self {
+        assert!(shards > 0, "SplitGenerator: shards must be non-zero");
+        Self { inner, shards }
+    }
+
+    /// The number of shards the stream is split into.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Draws one minibatch of `size` items and returns its per-shard split.
+    pub fn next_minibatches(&mut self, size: usize) -> Vec<Vec<u64>> {
+        partition_by_key(&self.inner.next_minibatch(size), self.shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{StreamGenerator, ZipfGenerator};
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 3, 8, 13] {
+            for key in 0..10_000u64 {
+                let s = shard_of(key, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(key, shards), "routing must be stable");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_preserves_all_items_and_ownership() {
+        let mut generator = ZipfGenerator::new(50_000, 1.1, 7);
+        let batch = generator.next_minibatch(20_000);
+        let parts = partition_by_key(&batch, 8);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), batch.len());
+        for (shard, part) in parts.iter().enumerate() {
+            for &item in part {
+                assert_eq!(shard_of(item, 8), shard);
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_reasonably_balanced_on_uniform_keys() {
+        // Distinct keys (not occurrences) should spread evenly.
+        let keys: Vec<u64> = (0..64_000u64).collect();
+        let parts = partition_by_key(&keys, 8);
+        for part in &parts {
+            let share = part.len() as f64 / keys.len() as f64;
+            assert!((0.10..0.15).contains(&share), "unbalanced shard: {share}");
+        }
+    }
+
+    #[test]
+    fn split_generator_matches_manual_partition() {
+        let mut a = ZipfGenerator::new(1000, 1.2, 3);
+        let mut b = ZipfGenerator::new(1000, 1.2, 3);
+        let batch = a.next_minibatch(5000);
+        let want = partition_by_key(&batch, 4);
+        let mut split = SplitGenerator::new(&mut b, 4);
+        assert_eq!(split.next_minibatches(5000), want);
+        assert_eq!(split.shards(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_shards_rejected() {
+        let _ = shard_of(1, 0);
+    }
+}

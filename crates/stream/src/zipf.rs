@@ -33,7 +33,10 @@ impl ZipfSampler {
         for v in &mut cdf {
             *v /= total;
         }
-        Self { cdf, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            cdf,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The universe size.
@@ -45,7 +48,10 @@ impl ZipfSampler {
     pub fn sample(&mut self) -> u64 {
         let u: f64 = self.rng.gen();
         // Binary search for the first CDF entry >= u.
-        match self.cdf.binary_search_by(|probe| probe.partial_cmp(&u).unwrap()) {
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).unwrap())
+        {
             Ok(i) => i as u64,
             Err(i) => (i as u64).min(self.universe() - 1),
         }
@@ -78,7 +84,10 @@ mod tests {
             counts[z.sample() as usize] += 1;
         }
         for &c in &counts {
-            assert!(c > n / 10 / 2 && c < n / 10 * 2, "counts not roughly uniform: {counts:?}");
+            assert!(
+                c > n / 10 / 2 && c < n / 10 * 2,
+                "counts not roughly uniform: {counts:?}"
+            );
         }
     }
 

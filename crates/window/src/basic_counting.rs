@@ -85,7 +85,9 @@ impl BasicCounter {
     /// Incorporates a minibatch given as a compacted segment, advancing every
     /// level in parallel.
     pub fn advance(&mut self, segment: &CompactedSegment) {
-        self.levels.par_iter_mut().for_each(|level| level.advance(segment));
+        self.levels
+            .par_iter_mut()
+            .for_each(|level| level.advance(segment));
     }
 
     /// Convenience wrapper: incorporates a minibatch given as a bit slice.
@@ -117,7 +119,10 @@ mod tests {
     struct Lcg(u64);
     impl Lcg {
         fn next(&mut self) -> u64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             self.0 >> 33
         }
     }
@@ -132,7 +137,7 @@ mod tests {
         let mut rng = Lcg(seed);
         let mut bits: Vec<bool> = Vec::new();
         for _ in 0..batches {
-            let piece: Vec<bool> = (0..mu).map(|_| rng.next() % one_in == 0).collect();
+            let piece: Vec<bool> = (0..mu).map(|_| rng.next().is_multiple_of(one_in)).collect();
             counter.advance_bits(&piece);
             bits.extend_from_slice(&piece);
             let m = window_count(&bits, n);
@@ -197,7 +202,7 @@ mod tests {
         let mut counter = BasicCounter::new(epsilon, n);
         let mut rng = Lcg(9);
         for _ in 0..40 {
-            let piece: Vec<bool> = (0..2000).map(|_| rng.next() % 2 == 0).collect();
+            let piece: Vec<bool> = (0..2000).map(|_| rng.next().is_multiple_of(2)).collect();
             counter.advance_bits(&piece);
         }
         let levels = counter.num_levels() as f64;
@@ -220,7 +225,7 @@ mod tests {
         let mut rng = Lcg(11);
         let mut bits = Vec::new();
         for _ in 0..5 {
-            let piece: Vec<bool> = (0..1000).map(|_| rng.next() % 3 == 0).collect();
+            let piece: Vec<bool> = (0..1000).map(|_| rng.next().is_multiple_of(3)).collect();
             counter.advance_bits(&piece);
             bits.extend_from_slice(&piece);
             let m = window_count(&bits, n);

@@ -68,10 +68,20 @@ impl Sbbc {
     /// # Panics
     /// Panics if `lambda` is odd or `< 2`, if `sigma == 0`, or if `n == 0`.
     pub fn new(sigma: u64, lambda: u64, n: u64) -> Self {
-        assert!(lambda >= 2 && lambda % 2 == 0, "lambda must be an even integer >= 2");
+        assert!(
+            lambda >= 2 && lambda.is_multiple_of(2),
+            "lambda must be an even integer >= 2"
+        );
         assert!(sigma >= 1, "sigma must be at least 1");
         assert!(n >= 1, "window size must be at least 1");
-        Self { sigma, lambda, n, t: 0, r: 0, snapshot: GammaSnapshot::new(lambda / 2) }
+        Self {
+            sigma,
+            lambda,
+            n,
+            t: 0,
+            r: 0,
+            snapshot: GammaSnapshot::new(lambda / 2),
+        }
     }
 
     /// Creates an SBBC with an effectively unlimited space cap (σ = ∞), as
@@ -194,11 +204,14 @@ mod tests {
     struct Lcg(u64);
     impl Lcg {
         fn next(&mut self) -> u64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             self.0 >> 33
         }
         fn bit(&mut self, one_in: u64) -> bool {
-            self.next() % one_in == 0
+            self.next().is_multiple_of(one_in)
         }
     }
 
@@ -301,15 +314,21 @@ mod tests {
         }
         let m = window_count(&bits, n);
         let blocks = sbbc.space_blocks() as u64;
-        assert!(blocks <= 2 * m / lambda + 2, "blocks {blocks} vs 2m/λ = {}", 2 * m / lambda);
+        assert!(
+            blocks <= 2 * m / lambda + 2,
+            "blocks {blocks} vs 2m/λ = {}",
+            2 * m / lambda
+        );
     }
 
     #[test]
     fn no_overflow_before_window_fills_with_zero_history() {
         let mut sbbc = Sbbc::new(4, 4, 1000).assume_zero_history();
         sbbc.advance(&CompactedSegment::from_bits(&[true, false, true]));
-        let est = sbbc.value().expect("zero-history counter must not overflow");
-        assert!(est >= 2 && est <= 2 + 4);
+        let est = sbbc
+            .value()
+            .expect("zero-history counter must not overflow");
+        assert!((2..=2 + 4).contains(&est));
     }
 
     #[test]

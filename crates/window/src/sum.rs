@@ -39,7 +39,12 @@ impl WindowedSum {
         assert!(max_value >= 1, "max_value must be at least 1");
         let bits = 64 - max_value.leading_zeros();
         let bit_counters = (0..bits).map(|_| BasicCounter::new(epsilon, n)).collect();
-        Self { epsilon, n, max_value, bit_counters }
+        Self {
+            epsilon,
+            n,
+            max_value,
+            bit_counters,
+        }
     }
 
     /// The relative-error parameter ε.
@@ -64,7 +69,10 @@ impl WindowedSum {
 
     /// Total sampled blocks stored across all per-bit counters.
     pub fn space_blocks(&self) -> usize {
-        self.bit_counters.iter().map(BasicCounter::space_blocks).sum()
+        self.bit_counters
+            .iter()
+            .map(BasicCounter::space_blocks)
+            .sum()
     }
 
     /// Incorporates a minibatch of values.
@@ -73,13 +81,18 @@ impl WindowedSum {
     /// Panics if any value exceeds `max_value`.
     pub fn advance(&mut self, values: &[u64]) {
         if let Some(&bad) = values.iter().find(|&&v| v > self.max_value) {
-            panic!("value {bad} exceeds the configured bound {}", self.max_value);
+            panic!(
+                "value {bad} exceeds the configured bound {}",
+                self.max_value
+            );
         }
-        self.bit_counters.par_iter_mut().enumerate().for_each(|(bit, counter)| {
-            let segment =
-                CompactedSegment::from_predicate(values, |&v| (v >> bit) & 1 == 1);
-            counter.advance(&segment);
-        });
+        self.bit_counters
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(bit, counter)| {
+                let segment = CompactedSegment::from_predicate(values, |&v| (v >> bit) & 1 == 1);
+                counter.advance(&segment);
+            });
     }
 
     /// Returns the ε-approximate sum of the values in the current window.
@@ -99,7 +112,10 @@ mod tests {
     struct Lcg(u64);
     impl Lcg {
         fn next(&mut self) -> u64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             self.0 >> 33
         }
     }
@@ -120,7 +136,8 @@ mod tests {
             let truth = window_sum(&values, n);
             let est = ws.estimate();
             assert!(est >= truth, "estimate {est} below true sum {truth}");
-            let bound = (truth as f64 * (1.0 + epsilon)).ceil() as u64 + ws.num_bit_counters() as u64;
+            let bound =
+                (truth as f64 * (1.0 + epsilon)).ceil() as u64 + ws.num_bit_counters() as u64;
             assert!(est <= bound, "estimate {est} exceeds (1+ε)·sum = {bound}");
         }
     }
@@ -154,7 +171,10 @@ mod tests {
         assert_eq!(WindowedSum::new(0.1, 100, 1).num_bit_counters(), 1);
         assert_eq!(WindowedSum::new(0.1, 100, 255).num_bit_counters(), 8);
         assert_eq!(WindowedSum::new(0.1, 100, 256).num_bit_counters(), 9);
-        assert_eq!(WindowedSum::new(0.1, 100, (1 << 32) - 1).num_bit_counters(), 32);
+        assert_eq!(
+            WindowedSum::new(0.1, 100, (1 << 32) - 1).num_bit_counters(),
+            32
+        );
     }
 
     #[test]

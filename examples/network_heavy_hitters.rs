@@ -23,8 +23,7 @@ fn main() {
     let batches = 60;
 
     let mut trace = PacketTraceGenerator::new(256, 7);
-    let mut sliding =
-        SlidingHeavyHitters::new(phi, SlidingFreqWorkEfficient::new(epsilon, window));
+    let mut sliding = SlidingHeavyHitters::new(phi, SlidingFreqWorkEfficient::new(epsilon, window));
     let mut exact = ExactSlidingWindow::new(window);
 
     for batch_idx in 0..batches {

@@ -31,8 +31,14 @@ fn main() {
 
     let total = (batches * batch_size) as u64;
     println!("processed {total} items in {batches} minibatches of {batch_size}");
-    println!("summary size: {} counters (ε = {epsilon})\n", tracker.estimator().num_counters());
-    println!("{:<10} {:>12} {:>12} {:>10}", "item", "estimate", "exact", "share");
+    println!(
+        "summary size: {} counters (ε = {epsilon})\n",
+        tracker.estimator().num_counters()
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "item", "estimate", "exact", "share"
+    );
     for hh in tracker.query().into_iter().take(10) {
         let truth = exact.get(&hh.item).copied().unwrap_or(0);
         println!(
@@ -42,7 +48,10 @@ fn main() {
             truth,
             100.0 * truth as f64 / total as f64
         );
-        assert!(hh.estimate <= truth, "estimates are one-sided (never overestimate)");
+        assert!(
+            hh.estimate <= truth,
+            "estimates are one-sided (never overestimate)"
+        );
         assert!(
             hh.estimate as f64 >= truth as f64 - epsilon * total as f64,
             "estimates are within εm of the truth"

@@ -48,8 +48,14 @@ fn main() {
     }
 
     let m = cm.total();
-    println!("point queries after {m} updates (εm = {:.0}):", epsilon * m as f64);
-    println!("{:<8} {:>10} {:>12} {:>12}", "item", "exact", "count-min", "count-sketch");
+    println!(
+        "point queries after {m} updates (εm = {:.0}):",
+        epsilon * m as f64
+    );
+    println!(
+        "{:<8} {:>10} {:>12} {:>12}",
+        "item", "exact", "count-min", "count-sketch"
+    );
     for item in 0..10u64 {
         let truth = exact.get(&item).copied().unwrap_or(0);
         let cm_est = cm.query(item);
@@ -61,5 +67,9 @@ fn main() {
             "Count-Min overestimate within εm (w.h.p.)"
         );
     }
-    println!("\nsketch dimensions: {} x {} counters", cm.sketch().depth(), cm.sketch().width());
+    println!(
+        "\nsketch dimensions: {} x {} counters",
+        cm.sketch().depth(),
+        cm.sketch().width()
+    );
 }

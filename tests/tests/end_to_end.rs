@@ -73,10 +73,21 @@ fn sliding_window_variants_agree_and_respect_bounds() {
     let truth = window_counts(&history, n);
     let slack = (epsilon * n as f64).ceil() as u64;
     for (&item, &f) in &truth {
-        assert_eq!(exact.count(item), f, "exact tracker must agree with brute force");
-        for est in [basic.estimate(item), space.estimate(item), work.estimate(item)] {
+        assert_eq!(
+            exact.count(item),
+            f,
+            "exact tracker must agree with brute force"
+        );
+        for est in [
+            basic.estimate(item),
+            space.estimate(item),
+            work.estimate(item),
+        ] {
             assert!(est <= f, "sliding estimate {est} above truth {f}");
-            assert!(est + slack >= f, "sliding estimate {est} below truth {f} - εn");
+            assert!(
+                est + slack >= f,
+                "sliding estimate {est} below truth {f} - εn"
+            );
         }
     }
     // Space bounds: the efficient variants keep O(1/ε) counters, the basic
@@ -179,7 +190,10 @@ fn pipeline_drives_all_aggregate_operators() {
         "infinite-hh",
         InfiniteHeavyHitters::new(0.02, 0.005),
     ));
-    pipeline.add_operator(SketchOperator::new("cm", ParallelCountMin::new(0.001, 0.01, 5)));
+    pipeline.add_operator(SketchOperator::new(
+        "cm",
+        ParallelCountMin::new(0.001, 0.01, 5),
+    ));
     let mut generator = PacketTraceGenerator::new(128, 13);
     let report = pipeline.run(&mut generator, 20, 5000);
     assert_eq!(report.operators.len(), 4);

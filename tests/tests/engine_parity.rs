@@ -1,0 +1,262 @@
+//! The sharded engine must be *equivalent* to the single-threaded pipeline:
+//! same input stream, same (φ, ε), same guarantees. These tests drive both
+//! paths on one Zipf workload and compare them to each other and to exact
+//! counts, then exercise queries racing live ingestion.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use psfa::prelude::*;
+
+const PHI: f64 = 0.02;
+const EPSILON: f64 = 0.004;
+
+fn zipf_batches(batches: usize, batch_size: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut generator = ZipfGenerator::new(100_000, 1.2, seed);
+    (0..batches)
+        .map(|_| generator.next_minibatch(batch_size))
+        .collect()
+}
+
+fn exact_counts(batches: &[Vec<u64>]) -> HashMap<u64, u64> {
+    let mut exact = HashMap::new();
+    for batch in batches {
+        for &x in batch {
+            *exact.entry(x).or_insert(0u64) += 1;
+        }
+    }
+    exact
+}
+
+#[test]
+fn sharded_ingestion_matches_single_threaded_pipeline_within_epsilon() {
+    let batches = zipf_batches(40, 5_000, 2024);
+    let truth = exact_counts(&batches);
+    let m: u64 = truth.values().sum();
+
+    // Single-threaded reference: the pipeline driver with the paper's
+    // operators.
+    let mut single_hh = HeavyHitterOperator::new("hh", InfiniteHeavyHitters::new(PHI, EPSILON));
+    let mut single_cm = SketchOperator::new("cm", ParallelCountMin::new(0.001, 0.01, 7));
+    for batch in &batches {
+        single_hh.process(batch);
+        single_cm.process(batch);
+    }
+
+    // Sharded engine on the same input.
+    let engine = Engine::spawn(
+        EngineConfig::with_shards(4)
+            .heavy_hitters(PHI, EPSILON)
+            .count_min(0.001, 0.01, 7),
+    );
+    let handle = engine.handle();
+    for batch in &batches {
+        handle.ingest(batch).unwrap();
+    }
+    engine.drain();
+    assert_eq!(handle.total_items(), m);
+
+    // Point estimates: both paths are one-sided within εm of the truth, so
+    // they are within εm of each other.
+    let slack = (EPSILON * m as f64).ceil() as u64;
+    for (&item, &f) in &truth {
+        let sharded = handle.estimate(item);
+        let single = single_hh.tracker().estimator().estimate(item);
+        assert!(sharded <= f, "sharded estimate {sharded} above truth {f}");
+        assert!(
+            sharded + slack >= f,
+            "sharded estimate {sharded} under truth {f} - εm"
+        );
+        assert!(
+            sharded.abs_diff(single) <= slack,
+            "sharded {sharded} and single-threaded {single} differ by more than εm = {slack}"
+        );
+    }
+
+    // Heavy hitters: identical completeness/soundness bands around φ.
+    let sharded_hh: Vec<u64> = handle.heavy_hitters().iter().map(|h| h.item).collect();
+    let single_set: Vec<u64> = single_hh.tracker().query().iter().map(|h| h.item).collect();
+    for (&item, &f) in &truth {
+        if f as f64 >= PHI * m as f64 {
+            assert!(
+                sharded_hh.contains(&item),
+                "engine missed heavy hitter {item}"
+            );
+            assert!(
+                single_set.contains(&item),
+                "pipeline missed heavy hitter {item}"
+            );
+        }
+        if (f as f64) < (PHI - EPSILON) * m as f64 {
+            assert!(!sharded_hh.contains(&item), "engine false positive {item}");
+        }
+    }
+
+    // Count-Min: merged shard sketches equal the single sketch exactly
+    // (same seed, partitioned input).
+    let merged = handle.merged_count_min();
+    assert_eq!(merged.total(), single_cm.sketch().total());
+    assert_eq!(
+        merged.sketch().counters(),
+        single_cm.sketch().sketch().counters()
+    );
+
+    // The post-shutdown merged estimator also covers the whole stream.
+    let report = engine.shutdown();
+    let merged_est = report.merged_estimator();
+    assert_eq!(merged_est.stream_len(), m);
+    for (&item, &f) in &truth {
+        let est = merged_est.estimate(item);
+        assert!(est <= f);
+        assert!(est + slack >= f);
+    }
+}
+
+#[test]
+fn queries_answer_while_ingestion_is_in_flight() {
+    let engine = Engine::spawn(
+        EngineConfig::with_shards(4)
+            .queue_capacity(4)
+            .heavy_hitters(0.02, 0.005)
+            .sliding_window(200_000),
+    );
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Two producers pushing 30 batches of 5k each through cloned handles.
+    let mut producers = Vec::new();
+    for p in 0..2u64 {
+        let handle = engine.handle();
+        producers.push(std::thread::spawn(move || {
+            let mut generator = ZipfGenerator::new(50_000, 1.3, 100 + p);
+            let mut sent = 0u64;
+            for _ in 0..30 {
+                let batch = generator.next_minibatch(5_000);
+                sent += batch.len() as u64;
+                handle
+                    .ingest(&batch)
+                    .expect("engine must accept while running");
+            }
+            sent
+        }));
+    }
+
+    // Query loop racing the producers: totals and epochs must be monotone,
+    // and every query style must answer without blocking on ingestion.
+    let queries = {
+        let handle = engine.handle();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let mut last_total = 0u64;
+            let mut last_epochs = vec![0u64; handle.shards()];
+            let mut observed_mid_ingest = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let total = handle.total_items();
+                assert!(total >= last_total, "total items went backwards");
+                let epochs = handle.epochs();
+                for (now, before) in epochs.iter().zip(&last_epochs) {
+                    assert!(now >= before, "shard epoch went backwards");
+                }
+                let hh = handle.heavy_hitters();
+                for pair in hh.windows(2) {
+                    assert!(
+                        pair[0].estimate >= pair[1].estimate,
+                        "heavy hitters unsorted"
+                    );
+                }
+                // Zipf(1.3)'s head item is always heavy once data flows.
+                if total > 20_000 {
+                    assert!(!hh.is_empty(), "no heavy hitters at m = {total}");
+                    assert!(handle.estimate(hh[0].item) > 0);
+                    assert!(handle.cm_estimate(hh[0].item) >= handle.estimate(hh[0].item));
+                    assert!(handle.sliding_estimate(hh[0].item) > 0);
+                }
+                // Count only rounds that genuinely raced live ingestion:
+                // some data had arrived but the full 300k had not.
+                if total > 0 && total < 300_000 {
+                    observed_mid_ingest += 1;
+                }
+                last_total = total;
+                last_epochs = epochs;
+                std::thread::yield_now();
+            }
+            observed_mid_ingest
+        })
+    };
+
+    let sent: u64 = producers.into_iter().map(|p| p.join().unwrap()).sum();
+    engine.drain();
+    done.store(true, Ordering::Release);
+    let mid_ingest_queries = queries.join().unwrap();
+
+    assert_eq!(sent, 300_000);
+    let handle = engine.handle();
+    assert_eq!(handle.total_items(), sent);
+    assert_eq!(handle.metrics().items_processed(), sent);
+    assert!(
+        mid_ingest_queries > 0,
+        "the query thread never observed the engine mid-ingest; \
+         increase the workload if this machine got faster"
+    );
+    let report = engine.shutdown();
+    assert_eq!(report.total_items(), sent);
+}
+
+#[test]
+fn lifted_operators_partition_the_stream() {
+    // Lift the sequential exact window tracker into the engine: per-shard
+    // instances see disjoint keys whose union is the full stream.
+    struct ExactOp(ExactSlidingWindow);
+    impl MinibatchOperator for ExactOp {
+        fn process(&mut self, minibatch: &[u64]) {
+            self.0.process_minibatch(minibatch);
+        }
+        fn name(&self) -> String {
+            "exact".into()
+        }
+    }
+
+    let batches = zipf_batches(10, 2_000, 7);
+    let truth = exact_counts(&batches);
+    let engine = Engine::builder(EngineConfig::with_shards(4).heavy_hitters(0.05, 0.01))
+        .lift(("exact".to_string(), |_shard: usize| {
+            ExactOp(ExactSlidingWindow::new(1 << 20))
+        }))
+        .spawn();
+    let handle = engine.handle();
+    for batch in &batches {
+        handle.ingest(batch).unwrap();
+    }
+    let report = engine.shutdown();
+
+    // One lifted instance per shard, correctly labelled.
+    assert_eq!(report.shards.len(), 4);
+    for fin in &report.shards {
+        assert_eq!(fin.lifted.len(), 1);
+        assert_eq!(fin.lifted[0].0, "exact");
+        assert_eq!(fin.lifted[0].1.name(), "exact");
+    }
+    // Each key's estimate lives on its owning shard and nowhere else, and
+    // shard stream lengths partition the input.
+    for (&item, &count) in &truth {
+        let owner = shard_of(item, 4);
+        assert!(
+            report.shards[owner]
+                .heavy_hitters
+                .estimator()
+                .estimate(item)
+                <= count
+        );
+        for (shard, fin) in report.shards.iter().enumerate() {
+            if shard != owner {
+                assert_eq!(
+                    fin.heavy_hitters.estimator().estimate(item),
+                    0,
+                    "item {item} leaked onto shard {shard}"
+                );
+            }
+        }
+    }
+    let total: u64 = report.shards.iter().map(|s| s.items).sum();
+    assert_eq!(total, truth.values().sum::<u64>());
+}

@@ -1,0 +1,358 @@
+//! Offline stand-in for the subset of the `criterion` API used by this
+//! workspace's benches.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! same surface (`Criterion`, `BenchmarkGroup`, `Bencher`, `BenchmarkId`,
+//! `BatchSize`, `Throughput`, `criterion_group!`, `criterion_main!`,
+//! `black_box`) with a deliberately simple measurement loop: each benchmark
+//! is warmed up briefly, then timed for `sample_size` samples, and the
+//! median/mean per-iteration time is printed as one line. There is no
+//! statistical analysis, plotting, or baseline comparison — enough to keep
+//! `cargo bench` runnable and produce comparable numbers across PRs on the
+//! same machine.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. The shim runs one routine call
+/// per setup regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// A fresh batch on every iteration.
+    PerIteration,
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("function", parameter)`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// `BenchmarkId::from_parameter(parameter)`.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function` (strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The measurement loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Criterion,
+    /// (total time, iterations) recorded by the last `iter*` call.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        // Measure: run until the measurement budget is spent, at least
+        // `sample_size` iterations.
+        let start = Instant::now();
+        let deadline = start + self.config.measurement_time;
+        let mut iters = 0u64;
+        while iters < self.config.sample_size as u64 || Instant::now() < deadline {
+            black_box(routine());
+            iters += 1;
+            if iters >= self.config.sample_size as u64 && Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+
+    /// Times `routine` on inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut busy = Duration::ZERO;
+        let mut iters = 0u64;
+        let budget_start = Instant::now();
+        while iters < self.config.sample_size as u64
+            || budget_start.elapsed() < self.config.measurement_time
+        {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            busy += start.elapsed();
+            iters += 1;
+            if iters >= self.config.sample_size as u64
+                && budget_start.elapsed() >= self.config.measurement_time
+            {
+                break;
+            }
+        }
+        self.result = Some((busy, iters));
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the minimum number of measured iterations.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` directly under `id` (no group).
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnMut(&mut Bencher<'_>)) {
+        let name = id.into_id();
+        run_one(self, &name, None, f);
+    }
+}
+
+fn run_one(
+    config: &Criterion,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher<'_>),
+) {
+    let mut bencher = Bencher {
+        config,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((busy, iters)) if iters > 0 => {
+            let per_iter = busy.as_secs_f64() / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  {:>12.2} Melem/s", n as f64 / per_iter / 1e6)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  {:>12.2} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+                }
+                None => String::new(),
+            };
+            println!(
+                "bench {name:<48} {:>12.3} µs/iter  ({iters} iters){rate}",
+                per_iter * 1e6
+            );
+        }
+        _ => println!("bench {name:<48} (no measurement recorded)"),
+    }
+}
+
+/// A named group of benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher<'_>),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(self.criterion, &name, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher<'_>, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.id);
+        run_one(self.criterion, &name, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group; both criterion forms are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_records_iterations() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("shim");
+        let mut calls = 0u64;
+        group
+            .throughput(Throughput::Elements(10))
+            .bench_function("counter", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls >= 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("shim");
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::new("batched", 1), &5u64, |b, &_x| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 8]
+                },
+                |v| {
+                    runs += 1;
+                    v.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(setups >= runs && runs >= 3);
+    }
+}

@@ -1,0 +1,397 @@
+//! Offline stand-in for the subset of the `rayon` API used by this workspace.
+//!
+//! The build environment for this repository cannot reach crates.io, so the
+//! workspace vendors an API-compatible replacement for the parallel-iterator
+//! surface the code uses. Iterator combinators execute **sequentially** (they
+//! delegate to `std::iter`); [`join`] runs its two closures on real OS
+//! threads. All work/depth *guarantees* of the algorithms are unaffected —
+//! only the constant-factor wall-clock parallel speedup of the iterator
+//! combinators is, and the multi-threaded ingestion engine (`psfa-engine`)
+//! provides real cross-core parallelism at a coarser grain on top of this.
+//!
+//! Swapping the real `rayon` back in requires no source changes: delete the
+//! vendored crate from the workspace and restore the crates.io dependency.
+
+#![warn(missing_docs)]
+
+pub use prelude::{
+    IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+    ParallelSliceMut,
+};
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+///
+/// Unlike the iterator combinators in this stand-in, `join` genuinely runs
+/// `b` on a second OS thread (when the platform allows spawning).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim: join task panicked"))
+    })
+}
+
+/// Number of threads the "pool" would use: the machine's available
+/// parallelism (the shim has no pool; this feeds chunk-count heuristics and
+/// experiment banners).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parallel iterator types (sequential in this stand-in).
+pub mod iter {
+    /// A "parallel" iterator: a thin wrapper over a sequential iterator with
+    /// rayon's method surface.
+    #[derive(Debug, Clone)]
+    pub struct ParIter<I>(pub(crate) I);
+
+    impl<I: Iterator> ParIter<I> {
+        /// Wraps a sequential iterator.
+        pub fn new(inner: I) -> Self {
+            ParIter(inner)
+        }
+
+        /// Maps each item through `f`.
+        pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+            ParIter(self.0.map(f))
+        }
+
+        /// Keeps only items satisfying `f`.
+        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+            ParIter(self.0.filter(f))
+        }
+
+        /// Maps and filters in one pass.
+        pub fn filter_map<R, F: FnMut(I::Item) -> Option<R>>(
+            self,
+            f: F,
+        ) -> ParIter<std::iter::FilterMap<I, F>> {
+            ParIter(self.0.filter_map(f))
+        }
+
+        /// Maps each item to an iterator and flattens the results.
+        pub fn flat_map<R: IntoIterator, F: FnMut(I::Item) -> R>(
+            self,
+            f: F,
+        ) -> ParIter<std::iter::FlatMap<I, R, F>> {
+            ParIter(self.0.flat_map(f))
+        }
+
+        /// Pairs each item with its index.
+        pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+            ParIter(self.0.enumerate())
+        }
+
+        /// Zips with another (parallel) iterator.
+        pub fn zip<J: super::prelude::IntoParallelIterator>(
+            self,
+            other: J,
+        ) -> ParIter<std::iter::Zip<I, J::Iter>> {
+            ParIter(self.0.zip(other.into_par_iter().0))
+        }
+
+        /// Clones each item (for iterators over `&T`).
+        pub fn cloned<'a, T: Clone + 'a>(self) -> ParIter<std::iter::Cloned<I>>
+        where
+            I: Iterator<Item = &'a T>,
+        {
+            ParIter(self.0.cloned())
+        }
+
+        /// Copies each item (for iterators over `&T`).
+        pub fn copied<'a, T: Copy + 'a>(self) -> ParIter<std::iter::Copied<I>>
+        where
+            I: Iterator<Item = &'a T>,
+        {
+            ParIter(self.0.copied())
+        }
+
+        /// Hint accepted for API compatibility; a no-op in the shim.
+        pub fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+
+        /// Hint accepted for API compatibility; a no-op in the shim.
+        pub fn with_max_len(self, _max: usize) -> Self {
+            self
+        }
+
+        /// Rayon-style fold: produces a one-item iterator of accumulated
+        /// state (a single sequential "split" in the shim).
+        pub fn fold<T, ID: FnMut() -> T, F: FnMut(T, I::Item) -> T>(
+            self,
+            mut identity: ID,
+            f: F,
+        ) -> ParIter<std::iter::Once<T>> {
+            ParIter(std::iter::once(self.0.fold(identity(), f)))
+        }
+
+        /// Rayon-style reduce with an identity constructor.
+        pub fn reduce<ID: FnMut() -> I::Item, F: FnMut(I::Item, I::Item) -> I::Item>(
+            self,
+            mut identity: ID,
+            mut op: F,
+        ) -> I::Item {
+            self.0.fold(identity(), &mut op)
+        }
+
+        /// Collects into any `FromIterator` collection.
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.0.collect()
+        }
+
+        /// Runs `f` on every item.
+        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+            self.0.for_each(f)
+        }
+
+        /// Sums the items.
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.0.sum()
+        }
+
+        /// Counts the items.
+        pub fn count(self) -> usize {
+            self.0.count()
+        }
+
+        /// Minimum item, if any.
+        pub fn min(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.0.min()
+        }
+
+        /// Maximum item, if any.
+        pub fn max(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.0.max()
+        }
+
+        /// Item minimising `f`, if any.
+        pub fn min_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+            self.0.min_by_key(f)
+        }
+
+        /// Item maximising `f`, if any.
+        pub fn max_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+            self.0.max_by_key(f)
+        }
+
+        /// True if any item satisfies `f`.
+        pub fn any<F: FnMut(I::Item) -> bool>(self, mut f: F) -> bool {
+            let mut inner = self.0;
+            inner.any(&mut f)
+        }
+
+        /// True if all items satisfy `f`.
+        pub fn all<F: FnMut(I::Item) -> bool>(self, mut f: F) -> bool {
+            let mut inner = self.0;
+            inner.all(&mut f)
+        }
+
+        /// Splits an iterator of pairs into two collections.
+        pub fn unzip<A, B, FromA, FromB>(self) -> (FromA, FromB)
+        where
+            I: Iterator<Item = (A, B)>,
+            FromA: Default + Extend<A>,
+            FromB: Default + Extend<B>,
+        {
+            self.0.unzip()
+        }
+    }
+
+    impl<I: Iterator> IntoIterator for ParIter<I> {
+        type Item = I::Item;
+        type IntoIter = I;
+
+        fn into_iter(self) -> I {
+            self.0
+        }
+    }
+}
+
+/// The traits brought into scope by `use rayon::prelude::*`.
+pub mod prelude {
+    pub use super::iter::ParIter;
+
+    /// Conversion into a "parallel" iterator.
+    pub trait IntoParallelIterator {
+        /// The underlying sequential iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The item type.
+        type Item;
+
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Iter>;
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {
+        type Iter = T::IntoIter;
+        type Item = T::Item;
+
+        fn into_par_iter(self) -> ParIter<T::IntoIter> {
+            ParIter::new(self.into_iter())
+        }
+    }
+
+    /// `par_iter()` over any collection whose reference iterates — slices,
+    /// `Vec`, `HashMap`, …
+    pub trait IntoParallelRefIterator<'data> {
+        /// The underlying sequential iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The item type (`&'data T` for sequences).
+        type Item: 'data;
+
+        /// Parallel iterator over references.
+        fn par_iter(&'data self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'data, T: 'data + ?Sized> IntoParallelRefIterator<'data> for T
+    where
+        &'data T: IntoIterator,
+    {
+        type Iter = <&'data T as IntoIterator>::IntoIter;
+        type Item = <&'data T as IntoIterator>::Item;
+
+        fn par_iter(&'data self) -> ParIter<Self::Iter> {
+            ParIter::new(self.into_iter())
+        }
+    }
+
+    /// `par_iter_mut()` over any collection whose mutable reference iterates.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The underlying sequential iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The item type (`&'data mut T` for sequences).
+        type Item: 'data;
+
+        /// Parallel iterator over mutable references.
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'data, T: 'data + ?Sized> IntoParallelRefMutIterator<'data> for T
+    where
+        &'data mut T: IntoIterator,
+    {
+        type Iter = <&'data mut T as IntoIterator>::IntoIter;
+        type Item = <&'data mut T as IntoIterator>::Item;
+
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+            ParIter::new(self.into_iter())
+        }
+    }
+
+    /// `par_chunks`/`par_windows` over shared slices.
+    pub trait ParallelSlice<T> {
+        /// Parallel iterator over non-overlapping chunks.
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+
+        /// Parallel iterator over overlapping windows.
+        fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+            ParIter::new(self.chunks(chunk_size))
+        }
+
+        fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>> {
+            ParIter::new(self.windows(window_size))
+        }
+    }
+
+    /// `par_chunks_mut`/`par_sort_*` over mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Parallel iterator over non-overlapping mutable chunks.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+
+        /// Stable sort by key.
+        fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+
+        /// Unstable sort of `Ord` items.
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+
+        /// Unstable sort by key.
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+            ParIter::new(self.chunks_mut(chunk_size))
+        }
+
+        fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+            self.sort_by_key(f)
+        }
+
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable()
+        }
+
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+            self.sort_unstable_by_key(f)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_roundtrip() {
+        let v: Vec<u64> = (0..100u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 100);
+        assert_eq!(v[7], 14);
+    }
+
+    #[test]
+    fn zip_and_mutate() {
+        let mut out = vec![0u64; 8];
+        let add = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
+        out.par_iter_mut()
+            .zip(add.par_iter())
+            .for_each(|(o, &a)| *o += a);
+        assert_eq!(out, add);
+    }
+
+    #[test]
+    fn fold_reduce_matches_sum() {
+        let total: u64 = (1..=100u64)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 5050);
+    }
+
+    #[test]
+    fn join_runs_both_closures() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn chunks_cover_input() {
+        let data: Vec<u32> = (0..10).collect();
+        let sums: Vec<u32> = data.par_chunks(3).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 12, 21, 9]);
+    }
+}
