@@ -1,0 +1,90 @@
+//! E10 bench: routing policies under skew — hash partitioning vs skew-aware
+//! hot-key splitting, at the router layer (pure partition cost) and through
+//! the full engine (ingest + drain on Zipf streams).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psfa::prelude::*;
+use psfa_bench::zipf_minibatches;
+
+const BATCHES: usize = 20;
+const BATCH_SIZE: usize = 10_000;
+const SHARDS: usize = 8;
+
+fn bench_router_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_partition");
+    let items = (BATCHES * BATCH_SIZE) as u64;
+    group.throughput(Throughput::Elements(items));
+
+    for &alpha in &[1.1f64, 1.5] {
+        let batches = zipf_minibatches(100_000, alpha, BATCHES, BATCH_SIZE, 11);
+        group.bench_with_input(BenchmarkId::new("hash", alpha), &batches, |b, batches| {
+            let router = HashRouter::new(SHARDS);
+            b.iter(|| {
+                let mut routed = 0usize;
+                for batch in batches {
+                    routed += router.partition(batch).iter().map(Vec::len).sum::<usize>();
+                }
+                routed
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("skew_aware", alpha),
+            &batches,
+            |b, batches| {
+                b.iter(|| {
+                    // Fresh router per iteration so the measured cost includes
+                    // online hot-key detection and promotion, not just the
+                    // steady state.
+                    let router = SkewAwareRouter::new(SHARDS);
+                    let mut routed = 0usize;
+                    for batch in batches {
+                        routed += router.partition(batch).iter().map(Vec::len).sum::<usize>();
+                    }
+                    routed
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_engine_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_routing");
+    let batches = zipf_minibatches(100_000, 1.4, BATCHES, BATCH_SIZE, 23);
+    let items = (BATCHES * BATCH_SIZE) as u64;
+    group.throughput(Throughput::Elements(items));
+
+    for policy in [RoutingPolicy::Hash, RoutingPolicy::skew_aware()] {
+        group.bench_with_input(
+            BenchmarkId::new("ingest_drain", policy.name()),
+            &policy,
+            |b, policy| {
+                b.iter(|| {
+                    let engine = Engine::spawn(
+                        EngineConfig::with_shards(SHARDS)
+                            .heavy_hitters(0.01, 0.001)
+                            .routing(policy.clone()),
+                    );
+                    let handle = engine.handle();
+                    for batch in &batches {
+                        handle.ingest(batch).unwrap();
+                    }
+                    engine.drain();
+                    let hot = handle.metrics().hot_keys.len();
+                    engine.shutdown();
+                    hot
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_router_partition, bench_engine_routing
+}
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Regenerates every experiment in DESIGN.md §4 (E1–E8, F2) plus the engine
-//! serving experiment (E9) and prints the result tables recorded in
-//! EXPERIMENTS.md.
+//! serving experiment (E9) and the skew-aware routing experiment (E10), and
+//! prints the result tables recorded in EXPERIMENTS.md.
 //!
 //! Usage:
 //! ```text
@@ -71,6 +71,9 @@ fn main() {
     }
     if want("e9") {
         e9_engine(quick);
+    }
+    if want("e10") {
+        e10_skew_routing(quick);
     }
     if want("f2") {
         f2_snapshot_example();
@@ -666,6 +669,101 @@ fn e9_engine(quick: bool) {
             "{}",
             report_row(format!("engine x{shards}"), secs, hh, max_err)
         );
+    }
+    println!();
+}
+
+/// E10 — routing policies under skew: hash partitioning vs skew-aware
+/// hot-key splitting on Zipf streams. Hash routing pins each hot key to one
+/// shard, so the busiest shard — not the hardware — bounds throughput; the
+/// skew-aware router spreads hot keys round-robin and queries sum their
+/// per-shard counts. Asserts the one-sided `ε·m` accuracy bound under both
+/// policies and, on the heavily skewed stream, that splitting levels the
+/// load — so a routing regression fails this experiment, not just a bench.
+fn e10_skew_routing(quick: bool) {
+    println!("== E10: routing under skew — hash vs skew-aware hot-key splitting (8 shards) ==");
+    println!(
+        "{}",
+        header(&[
+            "alpha",
+            "router",
+            "Mitems/s",
+            "imbalance",
+            "hot keys",
+            "max err/εm"
+        ])
+    );
+    let shards = 8usize;
+    let phi = 0.01;
+    let eps = 0.001;
+    for &alpha in &[1.1f64, 1.5] {
+        let batches = zipf_minibatches(100_000, alpha, scaled(48, quick), 20_000, 37);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for b in &batches {
+            for &x in b {
+                *truth.entry(x).or_insert(0) += 1;
+            }
+        }
+        let m: u64 = truth.values().sum();
+
+        let mut imbalances = Vec::new();
+        for policy in [RoutingPolicy::Hash, RoutingPolicy::skew_aware()] {
+            let engine = Engine::spawn(
+                EngineConfig::with_shards(shards)
+                    .heavy_hitters(phi, eps)
+                    .routing(policy.clone()),
+            );
+            let handle = engine.handle();
+            let (_, secs) = timed(|| {
+                for b in &batches {
+                    handle.ingest(b).expect("engine closed");
+                }
+                engine.drain();
+            });
+            let metrics = handle.metrics();
+            let imbalance = metrics.load_imbalance().expect("items were processed");
+            let max_err = truth
+                .iter()
+                .map(|(&item, &f)| {
+                    let est = handle.estimate(item);
+                    assert!(
+                        est <= f,
+                        "{}: estimate {est} above truth {f}",
+                        policy.name()
+                    );
+                    f.saturating_sub(est) as f64
+                })
+                .fold(0.0f64, f64::max);
+            assert!(
+                max_err <= eps * m as f64 + 1.0,
+                "{}: error {max_err} above εm = {}",
+                policy.name(),
+                eps * m as f64
+            );
+            engine.shutdown();
+            imbalances.push(imbalance);
+            println!(
+                "{}",
+                row(&[
+                    format!("{alpha}"),
+                    policy.name().into(),
+                    format!("{:.2}", m as f64 / secs / 1e6),
+                    format!("{imbalance:.3}"),
+                    metrics.hot_keys.len().to_string(),
+                    format!("{:.3}", max_err / (eps * m as f64)),
+                ])
+            );
+        }
+        // On the heavily skewed stream the win must be visible, not just
+        // plausible: Zipf(1.5)'s head key alone is ~38% of all traffic.
+        if alpha >= 1.5 {
+            assert!(
+                imbalances[1] < imbalances[0],
+                "skew-aware imbalance {:.3} must beat hash imbalance {:.3} at Zipf({alpha})",
+                imbalances[1],
+                imbalances[0]
+            );
+        }
     }
     println!();
 }

@@ -1,5 +1,7 @@
 //! Engine configuration.
 
+use psfa_stream::RoutingPolicy;
+
 /// Configuration of a sharded ingestion engine.
 ///
 /// The accuracy parameters mirror the single-threaded operators: each shard
@@ -7,6 +9,10 @@
 /// sketch (`cm_epsilon`, `cm_delta`, `cm_seed` — the *same* seed on every
 /// shard so per-shard sketches stay mergeable), and optionally a
 /// sliding-window frequency estimator over the shard's substream.
+///
+/// `routing` selects how minibatches are split across shards: hash
+/// partitioning (each key owned by one shard, the default) or skew-aware
+/// hot-key splitting (see [`psfa_stream::SkewAwareRouter`]).
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Number of shard workers (and worker threads).
@@ -14,6 +20,8 @@ pub struct EngineConfig {
     /// Bounded per-shard queue capacity, in minibatches. When a queue is
     /// full, [`crate::EngineHandle::ingest`] blocks — backpressure.
     pub queue_capacity: usize,
+    /// How minibatches are routed across shards.
+    pub routing: RoutingPolicy,
     /// Heavy-hitter threshold φ.
     pub phi: f64,
     /// Frequency-estimation error ε (must satisfy `0 < ε < φ < 1`).
@@ -37,6 +45,7 @@ impl Default for EngineConfig {
                 .unwrap_or(4)
                 .max(2),
             queue_capacity: 32,
+            routing: RoutingPolicy::Hash,
             phi: 0.01,
             epsilon: 0.001,
             cm_epsilon: 0.0005,
@@ -60,6 +69,18 @@ impl EngineConfig {
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
         self
+    }
+
+    /// Sets the routing policy.
+    pub fn routing(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Enables skew-aware routing with default parameters: hot keys are
+    /// detected online and split round-robin across all shards.
+    pub fn skew_aware_routing(self) -> Self {
+        self.routing(RoutingPolicy::skew_aware())
     }
 
     /// Sets the heavy-hitter threshold φ and estimation error ε.
@@ -93,6 +114,7 @@ impl EngineConfig {
             self.queue_capacity >= 1,
             "queue capacity must be at least 1"
         );
+        self.routing.validate(self.shards);
         assert!(
             self.epsilon > 0.0 && self.epsilon < self.phi && self.phi < 1.0,
             "heavy hitters require 0 < epsilon < phi < 1"
@@ -132,11 +154,25 @@ mod tests {
             .queue_capacity(8)
             .heavy_hitters(0.05, 0.01)
             .count_min(0.001, 0.02, 7)
-            .sliding_window(1 << 16);
+            .sliding_window(1 << 16)
+            .skew_aware_routing();
         config.validate();
         assert_eq!(config.shards, 4);
         assert_eq!(config.queue_capacity, 8);
         assert_eq!(config.window, Some(1 << 16));
+        assert_eq!(config.routing.name(), "skew-aware");
+        assert_eq!(EngineConfig::default().routing, RoutingPolicy::Hash);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_fraction")]
+    fn invalid_routing_rejected() {
+        EngineConfig::with_shards(2)
+            .routing(RoutingPolicy::SkewAware {
+                hot_capacity: Some(4),
+                hot_fraction: Some(2.0),
+            })
+            .validate();
     }
 
     #[test]

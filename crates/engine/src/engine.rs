@@ -1,6 +1,7 @@
 //! The engine: shard spawning, routed ingestion, live cross-shard queries,
 //! drain and shutdown.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, RwLock};
@@ -8,7 +9,7 @@ use std::thread::JoinHandle;
 
 use psfa_freq::{HeavyHitter, InfiniteHeavyHitters, ParallelFrequencyEstimator};
 use psfa_sketch::ParallelCountMin;
-use psfa_stream::{partition_by_key, shard_of, MinibatchOperator};
+use psfa_stream::{MinibatchOperator, Placement, Router};
 
 use crate::config::EngineConfig;
 use crate::metrics::EngineMetrics;
@@ -26,6 +27,65 @@ impl fmt::Display for EngineClosed {
 }
 
 impl std::error::Error for EngineClosed {}
+
+/// Error returned by [`EngineHandle::ingest`], reporting exactly how much of
+/// the minibatch was delivered before the failure.
+///
+/// `ingest` splits a minibatch into per-shard sub-batches and enqueues them
+/// one shard at a time, so a failure is **not** automatically all-or-nothing:
+///
+/// * A *graceful* shutdown ([`Engine::shutdown`]) serialises behind the whole
+///   `ingest` call, so it can only reject a batch up-front —
+///   `parts_delivered == 0` and nothing was enqueued (clean rejection).
+/// * If a shard *worker died* (panicked) mid-call, the sub-batches sent to
+///   other shards before the failure are already enqueued and will be (or
+///   were) processed; `parts_delivered` counts them so callers can account
+///   for the partially applied batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestError {
+    /// Non-empty per-shard sub-batches enqueued before the failure.
+    pub parts_delivered: usize,
+    /// Non-empty per-shard sub-batches the minibatch was split into
+    /// (`0` when the batch was rejected before being split).
+    pub parts_total: usize,
+}
+
+impl IngestError {
+    fn rejected() -> Self {
+        Self {
+            parts_delivered: 0,
+            parts_total: 0,
+        }
+    }
+
+    /// True if nothing was enqueued: the batch was refused as a whole and
+    /// the stream state is exactly as if `ingest` was never called.
+    pub fn is_clean_rejection(&self) -> bool {
+        self.parts_delivered == 0
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `parts_total == 0` is the up-front rejection path (the batch was
+        // never split); a worker death mid-call has `parts_total > 0` even
+        // when it struck before the first part was delivered.
+        if self.parts_total == 0 {
+            write!(
+                f,
+                "engine is shut down; minibatch rejected (none of it was enqueued)"
+            )
+        } else {
+            write!(
+                f,
+                "engine worker died mid-ingest: {}/{} per-shard sub-batches were already enqueued",
+                self.parts_delivered, self.parts_total
+            )
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
 
 /// Builder collecting lifted operators before the workers start.
 pub struct EngineBuilder {
@@ -53,6 +113,7 @@ impl EngineBuilder {
     /// Spawns the shard workers and returns the running engine.
     pub fn spawn(self) -> Engine {
         let EngineBuilder { config, lifted } = self;
+        let router: Arc<dyn Router> = config.routing.build(config.shards);
         let shared: Arc<Vec<Arc<ShardShared>>> = Arc::new(
             (0..config.shards)
                 .map(|shard| Arc::new(ShardShared::new(shard, &config)))
@@ -73,6 +134,7 @@ impl EngineBuilder {
         let handle = EngineHandle {
             senders: Arc::new(senders),
             shared,
+            router,
             closed: Arc::new(RwLock::new(false)),
             phi: config.phi,
             epsilon: config.epsilon,
@@ -120,8 +182,9 @@ impl Engine {
     ///
     /// Outstanding [`EngineHandle`]s stay valid for queries against the last
     /// published snapshots, but further [`EngineHandle::ingest`] calls fail
-    /// with [`EngineClosed`] — including calls racing this shutdown: every
-    /// `ingest` that returned `Ok` is guaranteed to be processed.
+    /// with a clean-rejection [`IngestError`] — including calls racing this
+    /// shutdown: every `ingest` that returned `Ok` is guaranteed to be
+    /// processed.
     pub fn shutdown(self) -> EngineReport {
         // Taking the write lock waits for every in-flight enqueue (which
         // holds a read guard across its send) to finish, and flips `closed`
@@ -154,19 +217,24 @@ impl Engine {
 ///
 /// ## Consistency model
 ///
-/// Ingestion is routed by [`shard_of`], so each key is owned by exactly one
-/// shard. Queries merge per-shard [`ShardSnapshot`]s published under an
-/// epoch discipline: each snapshot is internally consistent at its shard's
-/// epoch, and epochs only move forward. A cross-shard query therefore sees,
-/// for every shard, *some* recently completed prefix of that shard's
-/// substream — exactly the guarantee a minibatch system gives between
-/// batches — and the paper's one-sided error bounds hold for the observed
-/// prefix: estimates never exceed true frequencies, and underestimate by at
-/// most `ε · m_s ≤ ε · m` for the owning shard's `m_s`.
+/// Ingestion is split by the configured [`Router`]: under hash routing each
+/// key is owned by exactly one shard; under skew-aware routing a hot key's
+/// occurrences are spread across all shards and its per-shard counts are
+/// *summed* at query time. Queries merge per-shard [`ShardSnapshot`]s
+/// published under an epoch discipline: each snapshot is internally
+/// consistent at its shard's epoch, and epochs only move forward. A
+/// cross-shard query therefore sees, for every shard, *some* recently
+/// completed prefix of that shard's substream — exactly the guarantee a
+/// minibatch system gives between batches — and the paper's one-sided error
+/// bounds hold for the observed prefix: every occurrence lands on exactly
+/// one shard, so summed estimates never exceed true frequencies and
+/// underestimate by at most `Σ_s ε · m_s = ε · m` (the mergeable-summaries
+/// accounting of [`psfa_freq::MgSummary::merge`] applied at query time).
 #[derive(Clone)]
 pub struct EngineHandle {
     senders: Arc<Vec<SyncSender<ShardCommand>>>,
     shared: Arc<Vec<Arc<ShardShared>>>,
+    router: Arc<dyn Router>,
     /// False while the engine accepts ingestion. Enqueues hold a read guard
     /// across their send so [`Engine::shutdown`]'s write acquisition
     /// serialises after every accepted batch.
@@ -197,14 +265,19 @@ impl EngineHandle {
         self.window
     }
 
-    /// Routes one minibatch to its shards and enqueues the per-shard
-    /// sub-batches, blocking while any target queue is full (backpressure).
+    /// Routes one minibatch through the configured [`Router`] and enqueues
+    /// the per-shard sub-batches, blocking while any target queue is full
+    /// (backpressure).
     ///
     /// Safe to call from many threads at once; item order per key is
     /// preserved per producer. Atomic with respect to [`Engine::shutdown`]:
-    /// `Ok` means the whole minibatch will be processed, and
-    /// `Err(EngineClosed)` from a graceful shutdown means none of it was.
-    pub fn ingest(&self, minibatch: &[u64]) -> Result<(), EngineClosed> {
+    /// `Ok` means the whole minibatch will be processed, and an error from a
+    /// graceful shutdown is a *clean rejection* — none of it was enqueued.
+    /// Only a shard worker dying mid-call (a panic, never a graceful stop)
+    /// can leave the batch partially delivered; the returned [`IngestError`]
+    /// reports how many per-shard sub-batches had already been enqueued so
+    /// the caller can account for the partial application.
+    pub fn ingest(&self, minibatch: &[u64]) -> Result<(), IngestError> {
         if minibatch.is_empty() {
             return Ok(());
         }
@@ -213,14 +286,20 @@ impl EngineHandle {
         // nothing enqueued) or entirely after it (Ok, everything enqueued).
         let closed = self.closed.read().expect("engine closed flag poisoned");
         if *closed {
-            return Err(EngineClosed);
+            return Err(IngestError::rejected());
         }
-        let parts = partition_by_key(minibatch, self.shards());
+        let parts = self.router.partition(minibatch);
+        let parts_total = parts.iter().filter(|p| !p.is_empty()).count();
+        let mut parts_delivered = 0usize;
         for (shard, part) in parts.into_iter().enumerate() {
             if part.is_empty() {
                 continue;
             }
-            self.send_part(shard, part)?;
+            self.send_part(shard, part).map_err(|_| IngestError {
+                parts_delivered,
+                parts_total,
+            })?;
+            parts_delivered += 1;
         }
         Ok(())
     }
@@ -301,9 +380,16 @@ impl EngineHandle {
         self.shared.iter().map(|s| s.load_snapshot()).collect()
     }
 
-    /// The shard that owns `item`.
-    pub fn shard_of(&self, item: u64) -> usize {
-        shard_of(item, self.shards())
+    /// Where `item`'s count mass may live under the configured routing:
+    /// a single owning shard, or replicated across all shards (hot keys
+    /// under skew-aware routing).
+    pub fn placement(&self, item: u64) -> Placement {
+        self.router.placement(item)
+    }
+
+    /// The active router (for inspection; e.g. its current hot-key set).
+    pub fn router(&self) -> &Arc<dyn Router> {
+        &self.router
     }
 
     /// Total items reflected in the current snapshots (`m` of the observed
@@ -317,48 +403,91 @@ impl EngineHandle {
         self.snapshots().iter().map(|s| s.epoch).collect()
     }
 
-    /// Live point-frequency estimate for `item` from the owning shard's
-    /// snapshot: one-sided, `f − ε·m ≤ f̂ ≤ f` over the observed prefix.
+    /// Live point-frequency estimate for `item`: one-sided,
+    /// `f − ε·m ≤ f̂ ≤ f` over the observed prefix.
+    ///
+    /// Owner-routed keys are answered by the owning shard's snapshot alone;
+    /// replicated (hot) keys are summed across every shard's snapshot — each
+    /// shard underestimates its substream by at most `ε·m_s`, so the sum
+    /// underestimates by at most `ε·m` and never overestimates.
     pub fn estimate(&self, item: u64) -> u64 {
-        self.shared[self.shard_of(item)]
-            .load_snapshot()
-            .estimate(item)
+        match self.router.placement(item) {
+            Placement::Owner(shard) => self.shared[shard].load_snapshot().estimate(item),
+            Placement::Replicated => self
+                .shared
+                .iter()
+                .map(|s| s.load_snapshot().estimate(item))
+                .sum(),
+        }
     }
 
-    /// Live sliding-window estimate for `item` over the owning shard's
-    /// substream window; `0` when the engine runs without a window.
+    /// Live sliding-window estimate for `item` over the per-shard substream
+    /// windows (summed across shards for replicated keys); `0` when the
+    /// engine runs without a window.
+    ///
+    /// **Window semantics differ between routers**: each shard's window
+    /// covers the last `n` items *of that shard's substream*, so an
+    /// owner-routed key is estimated over one shard-window while a
+    /// replicated key's sum spans up to `shards` shard-windows of recent
+    /// traffic. In particular, a key's reported value can step up when the
+    /// skew-aware router promotes it. Estimates remain one-sided
+    /// (never above the key's count in the covered items); a router-independent
+    /// *global* window needs cross-shard window alignment — an open
+    /// ROADMAP item.
     pub fn sliding_estimate(&self, item: u64) -> u64 {
-        self.shared[self.shard_of(item)]
-            .load_snapshot()
-            .sliding_estimate(item)
+        match self.router.placement(item) {
+            Placement::Owner(shard) => self.shared[shard].load_snapshot().sliding_estimate(item),
+            Placement::Replicated => self
+                .shared
+                .iter()
+                .map(|s| s.load_snapshot().sliding_estimate(item))
+                .sum(),
+        }
     }
 
-    /// Live Count-Min overestimate for `item` (`f ≤ f̂ ≤ f + ε_cm·m_s`),
-    /// answered by the owning shard's sketch under its lock.
+    /// Live Count-Min overestimate for `item` (`f ≤ f̂ ≤ f + ε_cm·m`).
+    ///
+    /// Owner-routed keys query the owning shard's sketch (error `ε_cm·m_s`);
+    /// replicated keys sum the per-shard overestimates, which remains an
+    /// overestimate with error at most `Σ_s ε_cm·m_s = ε_cm·m`.
     pub fn cm_estimate(&self, item: u64) -> u64 {
-        let shard = self.shard_of(item);
-        self.shared[shard]
-            .count_min
-            .lock()
-            .expect("count-min lock poisoned")
-            .query(item)
+        let query_shard = |shard: usize| {
+            self.shared[shard]
+                .count_min
+                .lock()
+                .expect("count-min lock poisoned")
+                .query(item)
+        };
+        match self.router.placement(item) {
+            Placement::Owner(shard) => query_shard(shard),
+            Placement::Replicated => (0..self.shards()).map(query_shard).sum(),
+        }
     }
 
     /// Live φ-heavy hitters of the full stream, merged across shards from
     /// the current snapshots, most frequent first.
     ///
-    /// Guarantees over the observed prefix of `m` items: every item with
-    /// true frequency `≥ φm` is reported; no item with true frequency
-    /// `< (φ − ε)m` is reported.
+    /// Per-shard summary entries are **summed by key** before thresholding,
+    /// so a hot key split across shards by the skew-aware router is judged
+    /// by its global estimate, not its largest fragment. Guarantees over the
+    /// observed prefix of `m` items: every item with true frequency `≥ φm`
+    /// is reported (its summed estimate is at least `f − ε·m ≥ (φ − ε)m`);
+    /// no item with true frequency `< (φ − ε)m` is reported (summed
+    /// estimates never overestimate).
     pub fn heavy_hitters(&self) -> Vec<HeavyHitter> {
         let snapshots = self.snapshots();
         let m: u64 = snapshots.iter().map(|s| s.stream_len).sum();
         let threshold = ((self.phi - self.epsilon) * m as f64).max(0.0);
-        let mut out: Vec<HeavyHitter> = snapshots
-            .iter()
-            .flat_map(|s| s.hh_entries.iter())
-            .filter(|&&(_, est)| est as f64 >= threshold)
-            .map(|&(item, estimate)| HeavyHitter { item, estimate })
+        let mut sums: HashMap<u64, u64> = HashMap::new();
+        for snapshot in &snapshots {
+            for &(item, est) in &snapshot.hh_entries {
+                *sums.entry(item).or_insert(0) += est;
+            }
+        }
+        let mut out: Vec<HeavyHitter> = sums
+            .into_iter()
+            .filter(|&(_, est)| est as f64 >= threshold)
+            .map(|(item, estimate)| HeavyHitter { item, estimate })
             .collect();
         out.sort_unstable_by(|a, b| b.estimate.cmp(&a.estimate).then(a.item.cmp(&b.item)));
         out
@@ -379,7 +508,8 @@ impl EngineHandle {
         merged
     }
 
-    /// Point-in-time shard and queue metrics.
+    /// Point-in-time shard and queue metrics, including the active routing
+    /// policy and its current hot-key set.
     pub fn metrics(&self) -> EngineMetrics {
         EngineMetrics {
             shards: self
@@ -388,6 +518,8 @@ impl EngineHandle {
                 .enumerate()
                 .map(|(shard, s)| s.stats.snapshot(shard))
                 .collect(),
+            router: self.router.name(),
+            hot_keys: self.router.hot_keys(),
         }
     }
 }
@@ -483,9 +615,10 @@ mod tests {
         let report = engine.shutdown();
         assert_eq!(report.total_items(), total);
         // After shutdown the handle still answers queries but refuses
-        // ingestion.
+        // ingestion — cleanly, with nothing enqueued.
         assert_eq!(handle.total_items(), total);
-        assert_eq!(handle.ingest(&[1, 2, 3]), Err(EngineClosed));
+        let err = handle.ingest(&[1, 2, 3]).unwrap_err();
+        assert!(err.is_clean_rejection());
 
         // The merged estimator covers the full stream.
         let merged = report.merged_estimator();
@@ -577,7 +710,12 @@ mod tests {
                     loop {
                         match handle.ingest(&batch) {
                             Ok(()) => accepted += batch.len() as u64,
-                            Err(EngineClosed) => return accepted,
+                            Err(err) => {
+                                // A graceful shutdown must reject the whole
+                                // batch, never deliver part of it.
+                                assert!(err.is_clean_rejection(), "partial delivery: {err}");
+                                return accepted;
+                            }
                         }
                     }
                 }));
@@ -604,7 +742,13 @@ mod tests {
         let report = engine.shutdown();
         assert_eq!(report.total_items(), 4);
         // Post-shutdown attempts are refused and must not move counters.
-        assert_eq!(handle.ingest(&[5, 6, 7]), Err(EngineClosed));
+        assert_eq!(
+            handle.ingest(&[5, 6, 7]),
+            Err(IngestError {
+                parts_delivered: 0,
+                parts_total: 0
+            })
+        );
         assert!(matches!(
             handle.try_enqueue(0, vec![8]),
             Err(TrySendError::Disconnected(_))
@@ -616,6 +760,55 @@ mod tests {
             m.queue_depth(),
             0,
             "refused batches must not inflate queue depth"
+        );
+    }
+
+    #[test]
+    fn skew_aware_engine_levels_load_and_keeps_one_sided_estimates() {
+        // Half of all traffic is one hot key: hash routing pins it to one
+        // shard, the skew-aware router spreads it.
+        let hot = 42u64;
+        let batch: Vec<u64> = (0..2_000u64)
+            .map(|i| if i % 2 == 0 { hot } else { i })
+            .collect();
+        let run = |config: EngineConfig| {
+            let engine = Engine::spawn(config);
+            let handle = engine.handle();
+            for _ in 0..20 {
+                handle.ingest(&batch).unwrap();
+            }
+            engine.drain();
+            let metrics = handle.metrics();
+            let est = handle.estimate(hot);
+            let hh = handle.heavy_hitters();
+            engine.shutdown();
+            (metrics, est, hh)
+        };
+
+        let (hash_metrics, ..) = run(config());
+        let (skew_metrics, est, hh) = run(config().skew_aware_routing());
+
+        // Accuracy: the replicated key's summed estimate stays one-sided.
+        let f = 20_000u64; // 20 batches × 1000 occurrences
+        let m = 40_000u64;
+        assert!(est <= f, "summed estimate {est} above truth {f}");
+        assert!(
+            est + (0.01 * m as f64).ceil() as u64 >= f,
+            "summed estimate {est} under truth {f} by more than εm"
+        );
+        // The hot key is reported once, not once per shard fragment.
+        assert_eq!(hh.iter().filter(|h| h.item == hot).count(), 1);
+        // Routing is visible in the metrics.
+        assert_eq!(skew_metrics.router, "skew-aware");
+        assert!(skew_metrics.hot_keys.contains(&hot));
+        assert_eq!(hash_metrics.router, "hash");
+        assert!(hash_metrics.hot_keys.is_empty());
+        // And it levels the load.
+        let hash_imb = hash_metrics.load_imbalance().unwrap();
+        let skew_imb = skew_metrics.load_imbalance().unwrap();
+        assert!(
+            skew_imb < hash_imb,
+            "skew imbalance {skew_imb:.3} must beat hash imbalance {hash_imb:.3}"
         );
     }
 

@@ -9,7 +9,9 @@
 //!  producers (any thread, cloneable EngineHandle)
 //!      │  ingest(&[u64])
 //!      ▼
-//!  hash router (psfa_stream::shard_of — each key owned by one shard)
+//!  pluggable router (psfa_stream::Router)
+//!      │  hash: each key owned by one shard (default)
+//!      │  skew-aware: hot keys split round-robin across all shards
 //!      │  bounded sync channels (backpressure when full)
 //!      ▼
 //!  shard workers 0..N   each owns: InfiniteHeavyHitters   (φ, ε)
@@ -23,24 +25,29 @@
 //!
 //! ## Why sharding preserves the paper's guarantees
 //!
-//! The router assigns every key to exactly one shard
-//! ([`psfa_stream::shard_of`] is a pure function of the key), so per-shard
-//! summaries partition the key space instead of overlapping:
+//! The router places every *occurrence* on exactly one shard, so per-shard
+//! substreams partition the input stream (`Σ_s m_s = m`) even when a hot
+//! key's occurrences are spread across shards:
 //!
-//! * A **point query** is answered entirely by the owning shard. Its
-//!   Misra–Gries estimate satisfies `f − ε·m_s ≤ f̂ ≤ f` for the shard's
-//!   substream length `m_s ≤ m`, which implies the global one-sided bound
-//!   `f − ε·m ≤ f̂ ≤ f`.
-//! * A **heavy-hitter query** takes the union of per-shard summary entries
-//!   against the global threshold `(φ − ε)·m`: every item with `f ≥ φm` is
-//!   kept (its estimate is at least `f − ε·m_s ≥ (φ − ε)m`), and nothing
-//!   with `f < (φ − ε)m` survives (estimates never overestimate). These are
-//!   exactly the guarantees of the single-summary algorithm (Theorem 5.2 and
-//!   the Section 5 reduction).
+//! * A **point query** on an owner-routed key is answered entirely by the
+//!   owning shard: its Misra–Gries estimate satisfies `f − ε·m_s ≤ f̂ ≤ f`,
+//!   which implies the global one-sided bound `f − ε·m ≤ f̂ ≤ f`. For a
+//!   **replicated** (hot) key the per-shard estimates are *summed*: each
+//!   underestimates its substream frequency by at most `ε·m_s`, so the sum
+//!   underestimates `f = Σ_s f_s` by at most `Σ_s ε·m_s = ε·m` and never
+//!   overestimates — the mergeable-summaries accounting of
+//!   [`psfa_freq::MgSummary::merge`] applied at query time.
+//! * A **heavy-hitter query** sums per-shard summary entries by key and
+//!   thresholds the sums against `(φ − ε)·m`: every item with `f ≥ φm` is
+//!   kept (its summed estimate is at least `f − ε·m ≥ (φ − ε)m`), and
+//!   nothing with `f < (φ − ε)m` survives (summed estimates never
+//!   overestimate). These are exactly the guarantees of the single-summary
+//!   algorithm (Theorem 5.2 and the Section 5 reduction).
 //! * The per-shard **Count-Min** sketches share one hash seed, so they are
 //!   counter-wise mergeable ([`psfa_sketch::CountMinSketch::merge`]) into a
-//!   sketch of the full stream; single-shard point queries are already
-//!   global upper bounds with error `ε_cm · m_s`.
+//!   sketch of the full stream; point queries take the owning shard's upper
+//!   bound (error `ε_cm · m_s`), or for replicated keys the sum of per-shard
+//!   upper bounds (error `ε_cm · m`).
 //!
 //! This is the concurrent-ADT architecture of Gulisano et al. (producers
 //! decoupled from aggregators by explicit in-flight state) combined with the
@@ -66,7 +73,11 @@ mod operator;
 mod shard;
 
 pub use config::EngineConfig;
-pub use engine::{Engine, EngineBuilder, EngineClosed, EngineHandle, EngineReport};
+pub use engine::{Engine, EngineBuilder, EngineClosed, EngineHandle, EngineReport, IngestError};
 pub use metrics::{EngineMetrics, ShardMetrics};
 pub use operator::{EngineOperator, ShardedOperator};
 pub use shard::{ShardFinal, ShardSnapshot};
+
+// Routing lives in `psfa_stream::router`; re-exported here because the
+// engine's config and query semantics are expressed in terms of it.
+pub use psfa_stream::{HashRouter, Placement, Router, RoutingPolicy, SkewAwareRouter};

@@ -57,6 +57,11 @@ pub struct ShardMetrics {
 pub struct EngineMetrics {
     /// One entry per shard, in shard order.
     pub shards: Vec<ShardMetrics>,
+    /// Name of the active routing policy.
+    pub router: &'static str,
+    /// Keys the router currently splits across shards (empty under static
+    /// hash routing), sorted ascending.
+    pub hot_keys: Vec<u64>,
 }
 
 impl EngineMetrics {
@@ -88,6 +93,18 @@ impl EngineMetrics {
             .max_by(|a, b| a.total_cmp(b))
     }
 
+    /// Load imbalance across shards: the busiest shard's processed items
+    /// over the per-shard mean (`1.0` = perfectly balanced, `shards` = all
+    /// load on one shard); `None` before any item is processed.
+    ///
+    /// This is the quantity skew-aware routing exists to shrink — the
+    /// engine's throughput under backpressure is bounded by the busiest
+    /// shard, i.e. by `imbalance × (m / shards)` items on one worker.
+    pub fn load_imbalance(&self) -> Option<f64> {
+        self.max_shard_share()
+            .map(|share| share * self.shards.len() as f64)
+    }
+
     /// Renders the metrics as an aligned text table.
     pub fn to_table(&self) -> String {
         let mut out = String::new();
@@ -106,6 +123,13 @@ impl EngineMetrics {
                 s.queue_depth
             ));
         }
+        out.push_str(&format!(
+            "router {} | hot keys {} | load imbalance (max/mean) {}\n",
+            self.router,
+            self.hot_keys.len(),
+            self.load_imbalance()
+                .map_or_else(|| "n/a".to_string(), |x| format!("{x:.3}")),
+        ));
         out
     }
 }
@@ -146,18 +170,30 @@ mod tests {
                 queue_depth: 2,
             },
         ];
-        let m = EngineMetrics { shards };
+        let m = EngineMetrics {
+            shards,
+            router: "hash",
+            hot_keys: Vec::new(),
+        };
         assert_eq!(m.items_processed(), 120);
         assert_eq!(m.items_enqueued(), 150);
         assert_eq!(m.queue_depth(), 3);
         assert!((m.max_shard_share().unwrap() - 0.75).abs() < 1e-12);
+        // max = 90, mean = 60 ⇒ imbalance 1.5.
+        assert!((m.load_imbalance().unwrap() - 1.5).abs() < 1e-12);
         assert!(m.to_table().contains("queued"));
+        assert!(m.to_table().contains("router hash"));
     }
 
     #[test]
     fn empty_engine_has_no_share() {
-        let m = EngineMetrics { shards: Vec::new() };
+        let m = EngineMetrics {
+            shards: Vec::new(),
+            router: "hash",
+            hot_keys: Vec::new(),
+        };
         assert_eq!(m.items_processed(), 0);
         assert!(m.max_shard_share().is_none());
+        assert!(m.load_imbalance().is_none());
     }
 }

@@ -20,7 +20,7 @@
 //! * [`sliding_work`] — the work-efficient variant (Theorem 5.4): predict the
 //!   surviving counters first, then build per-item segments only for the
 //!   survivors with `sift` (Lemma 5.9).
-//! * [`sift`] — the `sift` routine of Lemma 5.9.
+//! * [`mod@sift`] — the `sift` routine of Lemma 5.9.
 //! * [`heavy_hitters`] — φ-heavy-hitter query layers over the estimators,
 //!   including the reduction stated at the start of Section 5.
 //!

@@ -12,7 +12,7 @@
 //!
 //! * [`scan`] — parallel prefix sums (exclusive and inclusive) over an
 //!   arbitrary associative operator.
-//! * [`pack`] — parallel filtering/compaction of sequences and flag vectors.
+//! * [`mod@pack`] — parallel filtering/compaction of sequences and flag vectors.
 //! * [`intsort`] — stable linear-work parallel counting sort for bounded
 //!   integer keys (the `intSort` of Theorem 2.2, after Rajasekaran–Reif).
 //! * [`select`] — expected linear-work parallel rank selection, used to

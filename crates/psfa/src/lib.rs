@@ -38,8 +38,8 @@
 //! | [`psfa_freq`] | §5 | parallel Misra–Gries, sliding-window frequency estimation (basic / space- / work-efficient), heavy hitters, mergeable summaries |
 //! | [`psfa_sketch`] | §6 | Count-Min sketch (sequential + parallel minibatch + mergeable), Count-Sketch |
 //! | [`psfa_baselines`] | §1, §5.4 | sequential comparators and the independent-data-structure approach |
-//! | [`psfa_stream`] | §1 | minibatch model, workload generators, pipeline driver, key-space splitting |
-//! | [`psfa_engine`] | beyond the paper | sharded multi-threaded ingestion engine with live cross-shard queries (`Engine`, `EngineHandle`) |
+//! | [`psfa_stream`] | §1 | minibatch model, workload generators, pipeline driver, routing layer (hash + skew-aware hot-key splitting) |
+//! | [`psfa_engine`] | beyond the paper | sharded multi-threaded ingestion engine with pluggable routing and live cross-shard queries (`Engine`, `EngineHandle`) |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -62,7 +62,7 @@ pub mod prelude {
     };
     pub use psfa_engine::{
         Engine, EngineConfig, EngineHandle, EngineMetrics, EngineOperator, EngineReport,
-        ShardedOperator,
+        IngestError, ShardedOperator,
     };
     pub use psfa_freq::{
         HeavyHitter, InfiniteHeavyHitters, MgSummary, ParallelFrequencyEstimator, SlidingFreqBasic,
@@ -73,8 +73,9 @@ pub mod prelude {
     pub use psfa_sketch::{CountMinSketch, CountSketch, ParallelCountMin};
     pub use psfa_stream::{
         partition_by_key, shard_of, AdversarialChurnGenerator, BinaryStreamGenerator,
-        BurstyGenerator, MinibatchOperator, PacketTraceGenerator, Pipeline, PipelineReport,
-        SplitGenerator, StreamGenerator, UniformGenerator, ZipfGenerator,
+        BurstyGenerator, HashRouter, MinibatchOperator, PacketTraceGenerator, Pipeline,
+        PipelineReport, Placement, Router, RoutingPolicy, SkewAwareRouter, SplitGenerator,
+        StreamGenerator, UniformGenerator, ZipfGenerator,
     };
     pub use psfa_window::{BasicCounter, QueryResult, Sbbc, WindowedSum};
 

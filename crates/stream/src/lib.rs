@@ -19,6 +19,8 @@
 //!   harness used by the examples and the experiment binaries.
 //! * [`split`] — key-space splitting of minibatch streams across shards,
 //!   the routing layer under the sharded ingestion engine (`psfa-engine`).
+//! * [`router`] — pluggable routing policies over the split layer: hash
+//!   partitioning and skew-aware hot-key splitting.
 //! * [`metrics`] — throughput/latency accounting.
 
 #![warn(missing_docs)]
@@ -27,6 +29,7 @@
 pub mod generators;
 pub mod metrics;
 pub mod pipeline;
+pub mod router;
 pub mod split;
 pub mod zipf;
 
@@ -36,5 +39,6 @@ pub use generators::{
 };
 pub use metrics::ThroughputMeter;
 pub use pipeline::{MinibatchOperator, Pipeline, PipelineReport};
+pub use router::{HashRouter, Placement, Router, RoutingPolicy, SkewAwareRouter};
 pub use split::{partition_by_key, shard_of, SplitGenerator};
 pub use zipf::ZipfSampler;

@@ -1,0 +1,541 @@
+//! Pluggable minibatch routing: how item occurrences are assigned to shards.
+//!
+//! PR 1's engine hard-coded hash routing ([`crate::split::shard_of`]), which
+//! partitions the *key space* evenly but not the *traffic*: under Zipf-skewed
+//! streams every occurrence of a hot key lands on one shard, and worst-case
+//! shard load — not the hardware — bounds throughput. This module makes
+//! routing a first-class abstraction:
+//!
+//! * [`Router`] — the trait: split a minibatch into per-shard sub-batches and
+//!   answer, for any key, *where its count mass may live* ([`Placement`]).
+//! * [`HashRouter`] — stateless hash partitioning; every key is owned by
+//!   exactly one shard (PR 1's behaviour, still the default).
+//! * [`SkewAwareRouter`] — detects hot keys online with a Space-Saving
+//!   tracker (as in QPOPSS and Parallel Space Saving) and spreads each hot
+//!   key's occurrences round-robin across *all* shards; queries must then sum
+//!   the key's per-shard counts ([`Placement::Replicated`]).
+//! * [`RoutingPolicy`] — plain-data configuration that builds a router, so
+//!   engine configs stay `Clone`/`Debug` while handles share one
+//!   `Arc<dyn Router>`.
+//!
+//! ## Why splitting preserves the paper's one-sided bounds
+//!
+//! Each occurrence still lands on exactly one shard, so per-shard substreams
+//! partition the input stream: `Σ_s m_s = m`. A shard's Misra–Gries summary
+//! underestimates its substream frequency `f_s` by at most `ε·m_s`, hence the
+//! *sum* of a replicated key's per-shard estimates underestimates
+//! `f = Σ_s f_s` by at most `Σ_s ε·m_s = ε·m` and never overestimates —
+//! exactly the single-summary guarantee. Count-Min sketches overestimate
+//! per shard by at most `ε_cm·m_s`, so the summed overestimate stays within
+//! `ε_cm·m`. This is the mergeable-summaries argument of
+//! `psfa_freq::MgSummary::merge` applied at query time.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use psfa_baselines::SpaceSaving;
+
+use crate::split::{partition_by_key, shard_of};
+
+/// Where a key's count mass may reside under a router's policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// All of the key's occurrences were routed to this single shard; a
+    /// point query is answered by the owner alone.
+    Owner(usize),
+    /// The key's occurrences may be spread across every shard; a point
+    /// query must sum the per-shard estimates (one-sided error `ε·m`, see
+    /// the module docs).
+    Replicated,
+}
+
+/// A routing policy: splits minibatches across shards and reports where each
+/// key's counts live.
+///
+/// Implementations are shared between concurrent producers and queriers
+/// behind an `Arc<dyn Router>`, so all methods take `&self`; stateful
+/// routers (hot-key detection) use interior mutability.
+pub trait Router: Send + Sync {
+    /// Short policy name for metrics and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// The number of shards this router routes across.
+    fn shards(&self) -> usize;
+
+    /// Splits one minibatch into `shards()` per-shard sub-batches. Every
+    /// item occurrence lands in exactly one sub-batch, and item order within
+    /// a sub-batch preserves stream order. May update internal skew state.
+    fn partition(&self, minibatch: &[u64]) -> Vec<Vec<u64>>;
+
+    /// The shards on which `key`'s count mass may reside. Queries use this
+    /// to decide between an owner-only read and a cross-shard sum.
+    fn placement(&self, key: u64) -> Placement;
+
+    /// Keys currently split across shards (empty for static routing).
+    fn hot_keys(&self) -> Vec<u64> {
+        Vec::new()
+    }
+}
+
+/// Stateless hash routing: each key is owned by exactly one shard, the pure
+/// function [`shard_of`] of the key. PR 1's behaviour and the default.
+#[derive(Debug, Clone)]
+pub struct HashRouter {
+    shards: usize,
+}
+
+impl HashRouter {
+    /// Creates a hash router over `shards` shards.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "HashRouter: shards must be non-zero");
+        Self { shards }
+    }
+}
+
+impl Router for HashRouter {
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+
+    fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn partition(&self, minibatch: &[u64]) -> Vec<Vec<u64>> {
+        partition_by_key(minibatch, self.shards)
+    }
+
+    fn placement(&self, key: u64) -> Placement {
+        Placement::Owner(shard_of(key, self.shards))
+    }
+}
+
+/// Skew-aware routing: hot keys are detected online and split round-robin
+/// across all shards; everything else routes by hash.
+///
+/// A Space-Saving tracker observes every partitioned minibatch. Once a key's
+/// estimated traffic share reaches `hot_fraction` (of all items observed so
+/// far), it is *promoted*: subsequent occurrences are dealt round-robin to
+/// all shards, levelling the per-shard load that hash routing concentrates
+/// on the key's home shard. Promotion is **sticky** — a promoted key is
+/// never demoted, so [`Router::placement`] can always answer from the
+/// current hot set without per-key routing history (dynamic demotion needs
+/// exactly that history and is left as a follow-on; see ROADMAP.md).
+///
+/// Promotion is a load-balancing decision, not a correctness one: whichever
+/// keys are (or are not) promoted, every occurrence lands on exactly one
+/// shard, and replicated keys are summed at query time (module docs). A
+/// query racing a promotion may briefly read `Placement::Owner` for a key
+/// whose newest occurrences were already spread — the summed/owner estimate
+/// remains one-sided (it never overestimates) and catches up on the next
+/// read.
+pub struct SkewAwareRouter {
+    shards: usize,
+    hot_capacity: usize,
+    hot_fraction: f64,
+    min_items: u64,
+    /// Every `sample_stride`-th item is fed to the tracker: a key with
+    /// traffic share `p` has share `p` in the stride sample too, so
+    /// detection is unaffected while the per-batch tracking cost (including
+    /// Space-Saving's `O(capacity)` eviction scans) shrinks by the stride.
+    sample_stride: usize,
+    tracker: Mutex<SpaceSaving>,
+    /// Sticky, monotonically growing hot set, kept sorted: with at most
+    /// `hot_capacity` (tens of) entries, a binary search beats hashing on
+    /// the per-item routing path. Readers clone the `Arc` so the routing
+    /// loop never holds the lock.
+    hot: RwLock<Arc<Vec<u64>>>,
+    /// Round-robin cursor shared by all producers for hot-key occurrences.
+    cursor: AtomicUsize,
+    /// Rotates the sampling offset so periodic streams cannot hide from the
+    /// stride.
+    batches: AtomicUsize,
+}
+
+impl SkewAwareRouter {
+    /// Fraction of observed traffic at which a key is promoted, when not set
+    /// explicitly: a quarter of a shard's fair share `1/shards`, so keys are
+    /// split well before they can dominate one shard.
+    pub fn default_hot_fraction(shards: usize) -> f64 {
+        0.25 / shards as f64
+    }
+
+    /// Hot-key budget when not set explicitly: `4·shards`, comfortably more
+    /// keys than can each hold [`Self::default_hot_fraction`] of the traffic.
+    pub fn default_hot_capacity(shards: usize) -> usize {
+        4 * shards
+    }
+
+    /// Creates a skew-aware router with default parameters:
+    /// [`Self::default_hot_capacity`] hot keys at most, promotion at
+    /// [`Self::default_hot_fraction`].
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        Self::with_params(
+            shards,
+            Self::default_hot_capacity(shards),
+            Self::default_hot_fraction(shards),
+        )
+    }
+
+    /// Creates a skew-aware router with an explicit hot-key budget and
+    /// promotion threshold.
+    ///
+    /// # Panics
+    /// Panics unless `shards > 0`, `hot_capacity > 0` and
+    /// `0 < hot_fraction < 1`.
+    pub fn with_params(shards: usize, hot_capacity: usize, hot_fraction: f64) -> Self {
+        assert!(shards > 0, "SkewAwareRouter: shards must be non-zero");
+        assert!(
+            hot_capacity > 0,
+            "SkewAwareRouter: hot capacity must be non-zero"
+        );
+        assert!(
+            hot_fraction > 0.0 && hot_fraction < 1.0,
+            "SkewAwareRouter: hot fraction must be in (0, 1)"
+        );
+        // Tracker error one quarter of the promotion threshold, so the
+        // overestimate of a Space-Saving entry cannot promote a key whose
+        // true share is far below `hot_fraction`.
+        let tracker_epsilon = (hot_fraction / 4.0).max(1e-6);
+        Self {
+            shards,
+            hot_capacity,
+            hot_fraction,
+            min_items: 512,
+            sample_stride: 8,
+            tracker: Mutex::new(SpaceSaving::new(tracker_epsilon)),
+            hot: RwLock::new(Arc::new(Vec::new())),
+            cursor: AtomicUsize::new(0),
+            batches: AtomicUsize::new(0),
+        }
+    }
+
+    /// Feeds a stride sample of one minibatch to the tracker and promotes
+    /// any key whose estimated traffic share reached `hot_fraction`.
+    fn observe(&self, minibatch: &[u64], hot: &[u64]) {
+        // Promotion is sticky, so once the hot set is full no observation
+        // can ever matter again — stop paying the tracker lock and the
+        // sampling work for the rest of the process lifetime.
+        if hot.len() >= self.hot_capacity {
+            return;
+        }
+        let offset = self.batches.fetch_add(1, Ordering::Relaxed) % self.sample_stride;
+        let mut tracker = self.tracker.lock().expect("skew tracker lock poisoned");
+        for &item in minibatch.iter().skip(offset).step_by(self.sample_stride) {
+            tracker.update(item);
+        }
+        let m = tracker.stream_len();
+        if m < self.min_items {
+            return;
+        }
+        let threshold = self.hot_fraction * m as f64;
+        let promoted: Vec<u64> = tracker
+            .entries()
+            .into_iter()
+            .filter(|&(key, est)| est as f64 >= threshold && hot.binary_search(&key).is_err())
+            .map(|(key, _)| key)
+            .collect();
+        drop(tracker);
+        if promoted.is_empty() {
+            return;
+        }
+        let mut guard = self.hot.write().expect("hot set lock poisoned");
+        let mut next: Vec<u64> = (**guard).clone();
+        for key in promoted {
+            if next.len() >= self.hot_capacity {
+                break;
+            }
+            if let Err(at) = next.binary_search(&key) {
+                next.insert(at, key);
+            }
+        }
+        *guard = Arc::new(next);
+    }
+
+    fn hot_set(&self) -> Arc<Vec<u64>> {
+        self.hot.read().expect("hot set lock poisoned").clone()
+    }
+}
+
+impl Router for SkewAwareRouter {
+    fn name(&self) -> &'static str {
+        "skew-aware"
+    }
+
+    fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn partition(&self, minibatch: &[u64]) -> Vec<Vec<u64>> {
+        let hot = self.hot_set();
+        let mut parts: Vec<Vec<u64>> = (0..self.shards)
+            .map(|_| Vec::with_capacity(minibatch.len() / self.shards + 1))
+            .collect();
+        // One shared-cursor RMW per *batch*, not per hot occurrence: under
+        // heavy skew a per-item fetch_add would ping-pong one cache line
+        // between all producers. Reserving `len` slots up front over-counts
+        // (cold items burn no slot), which only shifts the next batch's
+        // round-robin phase — the deal within a batch stays exact.
+        let mut cursor = self.cursor.fetch_add(minibatch.len(), Ordering::Relaxed);
+        for &item in minibatch {
+            let shard = if hot.binary_search(&item).is_ok() {
+                cursor += 1;
+                cursor % self.shards
+            } else {
+                shard_of(item, self.shards)
+            };
+            parts[shard].push(item);
+        }
+        self.observe(minibatch, &hot);
+        parts
+    }
+
+    fn placement(&self, key: u64) -> Placement {
+        if self.hot_set().binary_search(&key).is_ok() {
+            Placement::Replicated
+        } else {
+            Placement::Owner(shard_of(key, self.shards))
+        }
+    }
+
+    fn hot_keys(&self) -> Vec<u64> {
+        (*self.hot_set()).clone()
+    }
+}
+
+/// Plain-data routing configuration: which [`Router`] an engine builds at
+/// spawn time. Keeps `EngineConfig` `Clone` + `Debug` while the running
+/// engine shares a single `Arc<dyn Router>` across handles.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum RoutingPolicy {
+    /// Hash partitioning: each key owned by exactly one shard (default).
+    #[default]
+    Hash,
+    /// Online hot-key detection with round-robin splitting of hot keys.
+    SkewAware {
+        /// Maximum number of keys ever promoted to hot; `None` picks
+        /// [`SkewAwareRouter::default_hot_capacity`] for the shard count.
+        hot_capacity: Option<usize>,
+        /// Traffic share at which a key is promoted; `None` picks
+        /// [`SkewAwareRouter::default_hot_fraction`] for the shard count.
+        hot_fraction: Option<f64>,
+    },
+}
+
+impl RoutingPolicy {
+    /// Skew-aware routing with default parameters.
+    pub fn skew_aware() -> Self {
+        RoutingPolicy::SkewAware {
+            hot_capacity: None,
+            hot_fraction: None,
+        }
+    }
+
+    /// Short policy name for display.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RoutingPolicy::Hash => "hash",
+            RoutingPolicy::SkewAware { .. } => "skew-aware",
+        }
+    }
+
+    /// Checks parameter ranges for the given shard count.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (a `hot_fraction` outside `(0, 1)`).
+    pub fn validate(&self, shards: usize) {
+        assert!(shards > 0, "routing requires at least one shard");
+        if let RoutingPolicy::SkewAware {
+            hot_capacity,
+            hot_fraction,
+        } = self
+        {
+            if let Some(capacity) = hot_capacity {
+                assert!(
+                    *capacity > 0,
+                    "skew-aware routing requires a non-zero hot_capacity"
+                );
+            }
+            if let Some(f) = hot_fraction {
+                assert!(
+                    *f > 0.0 && *f < 1.0,
+                    "skew-aware routing requires 0 < hot_fraction < 1"
+                );
+            }
+        }
+    }
+
+    /// Builds the router this policy describes.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters (see [`RoutingPolicy::validate`]).
+    pub fn build(&self, shards: usize) -> Arc<dyn Router> {
+        self.validate(shards);
+        match *self {
+            RoutingPolicy::Hash => Arc::new(HashRouter::new(shards)),
+            RoutingPolicy::SkewAware {
+                hot_capacity,
+                hot_fraction,
+            } => Arc::new(SkewAwareRouter::with_params(
+                shards,
+                hot_capacity.unwrap_or_else(|| SkewAwareRouter::default_hot_capacity(shards)),
+                hot_fraction.unwrap_or_else(|| SkewAwareRouter::default_hot_fraction(shards)),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{StreamGenerator, ZipfGenerator};
+    use std::collections::HashMap;
+
+    fn shard_loads(parts: &[Vec<u64>]) -> Vec<usize> {
+        parts.iter().map(Vec::len).collect()
+    }
+
+    fn imbalance(loads: &[usize]) -> f64 {
+        let total: usize = loads.iter().sum();
+        let mean = total as f64 / loads.len() as f64;
+        loads.iter().copied().max().unwrap_or(0) as f64 / mean
+    }
+
+    #[test]
+    fn hash_router_matches_partition_by_key() {
+        let router = HashRouter::new(8);
+        let mut generator = ZipfGenerator::new(10_000, 1.2, 5);
+        let batch = generator.next_minibatch(10_000);
+        assert_eq!(router.partition(&batch), partition_by_key(&batch, 8));
+        assert_eq!(router.shards(), 8);
+        assert_eq!(router.name(), "hash");
+        assert!(router.hot_keys().is_empty());
+        for key in 0..100u64 {
+            assert_eq!(router.placement(key), Placement::Owner(shard_of(key, 8)));
+        }
+    }
+
+    #[test]
+    fn skew_router_promotes_hot_keys_and_levels_load() {
+        let shards = 8;
+        let router = SkewAwareRouter::new(shards);
+        let hash = HashRouter::new(shards);
+        let mut generator = ZipfGenerator::new(100_000, 1.5, 13);
+        let mut skew_loads = vec![0usize; shards];
+        let mut hash_loads = vec![0usize; shards];
+        for _ in 0..20 {
+            let batch = generator.next_minibatch(5_000);
+            for (s, part) in router.partition(&batch).iter().enumerate() {
+                skew_loads[s] += part.len();
+            }
+            for (s, part) in hash.partition(&batch).iter().enumerate() {
+                hash_loads[s] += part.len();
+            }
+        }
+        // Zipf(1.5)'s head key carries ~38% of traffic; hash routing pins it
+        // to one shard while the skew router spreads it.
+        let hot = router.hot_keys();
+        assert!(!hot.is_empty(), "head keys must be promoted");
+        assert!(hot.contains(&0), "rank-0 key is the hottest");
+        assert_eq!(router.placement(0), Placement::Replicated);
+        assert!(
+            imbalance(&skew_loads) < imbalance(&hash_loads),
+            "skew-aware imbalance {:.3} must beat hash imbalance {:.3}",
+            imbalance(&skew_loads),
+            imbalance(&hash_loads)
+        );
+    }
+
+    #[test]
+    fn skew_router_partition_loses_no_items() {
+        let router = SkewAwareRouter::with_params(4, 8, 0.05);
+        let mut generator = ZipfGenerator::new(1_000, 1.4, 3);
+        let mut sent: HashMap<u64, u64> = HashMap::new();
+        let mut received: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..10 {
+            let batch = generator.next_minibatch(2_000);
+            for &x in &batch {
+                *sent.entry(x).or_insert(0) += 1;
+            }
+            let parts = router.partition(&batch);
+            assert_eq!(shard_loads(&parts).iter().sum::<usize>(), batch.len());
+            for part in parts {
+                for x in part {
+                    *received.entry(x).or_insert(0) += 1;
+                }
+            }
+        }
+        assert_eq!(
+            sent, received,
+            "every occurrence lands on exactly one shard"
+        );
+    }
+
+    #[test]
+    fn cold_keys_stay_on_their_home_shard() {
+        let router = SkewAwareRouter::new(4);
+        // Feed a hot-key-dominated stream so promotion happens.
+        let batch: Vec<u64> = (0..4_000u64)
+            .map(|i| if i % 2 == 0 { 7 } else { i })
+            .collect();
+        router.partition(&batch);
+        router.partition(&batch);
+        // Cold keys still map to their hash home.
+        for key in [1u64, 3, 5, 9, 1001] {
+            assert_eq!(router.placement(key), Placement::Owner(shard_of(key, 4)));
+        }
+        assert_eq!(router.placement(7), Placement::Replicated);
+    }
+
+    #[test]
+    fn hot_capacity_bounds_the_hot_set() {
+        let router = SkewAwareRouter::with_params(2, 3, 0.01);
+        // Ten equally hot keys; only three may be promoted.
+        let batch: Vec<u64> = (0..10_000u64).map(|i| i % 10).collect();
+        for _ in 0..5 {
+            router.partition(&batch);
+        }
+        assert!(router.hot_keys().len() <= 3);
+    }
+
+    #[test]
+    fn routing_policy_builds_the_right_router() {
+        assert_eq!(RoutingPolicy::default(), RoutingPolicy::Hash);
+        assert_eq!(RoutingPolicy::Hash.build(4).name(), "hash");
+        let skew = RoutingPolicy::skew_aware().build(4);
+        assert_eq!(skew.name(), "skew-aware");
+        assert_eq!(skew.shards(), 4);
+        let explicit = RoutingPolicy::SkewAware {
+            hot_capacity: Some(2),
+            hot_fraction: Some(0.2),
+        }
+        .build(2);
+        assert_eq!(explicit.shards(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_fraction")]
+    fn invalid_hot_fraction_rejected() {
+        RoutingPolicy::SkewAware {
+            hot_capacity: Some(4),
+            hot_fraction: Some(1.5),
+        }
+        .validate(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "hot_capacity")]
+    fn zero_hot_capacity_rejected() {
+        RoutingPolicy::SkewAware {
+            hot_capacity: Some(0),
+            hot_fraction: None,
+        }
+        .validate(2);
+    }
+}

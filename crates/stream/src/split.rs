@@ -1,18 +1,19 @@
 //! Key-space splitting of minibatch streams across shards.
 //!
-//! The sharded ingestion engine (`psfa-engine`) partitions every minibatch
-//! by a *fixed* hash of the item identifier, so that each key is owned by
-//! exactly one shard. Because the assignment is a pure function of the key,
-//! per-shard summaries never disagree about a key's frequency: a global
-//! point query is answered by the owning shard alone, and a global
-//! heavy-hitter query is the union of per-shard answers (see the engine's
-//! crate docs for the error accounting).
+//! [`shard_of`] and [`partition_by_key`] are the *hash* assignment: each key
+//! owned by exactly one shard, a pure function of the key. They remain the
+//! default policy, but routing is now pluggable — see [`crate::router`] for
+//! the [`Router`] trait and the skew-aware hot-key-splitting implementation;
+//! [`SplitGenerator`] routes through any `Arc<dyn Router>`.
 //!
 //! The routing hash is deliberately *independent* of the seeded hash
 //! families in `psfa-primitives`: operators inside a shard must not see a
 //! key distribution correlated with their own hash functions.
 
+use std::sync::Arc;
+
 use crate::generators::StreamGenerator;
+use crate::router::{HashRouter, Router};
 
 /// Multiplier of the SplitMix64/Fibonacci mixing step used for routing.
 const ROUTE_MULTIPLIER: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -51,31 +52,42 @@ pub fn partition_by_key(minibatch: &[u64], shards: usize) -> Vec<Vec<u64>> {
 
 /// Adapts one generator into a per-shard view: every call to
 /// [`SplitGenerator::next_minibatches`] draws one minibatch from the
-/// underlying generator and splits it by key ownership, so `shards`
-/// downstream consumers each see exactly the keys they own.
+/// underlying generator and splits it through a [`Router`], so `shards`
+/// downstream consumers each see exactly the sub-stream routed to them.
 pub struct SplitGenerator<'a> {
     inner: &'a mut dyn StreamGenerator,
-    shards: usize,
+    router: Arc<dyn Router>,
 }
 
 impl<'a> SplitGenerator<'a> {
-    /// Wraps `inner`, splitting its output across `shards` shards.
+    /// Wraps `inner`, splitting its output across `shards` shards by key
+    /// ownership (hash routing — the historical behaviour).
     ///
     /// # Panics
     /// Panics if `shards == 0`.
     pub fn new(inner: &'a mut dyn StreamGenerator, shards: usize) -> Self {
-        assert!(shards > 0, "SplitGenerator: shards must be non-zero");
-        Self { inner, shards }
+        Self::with_router(inner, Arc::new(HashRouter::new(shards)))
+    }
+
+    /// Wraps `inner`, splitting its output through an explicit router (e.g.
+    /// a [`crate::router::SkewAwareRouter`] shared with the consumer side).
+    pub fn with_router(inner: &'a mut dyn StreamGenerator, router: Arc<dyn Router>) -> Self {
+        Self { inner, router }
     }
 
     /// The number of shards the stream is split into.
     pub fn shards(&self) -> usize {
-        self.shards
+        self.router.shards()
+    }
+
+    /// The router splitting the stream.
+    pub fn router(&self) -> &Arc<dyn Router> {
+        &self.router
     }
 
     /// Draws one minibatch of `size` items and returns its per-shard split.
     pub fn next_minibatches(&mut self, size: usize) -> Vec<Vec<u64>> {
-        partition_by_key(&self.inner.next_minibatch(size), self.shards)
+        self.router.partition(&self.inner.next_minibatch(size))
     }
 }
 
@@ -128,6 +140,19 @@ mod tests {
         let mut split = SplitGenerator::new(&mut b, 4);
         assert_eq!(split.next_minibatches(5000), want);
         assert_eq!(split.shards(), 4);
+    }
+
+    #[test]
+    fn split_generator_accepts_a_custom_router() {
+        use crate::router::{Router, SkewAwareRouter};
+        let router: Arc<dyn Router> = Arc::new(SkewAwareRouter::new(4));
+        let mut generator = ZipfGenerator::new(1000, 1.2, 3);
+        let mut split = SplitGenerator::with_router(&mut generator, router.clone());
+        let parts = split.next_minibatches(5000);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 5000);
+        assert_eq!(split.shards(), 4);
+        assert_eq!(split.router().name(), "skew-aware");
     }
 
     #[test]

@@ -4,9 +4,15 @@
 //! against the live engine, the scenario the ROADMAP's "serve heavy traffic
 //! from many users" north star asks for.
 //!
+//! The engine runs with **skew-aware routing**: the Zipf(1.15) head keys
+//! that hash routing would pin to single shards are detected online and
+//! split round-robin, levelling the per-shard load table printed at the
+//! end (pass `--hash` to compare against plain hash routing).
+//!
 //! Run with:
 //! ```text
-//! cargo run --release --example engine_service
+//! cargo run --release --example engine_service            # skew-aware
+//! cargo run --release --example engine_service -- --hash  # hash routing
 //! ```
 
 use std::collections::HashMap;
@@ -28,13 +34,22 @@ fn main() {
     let phi = 0.01;
     let epsilon = 0.002;
 
+    let routing = if std::env::args().any(|a| a == "--hash") {
+        RoutingPolicy::Hash
+    } else {
+        RoutingPolicy::skew_aware()
+    };
     let engine = Engine::spawn(
         EngineConfig::with_shards(shards)
             .queue_capacity(16)
             .heavy_hitters(phi, epsilon)
-            .count_min(0.0005, 0.01, 42),
+            .count_min(0.0005, 0.01, 42)
+            .routing(routing.clone()),
     );
-    println!("engine up: {shards} shards, ingesting {total} items from {producers} producers\n");
+    println!(
+        "engine up: {shards} shards, {} routing, ingesting {total} items from {producers} producers\n",
+        routing.name()
+    );
     let start = Instant::now();
 
     // Producers: each streams its own Zipf substream through a cloned
@@ -108,6 +123,13 @@ fn main() {
     );
     println!("answered {live_queries} full query rounds during ingestion");
     println!("\nper-shard load:\n{}", metrics.to_table());
+    if let Some(imbalance) = metrics.load_imbalance() {
+        println!(
+            "load imbalance (max/mean): {imbalance:.3}  [1.0 = perfectly level; \
+             hot keys split: {:?}]",
+            metrics.hot_keys
+        );
+    }
 
     // Exact truth across all producers.
     let mut exact: HashMap<u64, u64> = HashMap::new();

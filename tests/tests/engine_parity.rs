@@ -113,6 +113,112 @@ fn sharded_ingestion_matches_single_threaded_pipeline_within_epsilon() {
     }
 }
 
+/// The acceptance test for skew-aware routing: on a Zipf(1.5) stream (whose
+/// head key alone carries ~38% of all traffic) the skew-aware router must
+/// measurably level per-shard load versus hash routing, while every answer
+/// stays within the configured ε of the single-threaded pipeline.
+#[test]
+fn skew_aware_router_levels_load_and_matches_single_thread() {
+    let mut generator = ZipfGenerator::new(100_000, 1.5, 4242);
+    let batches: Vec<Vec<u64>> = (0..40).map(|_| generator.next_minibatch(5_000)).collect();
+    let truth = exact_counts(&batches);
+    let m: u64 = truth.values().sum();
+    let slack = (EPSILON * m as f64).ceil() as u64;
+
+    // Single-threaded reference on the same stream.
+    let mut single = InfiniteHeavyHitters::new(PHI, EPSILON);
+    for batch in &batches {
+        single.process_minibatch(batch);
+    }
+
+    let run = |routing: RoutingPolicy| {
+        let engine = Engine::spawn(
+            EngineConfig::with_shards(4)
+                .heavy_hitters(PHI, EPSILON)
+                .routing(routing),
+        );
+        let handle = engine.handle();
+        for batch in &batches {
+            handle.ingest(batch).unwrap();
+        }
+        engine.drain();
+        let metrics = handle.metrics();
+        let estimates: HashMap<u64, u64> = truth
+            .keys()
+            .map(|&item| (item, handle.estimate(item)))
+            .collect();
+        let hh: Vec<u64> = handle.heavy_hitters().iter().map(|h| h.item).collect();
+        // The post-shutdown merged estimator must cover the whole stream
+        // under either router: MgSummary::merge adds counters item-wise, so
+        // a hot key's fragments recombine with the merged-ε bound.
+        let report = engine.shutdown();
+        let merged = report.merged_estimator();
+        assert_eq!(merged.stream_len(), m);
+        for (&item, &f) in &truth {
+            let est = merged.estimate(item);
+            assert!(est <= f, "merged estimate {est} above truth {f}");
+            assert!(
+                est + slack >= f,
+                "merged estimate {est} under truth {f} - εm"
+            );
+        }
+        (metrics, estimates, hh)
+    };
+
+    let (hash_metrics, ..) = run(RoutingPolicy::Hash);
+    let (skew_metrics, estimates, hh) = run(RoutingPolicy::skew_aware());
+
+    // Answer parity: one-sided within εm of the truth and within εm of the
+    // single-threaded reference, exactly as under hash routing.
+    for (&item, &f) in &truth {
+        let sharded = estimates[&item];
+        assert!(
+            sharded <= f,
+            "skew-routed estimate {sharded} above truth {f}"
+        );
+        assert!(
+            sharded + slack >= f,
+            "skew-routed estimate {sharded} under truth {f} - εm"
+        );
+        let reference = single.estimator().estimate(item);
+        assert!(
+            sharded.abs_diff(reference) <= slack,
+            "skew-routed {sharded} and single-threaded {reference} differ by more than εm"
+        );
+    }
+
+    // Heavy hitters keep the (φ, ε) bands, with no per-fragment duplicates.
+    for (&item, &f) in &truth {
+        if f as f64 >= PHI * m as f64 {
+            assert!(hh.contains(&item), "skew engine missed heavy hitter {item}");
+        }
+        if (f as f64) < (PHI - EPSILON) * m as f64 {
+            assert!(!hh.contains(&item), "skew engine false positive {item}");
+        }
+    }
+    let mut unique = hh.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), hh.len(), "replicated keys reported once");
+
+    // The load win: the head keys were promoted and the busiest shard's
+    // share dropped measurably below hash routing's.
+    assert!(
+        !skew_metrics.hot_keys.is_empty(),
+        "Zipf(1.5) head keys must be promoted"
+    );
+    let hash_imbalance = hash_metrics.load_imbalance().unwrap();
+    let skew_imbalance = skew_metrics.load_imbalance().unwrap();
+    assert!(
+        skew_imbalance < hash_imbalance,
+        "skew-aware imbalance {skew_imbalance:.3} must beat hash imbalance {hash_imbalance:.3}"
+    );
+    assert!(
+        skew_imbalance < 0.75 * hash_imbalance,
+        "the win must be substantial, not noise: skew {skew_imbalance:.3} vs hash {hash_imbalance:.3}"
+    );
+}
+
 #[test]
 fn queries_answer_while_ingestion_is_in_flight() {
     let engine = Engine::spawn(
