@@ -50,6 +50,89 @@ fn bench_router_partition(c: &mut Criterion) {
     group.finish();
 }
 
+/// PR 3's hot-path satellite: the per-producer thread-local hot-set cache
+/// removes the `RwLock` read + `Arc` clone from the per-batch routing path.
+/// Measured in steady state (hot set promoted and sticky, so every batch is
+/// a cache hit) on identical pre-warmed routers with the cache on vs off.
+fn bench_hot_set_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_hot_set_cache");
+    let batches = zipf_minibatches(100_000, 1.5, BATCHES, BATCH_SIZE, 31);
+    let items = (BATCHES * BATCH_SIZE) as u64;
+    group.throughput(Throughput::Elements(items));
+
+    for cached in [true, false] {
+        let router = SkewAwareRouter::new(SHARDS).hot_set_caching(cached);
+        // Pre-warm: promote the head keys so the measurement is the steady
+        // state, not the detection transient.
+        for batch in &batches {
+            router.partition(batch);
+        }
+        assert!(!router.hot_keys().is_empty());
+        group.bench_with_input(
+            BenchmarkId::new(
+                "steady_state_partition",
+                if cached { "cached" } else { "uncached" },
+            ),
+            &router,
+            |b, router| {
+                b.iter(|| {
+                    let mut routed = 0usize;
+                    for batch in &batches {
+                        routed += router.partition(batch).iter().map(Vec::len).sum::<usize>();
+                    }
+                    routed
+                })
+            },
+        );
+    }
+
+    // The cache's real target is *contended* producers: uncached, every
+    // batch takes the shared `RwLock` read plus an `Arc` refcount RMW on
+    // one cache line shared by all threads; cached, the hit path performs a
+    // single atomic load and no shared-memory writes. The batch set is
+    // shared via one `Arc` built up front — cloning the data per iteration
+    // would swamp the effect being measured.
+    let producers = 4usize;
+    let shared_batches = std::sync::Arc::new(batches.clone());
+    for cached in [true, false] {
+        let router = std::sync::Arc::new(SkewAwareRouter::new(SHARDS).hot_set_caching(cached));
+        for batch in shared_batches.iter() {
+            router.partition(batch);
+        }
+        assert!(!router.hot_keys().is_empty());
+        group.bench_with_input(
+            BenchmarkId::new(
+                format!("contended_x{producers}"),
+                if cached { "cached" } else { "uncached" },
+            ),
+            &router,
+            |b, router| {
+                b.iter(|| {
+                    let threads: Vec<_> = (0..producers)
+                        .map(|p| {
+                            let router = router.clone();
+                            let batches = shared_batches.clone();
+                            std::thread::spawn(move || {
+                                let mut routed = 0usize;
+                                for batch in batches.iter().skip(p).step_by(producers) {
+                                    routed +=
+                                        router.partition(batch).iter().map(Vec::len).sum::<usize>();
+                                }
+                                routed
+                            })
+                        })
+                        .collect();
+                    threads
+                        .into_iter()
+                        .map(|t| t.join().unwrap())
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_engine_routing(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_routing");
     let batches = zipf_minibatches(100_000, 1.4, BATCHES, BATCH_SIZE, 23);
@@ -85,6 +168,6 @@ fn bench_engine_routing(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = common::config();
-    targets = bench_router_partition, bench_engine_routing
+    targets = bench_router_partition, bench_hot_set_cache, bench_engine_routing
 }
 criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! Regenerates every experiment in DESIGN.md §4 (E1–E8, F2) plus the engine
-//! serving experiment (E9) and the skew-aware routing experiment (E10), and
-//! prints the result tables recorded in EXPERIMENTS.md.
+//! serving experiment (E9), the skew-aware routing experiment (E10), and the
+//! persistence-overhead experiment (E11), and prints the result tables
+//! recorded in EXPERIMENTS.md.
 //!
 //! Usage:
 //! ```text
@@ -74,6 +75,9 @@ fn main() {
     }
     if want("e10") {
         e10_skew_routing(quick);
+    }
+    if want("e11") {
+        e11_persistence(quick);
     }
     if want("f2") {
         f2_snapshot_example();
@@ -764,6 +768,129 @@ fn e10_skew_routing(quick: bool) {
                 imbalances[0]
             );
         }
+    }
+    println!();
+}
+
+/// E11 — persistence overhead: ingest throughput with the background
+/// flusher cutting epoch snapshots at varying intervals, against the same
+/// engine with persistence off. Snapshots are cut off the hot path (state
+/// clones on the workers, encoding + fsync on the flusher thread), so the
+/// overhead must stay small; the experiment *asserts* that the best
+/// flushing configuration ingests within 10% of the no-persistence
+/// baseline, so a persistence regression fails CI rather than just shifting
+/// a table. Also verifies that every flushing run actually persisted
+/// epochs and that a recovery from the written store answers queries.
+fn e11_persistence(quick: bool) {
+    println!(
+        "== E11: persistence overhead — background snapshots (interval × shards) vs no persistence =="
+    );
+    println!(
+        "{}",
+        header(&[
+            "shards",
+            "interval",
+            "Mitems/s",
+            "overhead %",
+            "epochs",
+            "KiB on disk"
+        ])
+    );
+    let phi = 0.01;
+    let eps = 0.001;
+    let tmpdir = |label: String| psfa::store::testutil::unique_temp_dir(&format!("e11-{label}"));
+    for &shards in &[2usize, 4] {
+        let batches = zipf_minibatches(100_000, 1.2, scaled(48, quick), 20_000, 43);
+        let m: u64 = batches.iter().map(|b| b.len() as u64).sum();
+
+        // One timed run: ingest + drain (the serving path), shutdown
+        // untimed. Returns items/s and the post-shutdown store metrics.
+        let run =
+            |interval: Option<u64>| -> (f64, Option<StoreMetrics>, Option<std::path::PathBuf>) {
+                let mut config = EngineConfig::with_shards(shards).heavy_hitters(phi, eps);
+                let dir = interval.map(|i| {
+                    let dir = tmpdir(format!("s{shards}-i{i}"));
+                    config = config.clone().persistence(
+                        PersistenceConfig::new(&dir)
+                            .interval_batches(i)
+                            .poll(std::time::Duration::from_millis(1)),
+                    );
+                    dir
+                });
+                let engine = Engine::spawn(config.clone());
+                let handle = engine.handle();
+                let (_, secs) = timed(|| {
+                    for b in &batches {
+                        handle.ingest(b).expect("engine closed");
+                    }
+                    engine.drain();
+                });
+                engine.shutdown(); // final snapshot (untimed)
+                let store = handle.metrics().store;
+                (m as f64 / secs, store, dir)
+            };
+        // Best of two runs per configuration damps scheduler noise.
+        let best = |interval: Option<u64>| {
+            let (a, store_a, dir_a) = run(interval);
+            if let Some(dir) = dir_a {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+            let (b, store_b, dir_b) = run(interval);
+            (a.max(b), store_b.or(store_a), dir_b)
+        };
+
+        let (baseline, _, _) = best(None);
+        println!(
+            "{}",
+            row(&[
+                shards.to_string(),
+                "off".into(),
+                format!("{:.2}", baseline / 1e6),
+                "0.0".into(),
+                "-".into(),
+                "-".into(),
+            ])
+        );
+
+        let mut best_persisted = 0.0f64;
+        for &interval in &[4u64, 16] {
+            let (tput, store, dir) = best(Some(interval));
+            let store = store.expect("persistence was configured");
+            assert!(
+                store.epochs_persisted > 0,
+                "E11: flushing run persisted no epochs (interval {interval})"
+            );
+            // The written store must actually recover.
+            if let Some(dir) = &dir {
+                let recovered = Engine::recover(
+                    dir,
+                    EngineConfig::with_shards(shards).heavy_hitters(phi, eps),
+                )
+                .expect("E11: recovery from the written store");
+                let h = recovered.handle();
+                assert_eq!(h.total_items(), m, "recovered engine covers the stream");
+                assert!(!h.heavy_hitters().is_empty());
+                recovered.kill();
+                let _ = std::fs::remove_dir_all(dir);
+            }
+            best_persisted = best_persisted.max(tput);
+            println!(
+                "{}",
+                row(&[
+                    shards.to_string(),
+                    interval.to_string(),
+                    format!("{:.2}", tput / 1e6),
+                    format!("{:.1}", (1.0 - tput / baseline) * 100.0),
+                    store.epochs_persisted.to_string(),
+                    (store.bytes_written / 1024).to_string(),
+                ])
+            );
+        }
+        assert!(
+            best_persisted >= 0.90 * baseline,
+            "E11: persistence overhead above 10% at {shards} shards \
+             ({best_persisted:.0} vs baseline {baseline:.0} items/s)"
+        );
     }
     println!();
 }

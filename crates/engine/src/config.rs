@@ -1,5 +1,8 @@
 //! Engine configuration.
 
+use std::path::Path;
+
+use psfa_store::PersistenceConfig;
 use psfa_stream::RoutingPolicy;
 
 /// Configuration of a sharded ingestion engine.
@@ -35,6 +38,11 @@ pub struct EngineConfig {
     /// Sliding-window size per shard substream; `None` disables the
     /// sliding-window operator.
     pub window: Option<u64>,
+    /// Epoch-snapshot persistence; `None` (the default) keeps all state in
+    /// memory. When set, a background flusher thread periodically cuts a
+    /// consistent epoch across shards and appends it to the segment log at
+    /// `persistence.dir` — see `psfa-store` and [`crate::Engine::recover`].
+    pub persistence: Option<PersistenceConfig>,
 }
 
 impl Default for EngineConfig {
@@ -52,6 +60,7 @@ impl Default for EngineConfig {
             cm_delta: 0.01,
             cm_seed: 0x00C0_FFEE,
             window: None,
+            persistence: None,
         }
     }
 }
@@ -104,6 +113,18 @@ impl EngineConfig {
         self
     }
 
+    /// Enables epoch-snapshot persistence with the given configuration.
+    pub fn persistence(mut self, persistence: PersistenceConfig) -> Self {
+        self.persistence = Some(persistence);
+        self
+    }
+
+    /// Enables epoch-snapshot persistence into `dir` with default knobs
+    /// (see [`PersistenceConfig::new`]).
+    pub fn persist_to(self, dir: impl AsRef<Path>) -> Self {
+        self.persistence(PersistenceConfig::new(dir))
+    }
+
     /// Checks parameter ranges.
     ///
     /// # Panics
@@ -127,6 +148,9 @@ impl EngineConfig {
             self.cm_delta > 0.0 && self.cm_delta < 1.0,
             "count-min delta must be in (0, 1)"
         );
+        if let Some(persistence) = &self.persistence {
+            persistence.validate();
+        }
         if let Some(n) = self.window {
             assert!(n >= 1, "sliding window must be non-empty");
             assert!(

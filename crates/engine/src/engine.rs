@@ -3,17 +3,20 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use psfa_freq::{HeavyHitter, InfiniteHeavyHitters, ParallelFrequencyEstimator};
 use psfa_sketch::ParallelCountMin;
-use psfa_stream::{MinibatchOperator, Placement, Router};
+use psfa_store::{EpochRecord, EpochView, PersistenceConfig, SnapshotStore, StoreError};
+use psfa_stream::{IngestFence, MinibatchOperator, Placement, Router};
 
 use crate::config::EngineConfig;
 use crate::metrics::EngineMetrics;
 use crate::operator::ShardedOperator;
+use crate::persist::{Flusher, Persister};
 use crate::shard::{ShardCommand, ShardFinal, ShardShared, ShardSnapshot, ShardWorker};
 
 /// Error returned when ingesting into an engine whose workers have exited.
@@ -91,13 +94,23 @@ impl std::error::Error for IngestError {}
 pub struct EngineBuilder {
     config: EngineConfig,
     lifted: Vec<Vec<(String, Box<dyn MinibatchOperator + Send>)>>,
+    /// Persisted epoch the engine resumes from ([`Engine::recover`]).
+    recovered: Option<EpochRecord>,
+    /// Store already opened (and validated) by [`Engine::recover`], so the
+    /// spawned engine appends to the same log it recovered from.
+    preopened_store: Option<SnapshotStore>,
 }
 
 impl EngineBuilder {
     fn new(config: EngineConfig) -> Self {
         config.validate();
         let lifted = (0..config.shards).map(|_| Vec::new()).collect();
-        Self { config, lifted }
+        Self {
+            config,
+            lifted,
+            recovered: None,
+            preopened_store: None,
+        }
     }
 
     /// Lifts a [`ShardedOperator`] into the engine: one instance is built
@@ -111,19 +124,46 @@ impl EngineBuilder {
     }
 
     /// Spawns the shard workers and returns the running engine.
+    ///
+    /// # Panics
+    /// Panics if the configured persistence directory cannot be opened; use
+    /// [`EngineBuilder::try_spawn`] to handle that gracefully.
     pub fn spawn(self) -> Engine {
-        let EngineBuilder { config, lifted } = self;
+        self.try_spawn().expect("failed to open the snapshot store")
+    }
+
+    /// Spawns the shard workers, reporting persistence failures as a typed
+    /// error instead of panicking.
+    pub fn try_spawn(self) -> Result<Engine, StoreError> {
+        let EngineBuilder {
+            config,
+            lifted,
+            recovered,
+            preopened_store,
+        } = self;
         let router: Arc<dyn Router> = config.routing.build(config.shards);
+        if let Some(record) = &recovered {
+            // Restore the persisted hot set so replicated-key placements —
+            // and therefore query-time summing — survive the restart.
+            router.promote(&record.hot_keys);
+        }
+        let recovered_shard = |shard: usize| recovered.as_ref().map(|r| &r.shards[shard]);
         let shared: Arc<Vec<Arc<ShardShared>>> = Arc::new(
             (0..config.shards)
-                .map(|shard| Arc::new(ShardShared::new(shard, &config)))
+                .map(|shard| Arc::new(ShardShared::new(shard, &config, recovered_shard(shard))))
                 .collect(),
         );
         let mut senders = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         for (shard, ops) in lifted.into_iter().enumerate() {
             let (tx, rx) = sync_channel(config.queue_capacity);
-            let worker = ShardWorker::new(shard, &config, ops, shared[shard].clone());
+            let worker = ShardWorker::new(
+                shard,
+                &config,
+                ops,
+                shared[shard].clone(),
+                recovered_shard(shard),
+            );
             let join = std::thread::Builder::new()
                 .name(format!("psfa-shard-{shard}"))
                 .spawn(move || worker.run(rx))
@@ -131,16 +171,57 @@ impl EngineBuilder {
             senders.push(tx);
             workers.push(join);
         }
+        let senders = Arc::new(senders);
+        let fence = Arc::new(IngestFence::new());
+        let accepted_batches = Arc::new(std::sync::atomic::AtomicU64::new(0));
+
+        let mut flusher = None;
+        let persister = match &config.persistence {
+            None => None,
+            Some(pcfg) => {
+                let store = match preopened_store {
+                    Some(store) => store,
+                    None => SnapshotStore::open(
+                        &pcfg.dir,
+                        pcfg.retain_epochs,
+                        pcfg.segment_max_records,
+                    )?,
+                };
+                let persister = Arc::new(Persister::new(
+                    store,
+                    fence.clone(),
+                    senders.clone(),
+                    router.clone(),
+                    config.phi,
+                    config.epsilon,
+                    config.window,
+                ));
+                flusher = Some(Flusher::spawn(
+                    persister.clone(),
+                    accepted_batches.clone(),
+                    pcfg.interval_batches,
+                    pcfg.poll,
+                ));
+                Some(persister)
+            }
+        };
+
         let handle = EngineHandle {
-            senders: Arc::new(senders),
+            senders,
             shared,
             router,
-            closed: Arc::new(RwLock::new(false)),
+            fence,
+            persister,
+            accepted_batches,
             phi: config.phi,
             epsilon: config.epsilon,
             window: config.window,
         };
-        Engine { handle, workers }
+        Ok(Engine {
+            handle,
+            workers,
+            flusher,
+        })
     }
 }
 
@@ -153,6 +234,7 @@ impl EngineBuilder {
 pub struct Engine {
     handle: EngineHandle,
     workers: Vec<JoinHandle<ShardFinal>>,
+    flusher: Option<Flusher>,
 }
 
 impl Engine {
@@ -165,6 +247,92 @@ impl Engine {
     /// Starts building an engine (add lifted operators, then `spawn`).
     pub fn builder(config: EngineConfig) -> EngineBuilder {
         EngineBuilder::new(config)
+    }
+
+    /// Recovers an engine from the snapshot store at `dir`: loads the
+    /// latest consistent persisted epoch, replays it into fresh shard
+    /// workers (summaries, Count-Min sketches, sliding windows, stream
+    /// lengths, and the router's hot-key set), and resumes — appending
+    /// future epochs to the same log.
+    ///
+    /// The recovered engine answers `heavy_hitters`/`estimate` for the
+    /// persisted prefix of `m` items with the same one-sided `ε·m` bound as
+    /// the engine that wrote the snapshot: serialisation is exact and the
+    /// persisted epoch is a consistent cut, so the mergeable-summaries
+    /// accounting is unchanged (see `psfa-store`).
+    ///
+    /// `config` must describe the same engine shape the snapshot was taken
+    /// with (shard count, φ/ε, window, Count-Min parameters), and a
+    /// snapshot with split hot keys requires a splitting (skew-aware)
+    /// routing policy; mismatches are reported as
+    /// [`StoreError::ShardCountMismatch`] /
+    /// [`StoreError::ConfigMismatch`]. `config.persistence` may carry
+    /// tuning knobs; its directory is overridden by `dir`. Lifted operators
+    /// are not persisted — recovered engines start with none.
+    pub fn recover(dir: impl AsRef<Path>, mut config: EngineConfig) -> Result<Engine, StoreError> {
+        let pcfg = match config.persistence.take() {
+            Some(mut pcfg) => {
+                pcfg.dir = dir.as_ref().to_path_buf();
+                pcfg
+            }
+            None => PersistenceConfig::new(dir.as_ref()),
+        };
+        let store = SnapshotStore::open(&pcfg.dir, pcfg.retain_epochs, pcfg.segment_max_records)?;
+        let latest = store.latest_epoch().ok_or(StoreError::NoSnapshot)?;
+        let record = store.load(latest)?;
+        if record.shards.len() != config.shards {
+            return Err(StoreError::ShardCountMismatch {
+                persisted: record.shards.len(),
+                configured: config.shards,
+            });
+        }
+        if record.phi != config.phi || record.epsilon != config.epsilon {
+            return Err(StoreError::ConfigMismatch("phi/epsilon differ"));
+        }
+        if record.window != config.window {
+            return Err(StoreError::ConfigMismatch("sliding-window size differs"));
+        }
+        for state in &record.shards {
+            let sketch = state.count_min.sketch();
+            if sketch.seed() != config.cm_seed {
+                return Err(StoreError::ConfigMismatch("count-min seed differs"));
+            }
+            if sketch.epsilon().to_bits() != config.cm_epsilon.to_bits()
+                || sketch.delta().to_bits() != config.cm_delta.to_bits()
+            {
+                return Err(StoreError::ConfigMismatch("count-min epsilon/delta differ"));
+            }
+        }
+        // A snapshot with split (replicated) keys needs a router that will
+        // honour *all* the promotions: under plain hash routing `placement`
+        // would report `Owner` for keys whose mass is spread across shards,
+        // and a skew router whose hot capacity is below the persisted hot
+        // set would silently truncate it — either way point queries on the
+        // dropped keys would lose most of their count.
+        if !record.hot_keys.is_empty() {
+            match &config.routing {
+                psfa_stream::RoutingPolicy::Hash => {
+                    return Err(StoreError::ConfigMismatch(
+                        "snapshot has split hot keys but the config routes by hash",
+                    ));
+                }
+                psfa_stream::RoutingPolicy::SkewAware { hot_capacity, .. } => {
+                    let capacity = hot_capacity.unwrap_or_else(|| {
+                        psfa_stream::SkewAwareRouter::default_hot_capacity(config.shards)
+                    });
+                    if record.hot_keys.len() > capacity {
+                        return Err(StoreError::ConfigMismatch(
+                            "persisted hot keys exceed the configured hot_capacity",
+                        ));
+                    }
+                }
+            }
+        }
+        config.persistence = Some(pcfg);
+        let mut builder = EngineBuilder::new(config);
+        builder.recovered = Some(record);
+        builder.preopened_store = Some(store);
+        builder.try_spawn()
     }
 
     /// A cloneable handle for ingestion and live queries.
@@ -185,30 +353,62 @@ impl Engine {
     /// with a clean-rejection [`IngestError`] — including calls racing this
     /// shutdown: every `ingest` that returned `Ok` is guaranteed to be
     /// processed.
-    pub fn shutdown(self) -> EngineReport {
-        // Taking the write lock waits for every in-flight enqueue (which
-        // holds a read guard across its send) to finish, and flips `closed`
-        // so later enqueues fail fast. Everything successfully sent is
+    pub fn shutdown(mut self) -> EngineReport {
+        // Closing the fence waits for every in-flight enqueue (which holds
+        // the fence's shared side across its sends) to finish, and makes
+        // later enqueues fail fast. Everything successfully sent is
         // therefore FIFO-ordered *before* the Shutdown commands below —
         // workers process all of it before exiting.
-        *self
-            .handle
-            .closed
-            .write()
-            .expect("engine closed flag poisoned") = true;
+        self.handle.fence.close();
+        // Stop the flusher with one final snapshot (workers are still
+        // draining their queues, so the cut captures every accepted batch).
+        if let Some(flusher) = self.flusher.take() {
+            flusher.finish();
+        }
         for sender in self.handle.senders.iter() {
             // A send error means the worker already exited; shutdown
             // proceeds to join either way.
             let _ = sender.send(ShardCommand::Shutdown);
         }
-        let shards: Vec<ShardFinal> = self
-            .workers
+        let shards: Vec<ShardFinal> = std::mem::take(&mut self.workers)
             .into_iter()
             .map(|w| w.join().expect("shard worker panicked"))
             .collect();
         EngineReport {
             epsilon: self.handle.epsilon,
             shards,
+        }
+    }
+
+    /// Stops the engine as if the process had been killed: worker threads
+    /// are torn down cleanly, but — unlike [`Engine::shutdown`] — **no
+    /// final snapshot is cut**, so the store keeps only what the flusher
+    /// (or an explicit [`EngineHandle::snapshot_now`]) already made
+    /// durable. Queued minibatches that were never persisted are lost,
+    /// exactly as in a real crash; use [`Engine::recover`] to restart from
+    /// the latest consistent epoch. Intended for crash-recovery tests and
+    /// chaos drills.
+    pub fn kill(mut self) {
+        self.handle.fence.close();
+        if let Some(flusher) = self.flusher.take() {
+            flusher.abort();
+        }
+        for sender in self.handle.senders.iter() {
+            let _ = sender.send(ShardCommand::Shutdown);
+        }
+        for worker in std::mem::take(&mut self.workers) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    /// Dropping an engine without [`Engine::shutdown`] or [`Engine::kill`]
+    /// behaves like a crash towards the store: the flusher is stopped
+    /// without a final snapshot.
+    fn drop(&mut self) {
+        if let Some(flusher) = self.flusher.take() {
+            flusher.abort();
         }
     }
 }
@@ -235,10 +435,16 @@ pub struct EngineHandle {
     senders: Arc<Vec<SyncSender<ShardCommand>>>,
     shared: Arc<Vec<Arc<ShardShared>>>,
     router: Arc<dyn Router>,
-    /// False while the engine accepts ingestion. Enqueues hold a read guard
-    /// across their send so [`Engine::shutdown`]'s write acquisition
-    /// serialises after every accepted batch.
-    closed: Arc<RwLock<bool>>,
+    /// Orders whole minibatches against snapshot cuts and shutdown:
+    /// enqueues hold the fence's shared side across their sends, so a cut
+    /// (or [`Engine::shutdown`]) serialises strictly between minibatches.
+    fence: Arc<IngestFence>,
+    /// Snapshot machinery, when persistence is configured.
+    persister: Option<Arc<Persister>>,
+    /// Minibatches accepted so far (one per successful `ingest` call, one
+    /// per accepted pre-routed `enqueue`/`try_enqueue`); the flusher's
+    /// `interval_batches` counts against this.
+    accepted_batches: Arc<std::sync::atomic::AtomicU64>,
     phi: f64,
     epsilon: f64,
     window: Option<u64>,
@@ -281,13 +487,13 @@ impl EngineHandle {
         if minibatch.is_empty() {
             return Ok(());
         }
-        // One read guard across every per-shard send (see `closed`): a
-        // racing shutdown either happens entirely before this call (Err,
-        // nothing enqueued) or entirely after it (Ok, everything enqueued).
-        let closed = self.closed.read().expect("engine closed flag poisoned");
-        if *closed {
+        // One fence guard across every per-shard send: a racing shutdown or
+        // snapshot cut either happens entirely before this call (Err /
+        // cut excludes the batch) or entirely after it (Ok, everything
+        // enqueued and included).
+        let Some(_guard) = self.fence.enter() else {
             return Err(IngestError::rejected());
-        }
+        };
         let parts = self.router.partition(minibatch);
         let parts_total = parts.iter().filter(|p| !p.is_empty()).count();
         let mut parts_delivered = 0usize;
@@ -301,6 +507,8 @@ impl EngineHandle {
             })?;
             parts_delivered += 1;
         }
+        self.accepted_batches
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
         Ok(())
     }
 
@@ -310,17 +518,19 @@ impl EngineHandle {
     /// # Panics
     /// Panics if `shard` is out of range.
     pub fn enqueue(&self, shard: usize, part: Vec<u64>) -> Result<(), EngineClosed> {
-        // Hold the read guard across the send: Engine::shutdown's write
-        // acquisition then serialises after this batch, guaranteeing the
+        // Hold the fence guard across the send: Engine::shutdown and
+        // snapshot cuts then serialise after this batch, guaranteeing the
         // worker processes everything accepted here (see shutdown()).
-        let closed = self.closed.read().expect("engine closed flag poisoned");
-        if *closed {
+        let Some(_guard) = self.fence.enter() else {
             return Err(EngineClosed);
-        }
-        self.send_part(shard, part)
+        };
+        self.send_part(shard, part)?;
+        self.accepted_batches
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        Ok(())
     }
 
-    /// Sends one sub-batch; the caller must hold the `closed` read guard.
+    /// Sends one sub-batch; the caller must hold a fence guard.
     fn send_part(&self, shard: usize, part: Vec<u64>) -> Result<(), EngineClosed> {
         use std::sync::atomic::Ordering;
         let len = part.len() as u64;
@@ -339,16 +549,16 @@ impl EngineHandle {
     /// if the shard's queue is full so the caller can shed or retry.
     pub fn try_enqueue(&self, shard: usize, part: Vec<u64>) -> Result<(), TrySendError<Vec<u64>>> {
         use std::sync::atomic::Ordering;
-        let closed = self.closed.read().expect("engine closed flag poisoned");
-        if *closed {
+        let Some(_guard) = self.fence.enter() else {
             return Err(TrySendError::Disconnected(part));
-        }
+        };
         let len = part.len() as u64;
         match self.senders[shard].try_send(ShardCommand::Batch(part)) {
             Ok(()) => {
                 let stats = &self.shared[shard].stats;
                 stats.items_enqueued.fetch_add(len, Ordering::AcqRel);
                 stats.batches_enqueued.fetch_add(1, Ordering::AcqRel);
+                self.accepted_batches.fetch_add(1, Ordering::AcqRel);
                 Ok(())
             }
             Err(TrySendError::Full(ShardCommand::Batch(part))) => Err(TrySendError::Full(part)),
@@ -509,7 +719,8 @@ impl EngineHandle {
     }
 
     /// Point-in-time shard and queue metrics, including the active routing
-    /// policy and its current hot-key set.
+    /// policy, its current hot-key set, and — when persistence is
+    /// configured — the snapshot store's counters.
     pub fn metrics(&self) -> EngineMetrics {
         EngineMetrics {
             shards: self
@@ -520,7 +731,51 @@ impl EngineHandle {
                 .collect(),
             router: self.router.name(),
             hot_keys: self.router.hot_keys(),
+            store: self.persister.as_ref().map(|p| p.metrics()),
         }
+    }
+
+    // ---- persistence & time travel ------------------------------------
+
+    /// True when the engine was configured with a snapshot store.
+    pub fn persistence_enabled(&self) -> bool {
+        self.persister.is_some()
+    }
+
+    fn persister(&self) -> Result<&Arc<Persister>, StoreError> {
+        self.persister.as_ref().ok_or(StoreError::Disabled)
+    }
+
+    /// Cuts one epoch snapshot *now*, synchronously: a consistent cut
+    /// across all shards is taken, appended durably to the segment log, and
+    /// compacted. Returns the persisted epoch number. Runs concurrently
+    /// with ingestion (producers are excluded only for the microseconds of
+    /// the cut itself) and with the background flusher.
+    pub fn snapshot_now(&self) -> Result<u64, StoreError> {
+        self.persister()?.snapshot_once()
+    }
+
+    /// Epochs currently retained by the store, ascending.
+    pub fn persisted_epochs(&self) -> Result<Vec<u64>, StoreError> {
+        Ok(self.persister()?.with_store(|s| s.epochs()))
+    }
+
+    /// A time-travel view of the engine's state as of persisted epoch `E`
+    /// (see [`EpochView`] for the query surface and its `ε·m` bounds).
+    pub fn view_at(&self, epoch: u64) -> Result<EpochView, StoreError> {
+        self.persister()?.with_store(|s| s.view_at(epoch))
+    }
+
+    /// The φ-heavy hitters exactly as the live engine reported them at the
+    /// moment epoch `E` was cut.
+    pub fn heavy_hitters_at(&self, epoch: u64) -> Result<Vec<HeavyHitter>, StoreError> {
+        self.persister()?.with_store(|s| s.heavy_hitters_at(epoch))
+    }
+
+    /// One-sided point-frequency estimate for `item` as of persisted epoch
+    /// `E` (`f − ε·m_E ≤ f̂ ≤ f` over the items reflected in the epoch).
+    pub fn estimate_at(&self, item: u64, epoch: u64) -> Result<u64, StoreError> {
+        self.persister()?.with_store(|s| s.estimate_at(item, epoch))
     }
 }
 
@@ -810,6 +1065,204 @@ mod tests {
             skew_imb < hash_imb,
             "skew imbalance {skew_imb:.3} must beat hash imbalance {hash_imb:.3}"
         );
+    }
+
+    fn tmpdir(label: &str) -> std::path::PathBuf {
+        psfa_store::testutil::unique_temp_dir(&format!("engine-{label}"))
+    }
+
+    /// Manual-snapshot persistence config (interval too large for the
+    /// background flusher to fire on its own).
+    fn manual_persistence(dir: &std::path::Path) -> psfa_store::PersistenceConfig {
+        psfa_store::PersistenceConfig::new(dir).interval_batches(u64::MAX / 2)
+    }
+
+    #[test]
+    fn snapshot_kill_recover_roundtrip() {
+        let dir = tmpdir("recover");
+        let config = config().persistence(manual_persistence(&dir));
+        let engine = Engine::spawn(config.clone());
+        let handle = engine.handle();
+        let mut generator = ZipfGenerator::new(5_000, 1.3, 7);
+        for _ in 0..12 {
+            handle.ingest(&generator.next_minibatch(1_500)).unwrap();
+        }
+        engine.drain();
+        let m_snap = handle.total_items();
+        let live_hh = handle.heavy_hitters();
+        let live_est: Vec<u64> = (0..50).map(|k| handle.estimate(k)).collect();
+        let epoch = handle.snapshot_now().unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(handle.persisted_epochs().unwrap(), vec![1]);
+
+        // More traffic after the snapshot, then a crash: the post-snapshot
+        // items must be lost, the persisted prefix intact.
+        for _ in 0..5 {
+            handle.ingest(&generator.next_minibatch(1_500)).unwrap();
+        }
+        engine.drain();
+        assert!(handle.total_items() > m_snap);
+        engine.kill();
+
+        let recovered = Engine::recover(&dir, config).unwrap();
+        let handle2 = recovered.handle();
+        assert_eq!(
+            handle2.total_items(),
+            m_snap,
+            "recovered = persisted prefix"
+        );
+        assert_eq!(handle2.heavy_hitters(), live_hh);
+        for (k, &est) in live_est.iter().enumerate() {
+            assert_eq!(handle2.estimate(k as u64), est);
+        }
+        // Time travel reproduces the live answer at the cut exactly.
+        assert_eq!(handle2.heavy_hitters_at(1).unwrap(), live_hh);
+        // The recovered engine keeps going and persists epoch 2.
+        handle2.ingest(&generator.next_minibatch(1_000)).unwrap();
+        recovered.drain();
+        assert_eq!(handle2.snapshot_now().unwrap(), 2);
+        assert_eq!(handle2.persisted_epochs().unwrap(), vec![1, 2]);
+        // Epoch 1's answer is unchanged by later epochs.
+        assert_eq!(handle2.heavy_hitters_at(1).unwrap(), live_hh);
+        let metrics = handle2.metrics();
+        let store = metrics.store.expect("store metrics present");
+        assert_eq!(store.last_epoch, 2);
+        assert!(store.bytes_written > 0);
+        recovered.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn graceful_shutdown_cuts_a_final_snapshot() {
+        let dir = tmpdir("final-cut");
+        let config = config().persistence(manual_persistence(&dir));
+        let engine = Engine::spawn(config.clone());
+        let handle = engine.handle();
+        handle.ingest(&(0..3_000u64).collect::<Vec<_>>()).unwrap();
+        let report = engine.shutdown();
+        assert_eq!(report.total_items(), 3_000);
+        // No explicit snapshot was taken, but shutdown flushed one.
+        let recovered = Engine::recover(&dir, config).unwrap();
+        assert_eq!(recovered.handle().total_items(), 3_000);
+        recovered.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn background_flusher_persists_on_interval() {
+        let dir = tmpdir("flusher");
+        let config = config().persistence(
+            psfa_store::PersistenceConfig::new(&dir)
+                .interval_batches(2)
+                .poll(std::time::Duration::from_millis(1)),
+        );
+        let engine = Engine::spawn(config);
+        let handle = engine.handle();
+        for _ in 0..10 {
+            handle.ingest(&(0..500u64).collect::<Vec<_>>()).unwrap();
+        }
+        engine.drain();
+        // Give the flusher a few polls to notice the interval.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let persisted = handle
+                .metrics()
+                .store
+                .expect("store metrics")
+                .epochs_persisted;
+            if persisted > 0 || std::time::Instant::now() > deadline {
+                assert!(persisted > 0, "flusher never cut an epoch");
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        engine.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_rejects_mismatched_configs() {
+        let dir = tmpdir("mismatch");
+        let config = config().persistence(manual_persistence(&dir));
+        let engine = Engine::spawn(config.clone());
+        engine.handle().ingest(&[1, 2, 3]).unwrap();
+        engine.handle().snapshot_now().unwrap();
+        engine.kill();
+        assert!(matches!(
+            Engine::recover(&dir, EngineConfig::with_shards(8).heavy_hitters(0.05, 0.01)),
+            Err(StoreError::ShardCountMismatch {
+                persisted: 4,
+                configured: 8
+            })
+        ));
+        assert!(matches!(
+            Engine::recover(&dir, config.clone().heavy_hitters(0.2, 0.1)),
+            Err(StoreError::ConfigMismatch(_))
+        ));
+        assert!(matches!(
+            Engine::recover(tmpdir("empty"), config),
+            Err(StoreError::NoSnapshot)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_rejects_hash_routing_when_the_snapshot_split_keys() {
+        // A snapshot whose hot set is non-empty must not recover onto a
+        // hash router: placements would report Owner for split keys and
+        // point queries would drop most of their mass.
+        let dir = tmpdir("hot-hash");
+        let config = config()
+            .skew_aware_routing()
+            .persistence(manual_persistence(&dir));
+        let engine = Engine::spawn(config.clone());
+        let handle = engine.handle();
+        // Half the traffic on one key: guaranteed promotion.
+        let batch: Vec<u64> = (0..4_000u64)
+            .map(|i| if i % 2 == 0 { 42 } else { i })
+            .collect();
+        for _ in 0..10 {
+            handle.ingest(&batch).unwrap();
+        }
+        engine.drain();
+        assert!(!handle.metrics().hot_keys.is_empty());
+        handle.snapshot_now().unwrap();
+        engine.kill();
+
+        let hash_config = config.clone().routing(psfa_stream::RoutingPolicy::Hash);
+        assert!(matches!(
+            Engine::recover(&dir, hash_config),
+            Err(StoreError::ConfigMismatch(_))
+        ));
+        // The matching (skew-aware) config still recovers.
+        let recovered = Engine::recover(&dir, config).unwrap();
+        assert_eq!(recovered.handle().placement(42), Placement::Replicated);
+        recovered.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_now_without_persistence_is_disabled() {
+        let engine = Engine::spawn(config());
+        let handle = engine.handle();
+        assert!(!handle.persistence_enabled());
+        assert!(matches!(handle.snapshot_now(), Err(StoreError::Disabled)));
+        assert!(matches!(
+            handle.persisted_epochs(),
+            Err(StoreError::Disabled)
+        ));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn snapshot_after_shutdown_reports_closed() {
+        let dir = tmpdir("closed");
+        let engine = Engine::spawn(config().persistence(manual_persistence(&dir)));
+        let handle = engine.handle();
+        handle.ingest(&[1, 2, 3]).unwrap();
+        engine.shutdown();
+        assert!(matches!(handle.snapshot_now(), Err(StoreError::Closed)));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -70,14 +70,20 @@ mod config;
 mod engine;
 mod metrics;
 mod operator;
+mod persist;
 mod shard;
 
 pub use config::EngineConfig;
 pub use engine::{Engine, EngineBuilder, EngineClosed, EngineHandle, EngineReport, IngestError};
-pub use metrics::{EngineMetrics, ShardMetrics};
+pub use metrics::{EngineMetrics, ShardMetrics, StoreMetrics};
 pub use operator::{EngineOperator, ShardedOperator};
 pub use shard::{ShardFinal, ShardSnapshot};
 
 // Routing lives in `psfa_stream::router`; re-exported here because the
 // engine's config and query semantics are expressed in terms of it.
-pub use psfa_stream::{HashRouter, Placement, Router, RoutingPolicy, SkewAwareRouter};
+pub use psfa_stream::{HashRouter, IngestFence, Placement, Router, RoutingPolicy, SkewAwareRouter};
+
+// Persistence lives in `psfa-store`; the engine-facing pieces are
+// re-exported so `EngineConfig::persistence` and `Engine::recover` can be
+// used without a direct `psfa-store` dependency.
+pub use psfa_store::{EpochView, PersistenceConfig, SnapshotStore, StoreError};

@@ -52,6 +52,24 @@ pub struct ShardMetrics {
     pub queue_depth: u64,
 }
 
+/// Point-in-time metrics of the persistence subsystem (present only when
+/// the engine was configured with `EngineConfig::persistence`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreMetrics {
+    /// Epochs persisted by this process (flusher cuts + `snapshot_now`).
+    pub epochs_persisted: u64,
+    /// Bytes appended to the segment log by this process.
+    pub bytes_written: u64,
+    /// Newest epoch in the store (`0` when nothing is persisted yet); this
+    /// includes epochs recovered from a previous process.
+    pub last_epoch: u64,
+    /// Segment files currently on disk.
+    pub segments: u64,
+    /// Background flushes that failed (I/O trouble); the flusher skips the
+    /// interval and keeps going.
+    pub flush_failures: u64,
+}
+
 /// Point-in-time metrics of the whole engine.
 #[derive(Debug, Clone)]
 pub struct EngineMetrics {
@@ -62,6 +80,8 @@ pub struct EngineMetrics {
     /// Keys the router currently splits across shards (empty under static
     /// hash routing), sorted ascending.
     pub hot_keys: Vec<u64>,
+    /// Persistence metrics, when a snapshot store is attached.
+    pub store: Option<StoreMetrics>,
 }
 
 impl EngineMetrics {
@@ -130,6 +150,16 @@ impl EngineMetrics {
             self.load_imbalance()
                 .map_or_else(|| "n/a".to_string(), |x| format!("{x:.3}")),
         ));
+        if let Some(store) = &self.store {
+            out.push_str(&format!(
+                "store: epoch {} | {} epochs persisted | {} KiB | {} segments | {} failures\n",
+                store.last_epoch,
+                store.epochs_persisted,
+                store.bytes_written / 1024,
+                store.segments,
+                store.flush_failures,
+            ));
+        }
         out
     }
 }
@@ -174,6 +204,7 @@ mod tests {
             shards,
             router: "hash",
             hot_keys: Vec::new(),
+            store: None,
         };
         assert_eq!(m.items_processed(), 120);
         assert_eq!(m.items_enqueued(), 150);
@@ -191,6 +222,7 @@ mod tests {
             shards: Vec::new(),
             router: "hash",
             hot_keys: Vec::new(),
+            store: None,
         };
         assert_eq!(m.items_processed(), 0);
         assert!(m.max_shard_share().is_none());

@@ -16,6 +16,7 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use psfa_freq::{InfiniteHeavyHitters, SlidingFreqWorkEfficient, SlidingFrequencyEstimator};
 use psfa_sketch::ParallelCountMin;
+use psfa_store::ShardState;
 use psfa_stream::MinibatchOperator;
 
 use crate::config::EngineConfig;
@@ -27,6 +28,12 @@ pub(crate) enum ShardCommand {
     Batch(Vec<u64>),
     /// Drain checkpoint: acknowledge once every earlier command is done.
     Barrier(SyncSender<()>),
+    /// Snapshot cut: reply with a clone of the full operator state. The
+    /// persister enqueues this on every shard while holding the ingest
+    /// fence exclusively, so the FIFO position — and therefore the state
+    /// handed back — reflects exactly the minibatches accepted before the
+    /// cut, on every shard.
+    Persist(SyncSender<ShardState>),
     /// Finish queued work, then exit and hand back the operator state.
     Shutdown,
 }
@@ -90,15 +97,37 @@ pub(crate) struct ShardShared {
 }
 
 impl ShardShared {
-    pub(crate) fn new(shard: usize, config: &EngineConfig) -> Self {
+    /// Shared state for one shard. When `recovered` is given (crash
+    /// recovery), the Count-Min sketch is taken from the persisted epoch and
+    /// the *initial published snapshot* already reflects the recovered
+    /// summaries — queries against a freshly recovered engine see the
+    /// persisted state immediately, with no race against the worker's first
+    /// batch.
+    pub(crate) fn new(shard: usize, config: &EngineConfig, recovered: Option<&ShardState>) -> Self {
+        let (snapshot, count_min) = match recovered {
+            None => (
+                ShardSnapshot::empty(shard),
+                ParallelCountMin::new(config.cm_epsilon, config.cm_delta, config.cm_seed),
+            ),
+            Some(state) => (
+                ShardSnapshot {
+                    shard,
+                    epoch: state.epoch,
+                    stream_len: state.items,
+                    hh_entries: state.heavy_hitters.estimator().tracked_items(),
+                    sliding_entries: state
+                        .sliding
+                        .as_ref()
+                        .map(|s| s.tracked_items())
+                        .unwrap_or_default(),
+                },
+                state.count_min.clone(),
+            ),
+        };
         Self {
             stats: ShardStats::default(),
-            snapshot: RwLock::new(Arc::new(ShardSnapshot::empty(shard))),
-            count_min: Mutex::new(ParallelCountMin::new(
-                config.cm_epsilon,
-                config.cm_delta,
-                config.cm_seed,
-            )),
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            count_min: Mutex::new(count_min),
         }
     }
 
@@ -136,20 +165,38 @@ pub(crate) struct ShardWorker {
 }
 
 impl ShardWorker {
+    /// Builds a worker, either fresh from the config or resuming from a
+    /// recovered [`ShardState`] (whose Count-Min sketch lives in
+    /// [`ShardShared`], not here).
     pub(crate) fn new(
         shard: usize,
         config: &EngineConfig,
         lifted: Vec<(String, Box<dyn MinibatchOperator + Send>)>,
         shared: Arc<ShardShared>,
+        recovered: Option<&ShardState>,
     ) -> Self {
+        let (epoch, items, heavy_hitters, sliding) = match recovered {
+            None => (
+                0,
+                0,
+                InfiniteHeavyHitters::new(config.phi, config.epsilon),
+                config
+                    .window
+                    .map(|n| SlidingFreqWorkEfficient::new(config.epsilon, n)),
+            ),
+            Some(state) => (
+                state.epoch,
+                state.items,
+                state.heavy_hitters.clone(),
+                state.sliding.clone(),
+            ),
+        };
         Self {
             shard,
-            epoch: 0,
-            items: 0,
-            heavy_hitters: InfiniteHeavyHitters::new(config.phi, config.epsilon),
-            sliding: config
-                .window
-                .map(|n| SlidingFreqWorkEfficient::new(config.epsilon, n)),
+            epoch,
+            items,
+            heavy_hitters,
+            sliding,
             lifted,
             shared,
         }
@@ -166,6 +213,27 @@ impl ShardWorker {
                     // already processed; a failed send means the drainer gave
                     // up waiting, which is not the worker's problem.
                     let _ = ack.send(());
+                }
+                ShardCommand::Persist(reply) => {
+                    // Hand back a clone of the operator state as of this
+                    // queue position; encoding and disk I/O happen on the
+                    // flusher thread, off the ingest hot path. A failed send
+                    // means the persister gave up (e.g. the engine is being
+                    // torn down) — not the worker's problem.
+                    let count_min = self
+                        .shared
+                        .count_min
+                        .lock()
+                        .expect("count-min lock poisoned")
+                        .clone();
+                    let _ = reply.send(ShardState {
+                        shard: self.shard as u32,
+                        epoch: self.epoch,
+                        items: self.items,
+                        heavy_hitters: self.heavy_hitters.clone(),
+                        sliding: self.sliding.clone(),
+                        count_min,
+                    });
                 }
                 ShardCommand::Shutdown => break,
             }
@@ -243,8 +311,8 @@ mod tests {
     #[test]
     fn worker_processes_batches_and_publishes_snapshots() {
         let config = test_config();
-        let shared = Arc::new(ShardShared::new(0, &config));
-        let worker = ShardWorker::new(0, &config, Vec::new(), shared.clone());
+        let shared = Arc::new(ShardShared::new(0, &config, None));
+        let worker = ShardWorker::new(0, &config, Vec::new(), shared.clone(), None);
         let (tx, rx) = sync_channel(4);
         tx.send(ShardCommand::Batch(vec![7; 100])).unwrap();
         tx.send(ShardCommand::Batch(vec![7, 8, 9])).unwrap();
@@ -263,8 +331,8 @@ mod tests {
     #[test]
     fn barrier_acknowledges_after_prior_batches() {
         let config = test_config();
-        let shared = Arc::new(ShardShared::new(0, &config));
-        let worker = ShardWorker::new(0, &config, Vec::new(), shared.clone());
+        let shared = Arc::new(ShardShared::new(0, &config, None));
+        let worker = ShardWorker::new(0, &config, Vec::new(), shared.clone(), None);
         let (tx, rx) = sync_channel(4);
         let (ack_tx, ack_rx) = sync_channel(1);
         tx.send(ShardCommand::Batch(vec![1; 50])).unwrap();
@@ -280,7 +348,7 @@ mod tests {
     fn lifted_operators_see_every_batch() {
         use std::sync::atomic::{AtomicU64, Ordering};
         let config = test_config();
-        let shared = Arc::new(ShardShared::new(0, &config));
+        let shared = Arc::new(ShardShared::new(0, &config, None));
         let count = Arc::new(AtomicU64::new(0));
         let c = count.clone();
         let lifted: Vec<(String, Box<dyn MinibatchOperator + Send>)> = vec![(
@@ -289,7 +357,7 @@ mod tests {
                 c.fetch_add(b.len() as u64, Ordering::Relaxed);
             })),
         )];
-        let worker = ShardWorker::new(0, &config, lifted, shared);
+        let worker = ShardWorker::new(0, &config, lifted, shared, None);
         let (tx, rx) = sync_channel(4);
         tx.send(ShardCommand::Batch(vec![1, 2, 3])).unwrap();
         tx.send(ShardCommand::Batch(vec![4; 10])).unwrap();

@@ -6,8 +6,14 @@
 //! infinite-window estimator (Theorem 5.2) and any sliding-window estimator
 //! implementing [`SlidingFrequencyEstimator`].
 
+use psfa_primitives::codec::{put_header, ByteReader, ByteWriter, CodecError};
+
 use crate::infinite::ParallelFrequencyEstimator;
 use crate::SlidingFrequencyEstimator;
+
+/// Type tag for encoded heavy-hitter trackers (see `psfa_primitives::codec`).
+const TAG: u8 = 0x05;
+const VERSION: u8 = 1;
 
 /// One reported heavy hitter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,7 +28,7 @@ pub struct HeavyHitter {
 ///
 /// Guarantees (for `0 < ε < φ < 1`): every item with frequency `≥ φN` is
 /// reported, and no item with frequency `≤ (φ − ε)N` is reported.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InfiniteHeavyHitters {
     phi: f64,
     estimator: ParallelFrequencyEstimator,
@@ -77,6 +83,48 @@ impl InfiniteHeavyHitters {
     /// Panics if the trackers' error parameters differ.
     pub fn merge(&mut self, other: &InfiniteHeavyHitters) {
         self.estimator.merge(&other.estimator);
+    }
+
+    /// Canonical binary encoding, appended to `w` (the per-shard record unit
+    /// of `psfa-store`).
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        put_header(w, TAG, VERSION);
+        w.put_f64(self.phi);
+        self.estimator.encode_into(w);
+    }
+
+    /// Canonical binary encoding as an owned buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a tracker previously written by
+    /// [`InfiniteHeavyHitters::encode_into`] (never panics on corrupted
+    /// input).
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.expect_header(TAG, VERSION)?;
+        let phi = r.get_f64()?;
+        if !(phi > 0.0 && phi < 1.0) {
+            return Err(CodecError::Invalid("heavy hitters: phi not in (0, 1)"));
+        }
+        let estimator = ParallelFrequencyEstimator::decode_from(r)?;
+        if estimator.epsilon() >= phi {
+            return Err(CodecError::Invalid(
+                "heavy hitters: epsilon must be below phi",
+            ));
+        }
+        Ok(Self { phi, estimator })
+    }
+
+    /// Decodes a tracker from a standalone buffer produced by
+    /// [`InfiniteHeavyHitters::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let out = Self::decode_from(&mut r)?;
+        r.expect_end()?;
+        Ok(out)
     }
 }
 

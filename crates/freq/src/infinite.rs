@@ -8,12 +8,20 @@
 //! depth — matching the best sequential algorithm's work and beating the
 //! `Ω(1/ε)` depth of merge-based approaches.
 
+use psfa_primitives::codec::{put_header, ByteReader, ByteWriter, CodecError};
 use psfa_primitives::{build_hist, WorkMeter};
 
 use crate::summary::MgSummary;
 
+/// Type tag for encoded estimators (see `psfa_primitives::codec`).
+const TAG: u8 = 0x04;
+const VERSION: u8 = 1;
+
 /// Infinite-window frequency estimator with guarantee
 /// `f̂ₑ ∈ [fₑ − εm, fₑ]` after `m` stream elements (Theorem 5.2).
+///
+/// Equality compares the persistent state (ε, summary, stream length, seed);
+/// an attached [`WorkMeter`] is instrumentation and is ignored.
 #[derive(Debug, Clone)]
 pub struct ParallelFrequencyEstimator {
     epsilon: f64,
@@ -24,6 +32,15 @@ pub struct ParallelFrequencyEstimator {
     seed: u64,
     /// Optional work meter charged with the dominant operations.
     meter: Option<WorkMeter>,
+}
+
+impl PartialEq for ParallelFrequencyEstimator {
+    fn eq(&self, other: &Self) -> bool {
+        self.epsilon.to_bits() == other.epsilon.to_bits()
+            && self.summary == other.summary
+            && self.stream_len == other.stream_len
+            && self.seed == other.seed
+    }
 }
 
 impl ParallelFrequencyEstimator {
@@ -118,6 +135,61 @@ impl ParallelFrequencyEstimator {
     /// All tracked `(item, estimate)` pairs in unspecified order.
     pub fn tracked_items(&self) -> Vec<(u64, u64)> {
         self.summary.entries()
+    }
+
+    /// Canonical binary encoding, appended to `w`. The histogram seed is
+    /// included, so a decoded estimator continues the stream exactly as the
+    /// original would have (attached [`WorkMeter`]s are not persisted).
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        put_header(w, TAG, VERSION);
+        w.put_f64(self.epsilon);
+        w.put_u64(self.stream_len);
+        w.put_u64(self.seed);
+        self.summary.encode_into(w);
+    }
+
+    /// Canonical binary encoding as an owned buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes an estimator previously written by
+    /// [`ParallelFrequencyEstimator::encode_into`] (never panics on
+    /// corrupted input).
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.expect_header(TAG, VERSION)?;
+        let epsilon = r.get_f64()?;
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(CodecError::Invalid(
+                "frequency estimator: epsilon not in (0, 1)",
+            ));
+        }
+        let stream_len = r.get_u64()?;
+        let seed = r.get_u64()?;
+        let summary = MgSummary::decode_from(r)?;
+        if summary.capacity() != (1.0 / epsilon).ceil() as usize {
+            return Err(CodecError::Invalid(
+                "frequency estimator: summary capacity inconsistent with epsilon",
+            ));
+        }
+        Ok(Self {
+            epsilon,
+            summary,
+            stream_len,
+            seed,
+            meter: None,
+        })
+    }
+
+    /// Decodes an estimator from a standalone buffer produced by
+    /// [`ParallelFrequencyEstimator::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let out = Self::decode_from(&mut r)?;
+        r.expect_end()?;
+        Ok(out)
     }
 
     /// Reports every item whose estimate certifies it *may* be a φ-heavy

@@ -17,10 +17,15 @@
 
 use std::collections::HashMap;
 
+use psfa_primitives::codec::{put_header, ByteReader, ByteWriter, CodecError};
 use psfa_primitives::{phi_cutoff, HistogramEntry};
 
+/// Type tag for encoded MG summaries (see `psfa_primitives::codec`).
+const TAG: u8 = 0x03;
+const VERSION: u8 = 1;
+
 /// A Misra–Gries summary: at most `capacity` items with approximate counters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MgSummary {
     capacity: usize,
     entries: HashMap<u64, u64>,
@@ -138,6 +143,74 @@ impl MgSummary {
             .map(|(&item, &count)| HistogramEntry { item, count })
             .collect();
         self.augment(&histogram)
+    }
+
+    /// Canonical binary encoding, appended to `w`. Entries are written in
+    /// ascending item order, so encoding the same logical summary always
+    /// produces identical bytes.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        put_header(w, TAG, VERSION);
+        w.put_u64(self.capacity as u64);
+        let mut entries: Vec<(u64, u64)> = self.entries();
+        entries.sort_unstable();
+        w.put_u32(entries.len() as u32);
+        for (item, count) in entries {
+            w.put_u64(item);
+            w.put_u64(count);
+        }
+    }
+
+    /// Canonical binary encoding as an owned buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a summary previously written by [`MgSummary::encode_into`],
+    /// validating every structural invariant (never panics on corrupted
+    /// input, never over-allocates from a corrupted length).
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.expect_header(TAG, VERSION)?;
+        let capacity = r.get_u64()?;
+        if capacity == 0 || capacity > usize::MAX as u64 {
+            return Err(CodecError::Invalid("mg-summary: invalid capacity"));
+        }
+        let len = r.get_len(16)?;
+        if len as u64 > capacity {
+            return Err(CodecError::Invalid(
+                "mg-summary: more entries than capacity",
+            ));
+        }
+        let mut entries = HashMap::with_capacity(len);
+        let mut prev: Option<u64> = None;
+        for _ in 0..len {
+            let item = r.get_u64()?;
+            let count = r.get_u64()?;
+            if count == 0 {
+                return Err(CodecError::Invalid("mg-summary: zero counter stored"));
+            }
+            if prev.is_some_and(|p| p >= item) {
+                return Err(CodecError::Invalid(
+                    "mg-summary: entries must be strictly ascending",
+                ));
+            }
+            prev = Some(item);
+            entries.insert(item, count);
+        }
+        Ok(Self {
+            capacity: capacity as usize,
+            entries,
+        })
+    }
+
+    /// Decodes a summary from a standalone buffer produced by
+    /// [`MgSummary::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let out = Self::decode_from(&mut r)?;
+        r.expect_end()?;
+        Ok(out)
     }
 }
 

@@ -26,6 +26,9 @@
 //! * [`instrument`] — lightweight operation counters used by the
 //!   work-efficiency experiments (E8) to measure *work* independently of
 //!   wall-clock time.
+//! * [`codec`] — the little-endian byte reader/writer and typed error used
+//!   by every summary's canonical `encode`/`decode` pair (the persistence
+//!   substrate of `psfa-store`).
 //!
 //! All primitives perform `O(n)` work and have polylogarithmic span, so the
 //! cost bounds proved in the paper carry over to the data structures built
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod codec;
 pub mod css;
 pub mod hash;
 pub mod histogram;
@@ -43,6 +47,7 @@ pub mod pack;
 pub mod scan;
 pub mod select;
 
+pub use codec::{put_header, ByteReader, ByteWriter, CodecError};
 pub use css::CompactedSegment;
 pub use hash::{HashFamily, MultiplyShiftHash, PolynomialHash};
 pub use histogram::{build_hist, build_hist_hashmap, HistogramEntry};

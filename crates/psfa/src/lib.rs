@@ -38,8 +38,9 @@
 //! | [`psfa_freq`] | §5 | parallel Misra–Gries, sliding-window frequency estimation (basic / space- / work-efficient), heavy hitters, mergeable summaries |
 //! | [`psfa_sketch`] | §6 | Count-Min sketch (sequential + parallel minibatch + mergeable), Count-Sketch |
 //! | [`psfa_baselines`] | §1, §5.4 | sequential comparators and the independent-data-structure approach |
-//! | [`psfa_stream`] | §1 | minibatch model, workload generators, pipeline driver, routing layer (hash + skew-aware hot-key splitting) |
+//! | [`psfa_stream`] | §1 | minibatch model, workload generators, pipeline driver, routing layer (hash + skew-aware hot-key splitting), epoch fencing |
 //! | [`psfa_engine`] | beyond the paper | sharded multi-threaded ingestion engine with pluggable routing and live cross-shard queries (`Engine`, `EngineHandle`) |
+//! | [`psfa_store`] | beyond the paper | epoch-snapshot persistence: checksummed append-only segment log, crash recovery (`Engine::recover`), time-travel queries (`heavy_hitters_at`) |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -49,6 +50,7 @@ pub use psfa_engine as engine;
 pub use psfa_freq as freq;
 pub use psfa_primitives as primitives;
 pub use psfa_sketch as sketch;
+pub use psfa_store as store;
 pub use psfa_stream as stream;
 pub use psfa_window as window;
 
@@ -62,7 +64,7 @@ pub mod prelude {
     };
     pub use psfa_engine::{
         Engine, EngineConfig, EngineHandle, EngineMetrics, EngineOperator, EngineReport,
-        IngestError, ShardedOperator,
+        IngestError, ShardedOperator, StoreMetrics,
     };
     pub use psfa_freq::{
         HeavyHitter, InfiniteHeavyHitters, MgSummary, ParallelFrequencyEstimator, SlidingFreqBasic,
@@ -71,11 +73,14 @@ pub mod prelude {
     };
     pub use psfa_primitives::{CompactedSegment, WorkMeter};
     pub use psfa_sketch::{CountMinSketch, CountSketch, ParallelCountMin};
+    pub use psfa_store::{
+        EpochRecord, EpochView, PersistenceConfig, ShardState, SnapshotStore, StoreError,
+    };
     pub use psfa_stream::{
         partition_by_key, shard_of, AdversarialChurnGenerator, BinaryStreamGenerator,
-        BurstyGenerator, HashRouter, MinibatchOperator, PacketTraceGenerator, Pipeline,
-        PipelineReport, Placement, Router, RoutingPolicy, SkewAwareRouter, SplitGenerator,
-        StreamGenerator, UniformGenerator, ZipfGenerator,
+        BurstyGenerator, HashRouter, IngestFence, MinibatchOperator, PacketTraceGenerator,
+        Pipeline, PipelineReport, Placement, Router, RoutingPolicy, SkewAwareRouter,
+        SplitGenerator, StreamGenerator, UniformGenerator, ZipfGenerator,
     };
     pub use psfa_window::{BasicCounter, QueryResult, Sbbc, WindowedSum};
 

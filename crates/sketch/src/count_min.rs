@@ -1,7 +1,12 @@
 //! Sequential Count-Min sketch (Cormode–Muthukrishnan), the baseline the
 //! parallel minibatch version of Section 6 builds on.
 
+use psfa_primitives::codec::{put_header, ByteReader, ByteWriter, CodecError};
 use psfa_primitives::{HashFamily, PolynomialHash};
+
+/// Type tag for encoded Count-Min sketches (see `psfa_primitives::codec`).
+const TAG: u8 = 0x07;
+const VERSION: u8 = 1;
 
 /// A Count-Min sketch: `d = ⌈ln(1/δ)⌉` rows of `w = ⌈e/ε⌉` counters.
 ///
@@ -11,6 +16,10 @@ use psfa_primitives::{HashFamily, PolynomialHash};
 pub struct CountMinSketch {
     epsilon: f64,
     delta: f64,
+    /// Seed the row hash functions were derived from; stored so the sketch
+    /// can be re-materialised exactly by `decode` (hashes are a
+    /// deterministic function of `(depth, width, seed)`).
+    seed: u64,
     width: usize,
     depth: usize,
     /// Row-major counter array, `depth` rows of `width` counters.
@@ -18,6 +27,18 @@ pub struct CountMinSketch {
     hashes: Vec<PolynomialHash>,
     /// Total mass added so far (`m`).
     total: u64,
+}
+
+impl PartialEq for CountMinSketch {
+    fn eq(&self, other: &Self) -> bool {
+        // Hash functions are a pure function of (epsilon, delta, seed), so
+        // comparing the parameters and counters compares the whole sketch.
+        self.epsilon.to_bits() == other.epsilon.to_bits()
+            && self.delta.to_bits() == other.delta.to_bits()
+            && self.seed == other.seed
+            && self.rows == other.rows
+            && self.total == other.total
+    }
 }
 
 impl CountMinSketch {
@@ -37,12 +58,18 @@ impl CountMinSketch {
         Self {
             epsilon,
             delta,
+            seed,
             width,
             depth,
             rows: vec![vec![0u64; width]; depth],
             hashes,
             total: 0,
         }
+    }
+
+    /// The seed the row hash functions were derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// The error parameter ε.
@@ -146,6 +173,93 @@ impl CountMinSketch {
         }
         self.total += other.total;
     }
+
+    /// Canonical binary encoding, appended to `w`. Only the parameters and
+    /// the counter matrix are written; the row hashes are re-derived from
+    /// the seed on decode, so the encoding stays compact and the decoded
+    /// sketch is hash-identical (and therefore mergeable) with the original.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        put_header(w, TAG, VERSION);
+        w.put_f64(self.epsilon);
+        w.put_f64(self.delta);
+        w.put_u64(self.seed);
+        w.put_u64(self.total);
+        w.put_u32(self.width as u32);
+        w.put_u32(self.depth as u32);
+        for row in &self.rows {
+            for &counter in row {
+                w.put_u64(counter);
+            }
+        }
+    }
+
+    /// Canonical binary encoding as an owned buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a sketch previously written by
+    /// [`CountMinSketch::encode_into`], re-deriving the row hashes from the
+    /// seed and validating dimensions against `(ε, δ)` (never panics on
+    /// corrupted input).
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.expect_header(TAG, VERSION)?;
+        let epsilon = r.get_f64()?;
+        let delta = r.get_f64()?;
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(CodecError::Invalid("count-min: epsilon not in (0, 1)"));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(CodecError::Invalid("count-min: delta not in (0, 1)"));
+        }
+        let seed = r.get_u64()?;
+        let total = r.get_u64()?;
+        let width = r.get_u32()? as usize;
+        let depth = r.get_u32()? as usize;
+        // Validate the dimensions arithmetically *before* constructing the
+        // sketch: `CountMinSketch::new` allocates `width × depth` counters,
+        // and a corrupted epsilon (e.g. 1e-300, still inside (0, 1)) would
+        // otherwise drive a huge allocation or a capacity-overflow panic.
+        // Float→int casts saturate in Rust, so these derivations are safe
+        // for any decoded epsilon/delta.
+        let expected_width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let expected_depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        if width != expected_width || depth != expected_depth {
+            return Err(CodecError::Invalid(
+                "count-min: dimensions inconsistent with (epsilon, delta)",
+            ));
+        }
+        let needed = width
+            .checked_mul(depth)
+            .and_then(|c| c.checked_mul(8))
+            .ok_or(CodecError::Invalid("count-min: dimension overflow"))?;
+        if needed > r.remaining() {
+            return Err(CodecError::UnexpectedEof {
+                needed,
+                remaining: r.remaining(),
+            });
+        }
+        let mut sketch = CountMinSketch::new(epsilon, delta, seed);
+        debug_assert!(sketch.width == width && sketch.depth == depth);
+        for row in sketch.rows.iter_mut() {
+            for counter in row.iter_mut() {
+                *counter = r.get_u64()?;
+            }
+        }
+        sketch.total = total;
+        Ok(sketch)
+    }
+
+    /// Decodes a sketch from a standalone buffer produced by
+    /// [`CountMinSketch::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let out = Self::decode_from(&mut r)?;
+        r.expect_end()?;
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -228,5 +342,38 @@ mod tests {
     #[should_panic(expected = "delta")]
     fn invalid_delta_rejected() {
         let _ = CountMinSketch::new(0.1, 1.0, 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut sketch = CountMinSketch::new(0.01, 0.05, 77);
+        for item in 0..500u64 {
+            sketch.update(item % 40, 1 + item % 3);
+        }
+        let decoded = CountMinSketch::decode(&sketch.encode()).unwrap();
+        assert_eq!(decoded, sketch);
+        for item in 0..40u64 {
+            assert_eq!(decoded.query(item), sketch.query(item));
+        }
+        assert!(decoded.is_mergeable_with(&sketch));
+    }
+
+    #[test]
+    fn decode_rejects_absurd_epsilon_without_allocating() {
+        // A corrupted epsilon deep in (0, 1) — e.g. 1e-300 — must be caught
+        // by the dimension cross-check *before* any counter allocation, not
+        // panic with a capacity overflow.
+        let sketch = CountMinSketch::new(0.01, 0.05, 1);
+        let mut bytes = sketch.encode();
+        // Layout: tag(1) + version(1) + epsilon f64 bits at [2..10].
+        bytes[2..10].copy_from_slice(&1e-300f64.to_bits().to_le_bytes());
+        assert!(matches!(
+            CountMinSketch::decode(&bytes),
+            Err(CodecError::Invalid(_))
+        ));
+        // Same for a delta driving the depth out of range.
+        let mut bytes = sketch.encode();
+        bytes[10..18].copy_from_slice(&1e-300f64.to_bits().to_le_bytes());
+        assert!(CountMinSketch::decode(&bytes).is_err());
     }
 }

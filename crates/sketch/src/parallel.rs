@@ -8,14 +8,20 @@
 //! depth is polylogarithmic; point queries take `O(d)` work with an
 //! `O(log d)`-depth parallel min-reduction.
 
+use psfa_primitives::codec::{put_header, ByteReader, ByteWriter, CodecError};
 use psfa_primitives::{build_hist, HistogramEntry};
 use rayon::prelude::*;
 
 use crate::count_min::CountMinSketch;
 
+/// Type tag for encoded parallel Count-Min sketches (see
+/// `psfa_primitives::codec`).
+const TAG: u8 = 0x08;
+const VERSION: u8 = 1;
+
 /// A Count-Min sketch driven by minibatches, wrapping [`CountMinSketch`] with
 /// the parallel update of Section 6.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParallelCountMin {
     sketch: CountMinSketch,
     seed: u64,
@@ -111,6 +117,40 @@ impl ParallelCountMin {
     /// Panics if the sketches' dimensions or hash functions differ.
     pub fn merge(&mut self, other: &ParallelCountMin) {
         self.sketch.merge(other.sketch());
+    }
+
+    /// Canonical binary encoding, appended to `w`. The per-minibatch
+    /// histogram seed is included, so a decoded sketch continues the stream
+    /// exactly as the original would have.
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        put_header(w, TAG, VERSION);
+        w.put_u64(self.seed);
+        self.sketch.encode_into(w);
+    }
+
+    /// Canonical binary encoding as an owned buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes a sketch previously written by
+    /// [`ParallelCountMin::encode_into`] (never panics on corrupted input).
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.expect_header(TAG, VERSION)?;
+        let seed = r.get_u64()?;
+        let sketch = CountMinSketch::decode_from(r)?;
+        Ok(Self { sketch, seed })
+    }
+
+    /// Decodes a sketch from a standalone buffer produced by
+    /// [`ParallelCountMin::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let out = Self::decode_from(&mut r)?;
+        r.expect_end()?;
+        Ok(out)
     }
 }
 

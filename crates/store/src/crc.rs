@@ -1,0 +1,57 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over record
+//! payloads. Table-driven; the table is built once per process.
+
+use std::sync::OnceLock;
+
+static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+
+fn table() -> &'static [u32; 256] {
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// The CRC-32 checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value of CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_byte_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let reference = crc32(&data);
+        for i in 0..data.len() {
+            let mut copy = data.clone();
+            copy[i] ^= 0x01;
+            assert_ne!(crc32(&copy), reference, "flip at {i} undetected");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The typed error surface of the persistence subsystem.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use psfa_primitives::CodecError;
+
+/// Any failure of the persistence subsystem: I/O, corruption, decoding,
+/// missing state, or a recovery/engine-integration mismatch.
+///
+/// Corruption of any kind (bad magic, checksum mismatch, truncated interior
+/// record, undecodable summary) is reported as a typed variant — decoding
+/// untrusted bytes never panics anywhere in the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure.
+    Io(io::Error),
+    /// A summary or record failed to decode (see [`CodecError`]).
+    Codec(CodecError),
+    /// A segment file is structurally damaged at the given byte offset.
+    Corrupt {
+        /// Segment file in which the damage was found.
+        path: PathBuf,
+        /// Byte offset of the damaged frame or header.
+        offset: u64,
+        /// Human-readable description of the damage.
+        detail: String,
+    },
+    /// The requested epoch is not retained (never written, or compacted
+    /// away).
+    NoSuchEpoch(u64),
+    /// The store holds no epoch at all — nothing to recover from.
+    NoSnapshot,
+    /// An appended epoch did not advance past the latest retained epoch.
+    EpochOrder {
+        /// Epoch number the caller tried to append.
+        appended: u64,
+        /// Latest epoch already in the store.
+        latest: u64,
+    },
+    /// Recovery found a different shard count than the engine config asks
+    /// for (per-shard substreams cannot be re-split).
+    ShardCountMismatch {
+        /// Shards in the persisted epoch.
+        persisted: usize,
+        /// Shards in the engine configuration.
+        configured: usize,
+    },
+    /// Recovery found persisted accuracy/window parameters incompatible
+    /// with the engine configuration.
+    ConfigMismatch(&'static str),
+    /// The engine backing this handle has shut down; no snapshot can be cut.
+    Closed,
+    /// Persistence is not configured on this engine.
+    Disabled,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Codec(e) => write!(f, "store decode error: {e}"),
+            StoreError::Corrupt {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corrupt segment {} at offset {offset}: {detail}",
+                path.display()
+            ),
+            StoreError::NoSuchEpoch(epoch) => {
+                write!(f, "epoch {epoch} is not retained in the store")
+            }
+            StoreError::NoSnapshot => write!(f, "the store holds no persisted epoch"),
+            StoreError::EpochOrder { appended, latest } => write!(
+                f,
+                "appended epoch {appended} does not advance past latest epoch {latest}"
+            ),
+            StoreError::ShardCountMismatch {
+                persisted,
+                configured,
+            } => write!(
+                f,
+                "persisted epoch has {persisted} shards but the engine is configured for {configured}"
+            ),
+            StoreError::ConfigMismatch(what) => {
+                write!(f, "persisted state incompatible with engine config: {what}")
+            }
+            StoreError::Closed => write!(f, "engine is shut down; no snapshot can be cut"),
+            StoreError::Disabled => write!(f, "persistence is not configured on this engine"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}

@@ -1,0 +1,246 @@
+//! The on-disk record types: one persisted epoch and its per-shard states.
+
+use psfa_freq::{InfiniteHeavyHitters, SlidingFreqWorkEfficient};
+use psfa_primitives::codec::{put_header, ByteReader, ByteWriter, CodecError};
+use psfa_sketch::ParallelCountMin;
+
+const EPOCH_TAG: u8 = 0x10;
+const EPOCH_VERSION: u8 = 1;
+const SHARD_TAG: u8 = 0x11;
+const SHARD_VERSION: u8 = 1;
+
+/// Upper bound accepted for the persisted shard count — a sanity limit far
+/// above any real deployment, guarding decode against corrupted counts.
+const MAX_SHARDS: usize = 1 << 16;
+
+/// The full operator state of one shard at the moment of an epoch cut.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardState {
+    /// Shard index.
+    pub shard: u32,
+    /// Minibatches the shard had processed at the cut (its local epoch).
+    pub epoch: u64,
+    /// Items the shard had processed at the cut (its `m_s`).
+    pub items: u64,
+    /// The shard's infinite-window heavy-hitter tracker.
+    pub heavy_hitters: InfiniteHeavyHitters,
+    /// The shard's sliding-window estimator, when the engine runs one.
+    pub sliding: Option<SlidingFreqWorkEfficient>,
+    /// The shard's Count-Min sketch.
+    pub count_min: ParallelCountMin,
+}
+
+impl ShardState {
+    fn encode_into(&self, w: &mut ByteWriter) {
+        put_header(w, SHARD_TAG, SHARD_VERSION);
+        w.put_u32(self.shard);
+        w.put_u64(self.epoch);
+        w.put_u64(self.items);
+        self.heavy_hitters.encode_into(w);
+        match &self.sliding {
+            Some(sliding) => {
+                w.put_u8(1);
+                sliding.encode_into(w);
+            }
+            None => w.put_u8(0),
+        }
+        self.count_min.encode_into(w);
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.expect_header(SHARD_TAG, SHARD_VERSION)?;
+        let shard = r.get_u32()?;
+        let epoch = r.get_u64()?;
+        let items = r.get_u64()?;
+        let heavy_hitters = InfiniteHeavyHitters::decode_from(r)?;
+        let sliding = match r.get_u8()? {
+            0 => None,
+            1 => Some(SlidingFreqWorkEfficient::decode_from(r)?),
+            _ => return Err(CodecError::Invalid("shard state: bad sliding flag")),
+        };
+        let count_min = ParallelCountMin::decode_from(r)?;
+        Ok(Self {
+            shard,
+            epoch,
+            items,
+            heavy_hitters,
+            sliding,
+            count_min,
+        })
+    }
+}
+
+/// One persisted epoch: a consistent cut of every shard's summaries plus
+/// the routing state needed to interpret them (the hot-key set — a key split
+/// across shards must be *summed* at query time, live or historical).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Store epoch number `E`, strictly increasing across the log.
+    pub epoch: u64,
+    /// Heavy-hitter threshold φ the engine ran with.
+    pub phi: f64,
+    /// Estimation error ε the engine ran with.
+    pub epsilon: f64,
+    /// Per-shard sliding-window size, when configured.
+    pub window: Option<u64>,
+    /// Keys the router was splitting across shards at the cut, sorted.
+    pub hot_keys: Vec<u64>,
+    /// Per-shard states, in shard order (`shards[i].shard == i`).
+    pub shards: Vec<ShardState>,
+}
+
+impl EpochRecord {
+    /// Canonical binary encoding of the whole record (the payload of one
+    /// segment-log frame).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        put_header(&mut w, EPOCH_TAG, EPOCH_VERSION);
+        w.put_u64(self.epoch);
+        w.put_f64(self.phi);
+        w.put_f64(self.epsilon);
+        match self.window {
+            Some(n) => {
+                w.put_u8(1);
+                w.put_u64(n);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_u32(self.hot_keys.len() as u32);
+        for &key in &self.hot_keys {
+            w.put_u64(key);
+        }
+        w.put_u32(self.shards.len() as u32);
+        for shard in &self.shards {
+            shard.encode_into(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a record from one frame payload, validating every structural
+    /// invariant (never panics on corrupted input).
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        r.expect_header(EPOCH_TAG, EPOCH_VERSION)?;
+        let epoch = r.get_u64()?;
+        let phi = r.get_f64()?;
+        let epsilon = r.get_f64()?;
+        if !(epsilon > 0.0 && epsilon < phi && phi < 1.0) {
+            return Err(CodecError::Invalid(
+                "epoch record: need 0 < epsilon < phi < 1",
+            ));
+        }
+        let window = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_u64()?),
+            _ => return Err(CodecError::Invalid("epoch record: bad window flag")),
+        };
+        let hot_len = r.get_len(8)?;
+        let mut hot_keys = Vec::with_capacity(hot_len);
+        for _ in 0..hot_len {
+            let key = r.get_u64()?;
+            if hot_keys.last().is_some_and(|&p| p >= key) {
+                return Err(CodecError::Invalid(
+                    "epoch record: hot keys must be strictly ascending",
+                ));
+            }
+            hot_keys.push(key);
+        }
+        let shard_count = r.get_len(1)?;
+        if shard_count == 0 || shard_count > MAX_SHARDS {
+            return Err(CodecError::Invalid("epoch record: implausible shard count"));
+        }
+        let mut shards = Vec::with_capacity(shard_count);
+        for expected in 0..shard_count {
+            let shard = ShardState::decode_from(&mut r)?;
+            if shard.shard as usize != expected {
+                return Err(CodecError::Invalid("epoch record: shards out of order"));
+            }
+            shards.push(shard);
+        }
+        r.expect_end()?;
+        Ok(Self {
+            epoch,
+            phi,
+            epsilon,
+            window,
+            hot_keys,
+            shards,
+        })
+    }
+
+    /// Reads only the epoch number from an encoded record (used to index a
+    /// segment without decoding megabytes of summaries).
+    pub fn peek_epoch(bytes: &[u8]) -> Result<u64, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        r.expect_header(EPOCH_TAG, EPOCH_VERSION)?;
+        r.get_u64()
+    }
+
+    /// Total items reflected in this epoch across all shards (`m`).
+    pub fn total_items(&self) -> u64 {
+        self.shards.iter().map(|s| s.items).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psfa_freq::SlidingFrequencyEstimator;
+
+    fn sample_record() -> EpochRecord {
+        let mut shards = Vec::new();
+        for shard in 0..3u32 {
+            let mut hh = InfiniteHeavyHitters::new(0.05, 0.01);
+            let mut sliding = SlidingFreqWorkEfficient::new(0.01, 10_000);
+            let mut cm = ParallelCountMin::new(0.01, 0.01, 42);
+            let batch: Vec<u64> = (0..500u64).map(|i| i % (7 + shard as u64)).collect();
+            hh.process_minibatch(&batch);
+            sliding.process_minibatch(&batch);
+            cm.process_minibatch(&batch);
+            shards.push(ShardState {
+                shard,
+                epoch: 1 + shard as u64,
+                items: batch.len() as u64,
+                heavy_hitters: hh,
+                sliding: Some(sliding),
+                count_min: cm,
+            });
+        }
+        EpochRecord {
+            epoch: 9,
+            phi: 0.05,
+            epsilon: 0.01,
+            window: Some(10_000),
+            hot_keys: vec![0, 3, 11],
+            shards,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let record = sample_record();
+        let bytes = record.encode();
+        assert_eq!(EpochRecord::peek_epoch(&bytes).unwrap(), 9);
+        let decoded = EpochRecord::decode(&bytes).unwrap();
+        assert_eq!(decoded, record);
+        assert_eq!(decoded.total_items(), record.total_items());
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let bytes = sample_record().encode();
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(EpochRecord::decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corruption_never_panics() {
+        let bytes = sample_record().encode();
+        for i in (0..bytes.len()).step_by(3) {
+            let mut copy = bytes.clone();
+            copy[i] ^= 0xA5;
+            let _ = EpochRecord::decode(&copy); // Err or a different record — never a panic
+        }
+    }
+}

@@ -21,11 +21,14 @@
 //!   the routing layer under the sharded ingestion engine (`psfa-engine`).
 //! * [`router`] — pluggable routing policies over the split layer: hash
 //!   partitioning and skew-aware hot-key splitting.
+//! * [`fence`] — epoch fencing: consistent cuts of a concurrently ingested
+//!   stream, the ordering primitive under snapshot persistence.
 //! * [`metrics`] — throughput/latency accounting.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fence;
 pub mod generators;
 pub mod metrics;
 pub mod pipeline;
@@ -33,6 +36,7 @@ pub mod router;
 pub mod split;
 pub mod zipf;
 
+pub use fence::{IngestFence, IngestGuard};
 pub use generators::{
     AdversarialChurnGenerator, BinaryStreamGenerator, BurstyGenerator, PacketTraceGenerator,
     StreamGenerator, UniformGenerator, ZipfGenerator,

@@ -30,12 +30,35 @@
 //! `ε_cm·m`. This is the mergeable-summaries argument of
 //! `psfa_freq::MgSummary::merge` applied at query time.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use psfa_baselines::SpaceSaving;
 
 use crate::split::{partition_by_key, shard_of};
+
+/// Process-unique ids for [`SkewAwareRouter`] instances, keying the
+/// per-thread hot-set cache below.
+static NEXT_ROUTER_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Per-thread cache slots are capped so a thread that churns through many
+/// routers (tests, benches) cannot grow its cache without bound.
+const HOT_CACHE_SLOTS: usize = 32;
+
+struct HotCacheSlot {
+    router: u64,
+    epoch: u64,
+    hot: Arc<Vec<u64>>,
+}
+
+thread_local! {
+    /// Per-producer cache of each router's hot set, validated against the
+    /// router's promotion epoch: the per-batch routing path reads the hot
+    /// set with **zero shared-memory writes** (no `RwLock` read, no `Arc`
+    /// refcount bump) until a promotion actually happens.
+    static HOT_CACHE: RefCell<Vec<HotCacheSlot>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Where a key's count mass may reside under a router's policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +98,12 @@ pub trait Router: Send + Sync {
     fn hot_keys(&self) -> Vec<u64> {
         Vec::new()
     }
+
+    /// Pre-promotes `keys` to the split (replicated) set, if the policy
+    /// supports splitting. Used by crash recovery to restore a persisted hot
+    /// set, so replicated-key placements — and therefore query-time summing —
+    /// survive a restart. A no-op for static routers.
+    fn promote(&self, _keys: &[u64]) {}
 }
 
 /// Stateless hash routing: each key is owned by exactly one shard, the pure
@@ -133,6 +162,8 @@ impl Router for HashRouter {
 /// remains one-sided (it never overestimates) and catches up on the next
 /// read.
 pub struct SkewAwareRouter {
+    /// Process-unique id keying the per-thread hot-set cache.
+    id: u64,
     shards: usize,
     hot_capacity: usize,
     hot_fraction: f64,
@@ -148,6 +179,12 @@ pub struct SkewAwareRouter {
     /// the per-item routing path. Readers clone the `Arc` so the routing
     /// loop never holds the lock.
     hot: RwLock<Arc<Vec<u64>>>,
+    /// Bumped after every hot-set change; per-producer caches revalidate
+    /// against it with one atomic load per batch (see [`HOT_CACHE`]).
+    promotion_epoch: AtomicU64,
+    /// Per-producer thread-local caching of the hot set (on by default);
+    /// disable to measure the uncached `RwLock` + `Arc`-clone path.
+    cache_hot_set: bool,
     /// Round-robin cursor shared by all producers for hot-key occurrences.
     cursor: AtomicUsize,
     /// Rotates the sampling offset so periodic streams cannot hide from the
@@ -204,6 +241,7 @@ impl SkewAwareRouter {
         // true share is far below `hot_fraction`.
         let tracker_epsilon = (hot_fraction / 4.0).max(1e-6);
         Self {
+            id: NEXT_ROUTER_ID.fetch_add(1, Ordering::Relaxed),
             shards,
             hot_capacity,
             hot_fraction,
@@ -211,9 +249,61 @@ impl SkewAwareRouter {
             sample_stride: 8,
             tracker: Mutex::new(SpaceSaving::new(tracker_epsilon)),
             hot: RwLock::new(Arc::new(Vec::new())),
+            promotion_epoch: AtomicU64::new(0),
+            cache_hot_set: true,
             cursor: AtomicUsize::new(0),
             batches: AtomicUsize::new(0),
         }
+    }
+
+    /// Enables or disables the per-producer thread-local hot-set cache
+    /// (enabled by default). Disabling restores the PR 2 behaviour — one
+    /// `RwLock` read plus one `Arc` clone per partitioned batch — and exists
+    /// so `benches/routing.rs` can measure exactly what the cache removes.
+    pub fn hot_set_caching(mut self, enabled: bool) -> Self {
+        self.cache_hot_set = enabled;
+        self
+    }
+
+    /// Runs `f` with the current hot set, served from the per-thread cache
+    /// when it is still at this router's promotion epoch. On the hit path
+    /// (every batch between promotions — i.e. almost all of them, since the
+    /// hot set is sticky and bounded) this performs a single relaxed-ish
+    /// atomic *load* and no shared-memory writes; only a promotion, or the
+    /// thread's first batch through this router, touches the `RwLock`.
+    fn with_hot<R>(&self, f: impl FnOnce(&[u64]) -> R) -> R {
+        if !self.cache_hot_set {
+            let hot = self.hot_set();
+            return f(&hot);
+        }
+        let epoch = self.promotion_epoch.load(Ordering::Acquire);
+        HOT_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(at) = cache.iter().position(|s| s.router == self.id) {
+                if cache[at].epoch != epoch {
+                    // A promotion happened: refresh from the shared set.
+                    // (Reading the epoch *before* the lock means a racing
+                    // promotion can only make the cached copy newer than its
+                    // recorded epoch — the next batch refreshes again, which
+                    // is safe; the hot set only ever grows.)
+                    cache[at].hot = self.hot_set();
+                    cache[at].epoch = epoch;
+                }
+                f(&cache[at].hot)
+            } else {
+                if cache.len() >= HOT_CACHE_SLOTS {
+                    // Evict the oldest slot; its router will simply re-cache.
+                    cache.remove(0);
+                }
+                cache.push(HotCacheSlot {
+                    router: self.id,
+                    epoch,
+                    hot: self.hot_set(),
+                });
+                let slot = cache.last().expect("just pushed");
+                f(&slot.hot)
+            }
+        })
     }
 
     /// Feeds a stride sample of one minibatch to the tracker and promotes
@@ -245,17 +335,31 @@ impl SkewAwareRouter {
         if promoted.is_empty() {
             return;
         }
+        self.insert_hot(&promoted);
+    }
+
+    /// Inserts `keys` into the sorted hot set (up to `hot_capacity`) and
+    /// bumps the promotion epoch so per-producer caches refresh.
+    fn insert_hot(&self, keys: &[u64]) {
         let mut guard = self.hot.write().expect("hot set lock poisoned");
         let mut next: Vec<u64> = (**guard).clone();
-        for key in promoted {
+        let mut changed = false;
+        for &key in keys {
             if next.len() >= self.hot_capacity {
                 break;
             }
             if let Err(at) = next.binary_search(&key) {
                 next.insert(at, key);
+                changed = true;
             }
         }
-        *guard = Arc::new(next);
+        if changed {
+            *guard = Arc::new(next);
+            // Release-publish after the set is visible behind the lock; a
+            // cache that loads the new epoch will read the new set (or a
+            // newer one — the set only grows).
+            self.promotion_epoch.fetch_add(1, Ordering::Release);
+        }
     }
 
     fn hot_set(&self) -> Arc<Vec<u64>> {
@@ -273,31 +377,33 @@ impl Router for SkewAwareRouter {
     }
 
     fn partition(&self, minibatch: &[u64]) -> Vec<Vec<u64>> {
-        let hot = self.hot_set();
-        let mut parts: Vec<Vec<u64>> = (0..self.shards)
-            .map(|_| Vec::with_capacity(minibatch.len() / self.shards + 1))
-            .collect();
-        // One shared-cursor RMW per *batch*, not per hot occurrence: under
-        // heavy skew a per-item fetch_add would ping-pong one cache line
-        // between all producers. Reserving `len` slots up front over-counts
-        // (cold items burn no slot), which only shifts the next batch's
-        // round-robin phase — the deal within a batch stays exact.
-        let mut cursor = self.cursor.fetch_add(minibatch.len(), Ordering::Relaxed);
-        for &item in minibatch {
-            let shard = if hot.binary_search(&item).is_ok() {
-                cursor += 1;
-                cursor % self.shards
-            } else {
-                shard_of(item, self.shards)
-            };
-            parts[shard].push(item);
-        }
-        self.observe(minibatch, &hot);
-        parts
+        self.with_hot(|hot| {
+            let mut parts: Vec<Vec<u64>> = (0..self.shards)
+                .map(|_| Vec::with_capacity(minibatch.len() / self.shards + 1))
+                .collect();
+            // One shared-cursor RMW per *batch*, not per hot occurrence: under
+            // heavy skew a per-item fetch_add would ping-pong one cache line
+            // between all producers. Reserving `len` slots up front over-counts
+            // (cold items burn no slot), which only shifts the next batch's
+            // round-robin phase — the deal within a batch stays exact.
+            let mut cursor = self.cursor.fetch_add(minibatch.len(), Ordering::Relaxed);
+            for &item in minibatch {
+                let shard = if hot.binary_search(&item).is_ok() {
+                    cursor += 1;
+                    cursor % self.shards
+                } else {
+                    shard_of(item, self.shards)
+                };
+                parts[shard].push(item);
+            }
+            self.observe(minibatch, hot);
+            parts
+        })
     }
 
     fn placement(&self, key: u64) -> Placement {
-        if self.hot_set().binary_search(&key).is_ok() {
+        let replicated = self.with_hot(|hot| hot.binary_search(&key).is_ok());
+        if replicated {
             Placement::Replicated
         } else {
             Placement::Owner(shard_of(key, self.shards))
@@ -306,6 +412,13 @@ impl Router for SkewAwareRouter {
 
     fn hot_keys(&self) -> Vec<u64> {
         (*self.hot_set()).clone()
+    }
+
+    fn promote(&self, keys: &[u64]) {
+        if keys.is_empty() {
+            return;
+        }
+        self.insert_hot(keys);
     }
 }
 
@@ -502,6 +615,63 @@ mod tests {
             router.partition(&batch);
         }
         assert!(router.hot_keys().len() <= 3);
+    }
+
+    #[test]
+    fn promote_warm_starts_the_hot_set() {
+        let router = SkewAwareRouter::new(4);
+        assert!(router.hot_keys().is_empty());
+        router.promote(&[42, 7, 7, 99]);
+        assert_eq!(router.hot_keys(), vec![7, 42, 99]);
+        assert_eq!(router.placement(42), Placement::Replicated);
+        assert_eq!(router.placement(7), Placement::Replicated);
+        // Hash routers ignore promotion.
+        let hash = HashRouter::new(4);
+        hash.promote(&[42]);
+        assert!(hash.hot_keys().is_empty());
+    }
+
+    #[test]
+    fn promote_respects_hot_capacity() {
+        let router = SkewAwareRouter::with_params(2, 3, 0.1);
+        router.promote(&(0..10u64).collect::<Vec<_>>());
+        assert_eq!(router.hot_keys().len(), 3);
+    }
+
+    #[test]
+    fn cached_and_uncached_routing_agree() {
+        // Same stream through a cached and an uncached router: identical
+        // partitions (both start from the same cursor phase), identical hot
+        // sets, identical placements.
+        let cached = SkewAwareRouter::new(4);
+        let uncached = SkewAwareRouter::new(4).hot_set_caching(false);
+        let mut generator = ZipfGenerator::new(50_000, 1.5, 17);
+        for _ in 0..15 {
+            let batch = generator.next_minibatch(3_000);
+            assert_eq!(cached.partition(&batch), uncached.partition(&batch));
+        }
+        assert_eq!(cached.hot_keys(), uncached.hot_keys());
+        assert!(
+            !cached.hot_keys().is_empty(),
+            "promotion must have happened"
+        );
+        for key in cached.hot_keys() {
+            assert_eq!(cached.placement(key), Placement::Replicated);
+            assert_eq!(uncached.placement(key), Placement::Replicated);
+        }
+    }
+
+    #[test]
+    fn cache_sees_promotions_made_by_other_threads() {
+        // Warm this thread's cache with the empty hot set, promote from
+        // another thread, and check this thread's next placement reflects it.
+        let router = Arc::new(SkewAwareRouter::new(4));
+        assert_eq!(router.placement(1234), Placement::Owner(shard_of(1234, 4)));
+        let other = router.clone();
+        std::thread::spawn(move || other.promote(&[1234]))
+            .join()
+            .unwrap();
+        assert_eq!(router.placement(1234), Placement::Replicated);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Kill-and-recover, end to end: ingest under skew-aware routing with
+//! persistence on, snapshot, crash the engine mid-stream, recover, and
+//! check that
+//!
+//! * every recovered estimate is within `ε·m_snapshotted` of the
+//!   single-threaded reference over the persisted prefix (one-sided, as
+//!   always);
+//! * replicated-key placements survive recovery (the persisted hot set is
+//!   re-promoted), so split keys keep being summed at query time;
+//! * time travel is exact: `heavy_hitters_at(E)` and `estimate_at(·, E)`
+//!   reproduce the answers the live engine gave at the moment epoch `E`
+//!   was cut, even after the recovered engine has moved on;
+//! * the recovered engine keeps ingesting and persisting.
+
+use std::collections::HashMap;
+
+use psfa::prelude::*;
+
+fn tmpdir(label: &str) -> std::path::PathBuf {
+    psfa::store::testutil::unique_temp_dir(&format!("crash-{label}"))
+}
+
+#[test]
+fn kill_and_recover_preserves_bounds_placements_and_history() {
+    let dir = tmpdir("recover");
+    let shards = 4;
+    let phi = 0.05;
+    let epsilon = 0.01;
+    let window = 20_000u64;
+    let config = EngineConfig::with_shards(shards)
+        .heavy_hitters(phi, epsilon)
+        .sliding_window(window)
+        .skew_aware_routing()
+        .persistence(
+            // Manual snapshots only: the test controls exactly what is on
+            // disk when the "crash" happens.
+            PersistenceConfig::new(&dir).interval_batches(u64::MAX / 2),
+        );
+
+    let engine = Engine::spawn(config.clone());
+    let handle = engine.handle();
+
+    // Zipf(1.5): the head key carries ~38% of traffic, so the skew-aware
+    // router promotes it and splits it across all shards.
+    let mut generator = ZipfGenerator::new(100_000, 1.5, 41);
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    for _ in 0..30 {
+        let batch = generator.next_minibatch(2_000);
+        for &x in &batch {
+            *truth.entry(x).or_insert(0) += 1;
+        }
+        handle.ingest(&batch).unwrap();
+    }
+    engine.drain();
+
+    let m_snap = handle.total_items();
+    assert_eq!(m_snap, 60_000);
+    let hot_before: Vec<u64> = handle.metrics().hot_keys;
+    assert!(
+        !hot_before.is_empty(),
+        "skew router must have promoted keys"
+    );
+
+    // Record the live answers, then cut epoch 1.
+    let live_hh = handle.heavy_hitters();
+    let probe_keys: Vec<u64> = truth
+        .keys()
+        .copied()
+        .take(500)
+        .chain(hot_before.clone())
+        .collect();
+    let live_estimates: HashMap<u64, u64> = probe_keys
+        .iter()
+        .map(|&k| (k, handle.estimate(k)))
+        .collect();
+    let epoch = handle.snapshot_now().expect("snapshot");
+    assert_eq!(epoch, 1);
+
+    // More traffic lands after the snapshot, then the process "dies": no
+    // final flush, so everything after epoch 1 is lost — as in a real
+    // crash.
+    for _ in 0..10 {
+        handle.ingest(&generator.next_minibatch(2_000)).unwrap();
+    }
+    engine.drain();
+    assert!(handle.total_items() > m_snap);
+    engine.kill();
+
+    // --- recovery ------------------------------------------------------
+    let recovered = Engine::recover(&dir, config).expect("recover");
+    let handle = recovered.handle();
+    assert_eq!(
+        handle.total_items(),
+        m_snap,
+        "recovered engine = persisted prefix, post-snapshot items lost"
+    );
+
+    // Accuracy: every recovered estimate within ε·m_snapshotted of the
+    // single-threaded reference (exact counts), one-sided.
+    let slack = (epsilon * m_snap as f64).ceil() as u64;
+    for (&item, &f) in &truth {
+        let est = handle.estimate(item);
+        assert!(
+            est <= f,
+            "item {item}: recovered estimate {est} above truth {f}"
+        );
+        assert!(
+            est + slack >= f,
+            "item {item}: recovered estimate {est} under truth {f} by more than εm = {slack}"
+        );
+    }
+
+    // Replicated-key placements survived: the persisted hot set was
+    // re-promoted into the fresh router, so split keys keep being summed.
+    assert_eq!(handle.metrics().hot_keys, hot_before);
+    for &key in &hot_before {
+        assert_eq!(handle.placement(key), Placement::Replicated);
+    }
+    // And the hottest key's recovered (summed) estimate matches the live
+    // engine's pre-crash answer exactly.
+    for &key in &hot_before {
+        assert_eq!(handle.estimate(key), live_estimates[&key]);
+    }
+
+    // Sliding-window state was recovered too (the hot key dominated recent
+    // traffic on every shard substream).
+    assert!(handle.sliding_estimate(hot_before[0]) > 0);
+
+    // Time travel is exact.
+    assert_eq!(handle.heavy_hitters_at(epoch).unwrap(), live_hh);
+    for (&k, &est) in &live_estimates {
+        assert_eq!(handle.estimate_at(k, epoch).unwrap(), est);
+    }
+
+    // The recovered engine is fully live: ingest, snapshot epoch 2, and
+    // epoch 1's historical answers stay frozen.
+    for _ in 0..5 {
+        handle.ingest(&generator.next_minibatch(2_000)).unwrap();
+    }
+    recovered.drain();
+    assert_eq!(handle.total_items(), m_snap + 10_000);
+    let epoch2 = handle.snapshot_now().unwrap();
+    assert_eq!(epoch2, 2);
+    assert_eq!(handle.persisted_epochs().unwrap(), vec![1, 2]);
+    assert_eq!(handle.heavy_hitters_at(epoch).unwrap(), live_hh);
+    let view2 = handle.view_at(epoch2).unwrap();
+    assert_eq!(view2.total_items(), m_snap + 10_000);
+    assert!(view2.total_items() > handle.view_at(epoch).unwrap().total_items());
+
+    recovered.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compaction_bounds_history_while_the_engine_runs() {
+    let dir = tmpdir("compaction");
+    let retain = 3usize;
+    let config = EngineConfig::with_shards(2)
+        .heavy_hitters(0.05, 0.01)
+        .persistence(
+            PersistenceConfig::new(&dir)
+                .interval_batches(u64::MAX / 2)
+                .retain_epochs(retain)
+                .segment_max_records(2),
+        );
+    let engine = Engine::spawn(config);
+    let handle = engine.handle();
+    let mut generator = ZipfGenerator::new(10_000, 1.2, 5);
+    for round in 1..=8u64 {
+        handle.ingest(&generator.next_minibatch(1_000)).unwrap();
+        engine.drain();
+        assert_eq!(handle.snapshot_now().unwrap(), round);
+        let epochs = handle.persisted_epochs().unwrap();
+        assert!(epochs.len() <= retain, "retention exceeded: {epochs:?}");
+        assert_eq!(*epochs.last().unwrap(), round);
+    }
+    // Old epochs are gone — typed error, not a panic or a wrong answer.
+    assert!(matches!(
+        handle.heavy_hitters_at(1),
+        Err(StoreError::NoSuchEpoch(1))
+    ));
+    // Disk holds only the retained segments.
+    let segments = std::fs::read_dir(&dir).unwrap().count();
+    assert!(
+        segments <= retain / 2 + 2,
+        "dead segments not truncated: {segments} files for {retain} epochs"
+    );
+    engine.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
