@@ -1,0 +1,67 @@
+//! E12 bench: the cost of the globally consistent sliding window.
+//!
+//! Compares engine ingest throughput with the global window off, on, and
+//! on with a finer pane count, under both routing policies. The windowed
+//! path shares one `buildHist` pass between the heavy-hitter tracker and
+//! the open pane, and pays `O(k/ε)` per *boundary* (not per item) to seal,
+//! so the expected overhead is a few percent — E12 in `reproduce` asserts
+//! the ≤10% budget; this bench tracks the trend.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psfa::prelude::*;
+use psfa_bench::zipf_minibatches;
+
+const BATCHES: usize = 24;
+const BATCH_SIZE: usize = 12_500;
+const WINDOW: u64 = 200_000;
+
+fn bench_windowed_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("windowed_engine");
+    let batches = zipf_minibatches(100_000, 1.5, BATCHES, BATCH_SIZE, 11);
+    let items = (BATCHES * BATCH_SIZE) as u64;
+    group.throughput(Throughput::Elements(items));
+
+    let run = |config: EngineConfig| {
+        let engine = Engine::spawn(config);
+        let handle = engine.handle();
+        for batch in &batches {
+            handle.ingest(batch).unwrap();
+        }
+        engine.drain();
+        let sealed = handle.global_window().map_or(0, |w| w.items());
+        engine.shutdown();
+        sealed
+    };
+
+    for (label, routing) in [
+        ("hash", RoutingPolicy::Hash),
+        ("skew", RoutingPolicy::skew_aware()),
+    ] {
+        let base = EngineConfig::with_shards(4)
+            .heavy_hitters(0.01, 0.001)
+            .routing(routing);
+        group.bench_with_input(BenchmarkId::new("no_window", label), &base, |b, config| {
+            b.iter(|| run(config.clone()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("window_8_panes", label),
+            &base,
+            |b, config| b.iter(|| run(config.clone().sliding_window(WINDOW).window_panes(8))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("window_32_panes", label),
+            &base,
+            |b, config| b.iter(|| run(config.clone().sliding_window(WINDOW).window_panes(32))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_windowed_engine
+}
+criterion_main!(benches);

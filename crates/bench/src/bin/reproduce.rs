@@ -1,7 +1,8 @@
 //! Regenerates every experiment in DESIGN.md §4 (E1–E8, F2) plus the engine
-//! serving experiment (E9), the skew-aware routing experiment (E10), and the
-//! persistence-overhead experiment (E11), and prints the result tables
-//! recorded in EXPERIMENTS.md.
+//! serving experiment (E9), the skew-aware routing experiment (E10), the
+//! persistence-overhead experiment (E11), and the global-sliding-window
+//! experiment (E12), and prints the result tables recorded in
+//! EXPERIMENTS.md.
 //!
 //! Usage:
 //! ```text
@@ -78,6 +79,9 @@ fn main() {
     }
     if want("e11") {
         e11_persistence(quick);
+    }
+    if want("e12") {
+        e12_global_window(quick);
     }
     if want("f2") {
         f2_snapshot_example();
@@ -892,6 +896,169 @@ fn e11_persistence(quick: bool) {
              ({best_persisted:.0} vs baseline {baseline:.0} items/s)"
         );
     }
+    println!();
+}
+
+/// E12 — the globally consistent sliding window: accuracy of the aligned
+/// cross-shard window versus a single-thread exact baseline under
+/// skew-aware routing (the hardest case: the Zipf(1.5) head key's
+/// occurrences are dealt round-robin across every shard), and the ingest
+/// overhead of running the window at all. Asserts both acceptance
+/// criteria so a windowing regression fails CI: every checked aligned cut
+/// is within the one-sided `ε·n_W` bound of the exact window, and the
+/// windowed engine ingests within 10% of the unwindowed path.
+fn e12_global_window(quick: bool) {
+    println!(
+        "== E12: global sliding window — aligned cross-shard cuts vs exact window (skew routing) =="
+    );
+    let shards = 4usize;
+    let phi = 0.01;
+    let eps = 0.001;
+    let window = 200_000u64;
+    let panes = 8usize;
+    let slide = window as usize / panes; // 25_000
+    let batch_size = slide / 2; // two batches per boundary, single producer
+    let batches_n = scaled(64, quick).max(8);
+    let batches = zipf_minibatches(100_000, 1.5, batches_n, batch_size, 53);
+
+    // --- accuracy at aligned cuts --------------------------------------
+    println!(
+        "{}",
+        header(&["boundary", "n_W", "max err/εn_W", "window HH", "hot keys"])
+    );
+    let engine = Engine::spawn(
+        EngineConfig::with_shards(shards)
+            .heavy_hitters(phi, eps)
+            .sliding_window(window)
+            .window_panes(panes)
+            .skew_aware_routing(),
+    );
+    let handle = engine.handle();
+    let mut exact = ExactSlidingWindow::new(window);
+    let total_boundaries = batches_n / 2;
+    let checkpoints: Vec<usize> = [1, total_boundaries / 2, total_boundaries]
+        .into_iter()
+        .filter(|&t| t >= 1)
+        .collect();
+    for (i, batch) in batches.iter().enumerate() {
+        handle.ingest(batch).expect("engine closed");
+        exact.process_minibatch(batch);
+        let boundary = i.div_ceil(2);
+        if (i + 1) % 2 != 0 || !checkpoints.contains(&boundary) {
+            continue;
+        }
+        engine.drain();
+        let aligned = handle
+            .global_window()
+            .expect("aligned window at a boundary");
+        assert_eq!(
+            aligned.seq(),
+            boundary as u64,
+            "E12: wrong aligned boundary"
+        );
+        let n_w = aligned.items();
+        assert_eq!(n_w, exact.len() as u64, "E12: window coverage mismatch");
+        let mut max_err = 0.0f64;
+        for (item, f) in exact.entries() {
+            let est = aligned.estimate(item);
+            assert!(est <= f, "E12: window estimate {est} above exact {f}");
+            max_err = max_err.max((f - est) as f64);
+        }
+        assert!(
+            max_err <= eps * n_w as f64 + 1.0,
+            "E12: window error {max_err} above ε·n_W = {}",
+            eps * n_w as f64
+        );
+        // Heavy-hitter bands over the window.
+        let reported = handle.sliding_heavy_hitters();
+        for (item, f) in exact.entries() {
+            if f as f64 >= phi * n_w as f64 {
+                assert!(
+                    reported.iter().any(|h| h.item == item),
+                    "E12: missed window heavy hitter {item}"
+                );
+            }
+        }
+        println!(
+            "{}",
+            row(&[
+                boundary.to_string(),
+                n_w.to_string(),
+                format!("{:.3}", max_err / (eps * n_w as f64)),
+                reported.len().to_string(),
+                handle.metrics().hot_keys.len().to_string(),
+            ])
+        );
+    }
+    assert!(
+        !handle.metrics().hot_keys.is_empty(),
+        "E12: Zipf(1.5) must promote hot keys under skew routing"
+    );
+    engine.shutdown();
+
+    // --- ingest overhead of the window ---------------------------------
+    println!(
+        "{}",
+        header(&["config", "Mitems/s", "overhead %", "boundaries"])
+    );
+    let m: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let run = |windowed: bool| -> (f64, u64) {
+        let mut config = EngineConfig::with_shards(shards)
+            .heavy_hitters(phi, eps)
+            .skew_aware_routing();
+        if windowed {
+            config = config.sliding_window(window).window_panes(panes);
+        }
+        let engine = Engine::spawn(config);
+        let handle = engine.handle();
+        let (_, secs) = timed(|| {
+            for b in &batches {
+                handle.ingest(b).expect("engine closed");
+            }
+            engine.drain();
+        });
+        let boundaries = handle.metrics().window.map_or(0, |w| w.boundaries);
+        engine.shutdown();
+        (m as f64 / secs, boundaries)
+    };
+    // Best of three runs damps scheduler noise (the window's measured
+    // steady-state overhead is a few percent; see benches/windowed_engine).
+    let best = |windowed: bool| {
+        let mut best_tput = 0.0f64;
+        let mut best_bound = 0u64;
+        for _ in 0..3 {
+            let (tput, bound) = run(windowed);
+            best_tput = best_tput.max(tput);
+            best_bound = best_bound.max(bound);
+        }
+        (best_tput, best_bound)
+    };
+    let (baseline, _) = best(false);
+    println!(
+        "{}",
+        row(&[
+            "no window".into(),
+            format!("{:.2}", baseline / 1e6),
+            "0.0".into(),
+            "-".into(),
+        ])
+    );
+    let (windowed, boundaries) = best(true);
+    assert!(boundaries > 0, "E12: the windowed run cut no boundaries");
+    println!(
+        "{}",
+        row(&[
+            format!("window {window} x{panes}"),
+            format!("{:.2}", windowed / 1e6),
+            format!("{:.1}", (1.0 - windowed / baseline) * 100.0),
+            boundaries.to_string(),
+        ])
+    );
+    assert!(
+        windowed >= 0.90 * baseline,
+        "E12: global-window overhead above 10% \
+         ({windowed:.0} vs baseline {baseline:.0} items/s)"
+    );
     println!();
 }
 

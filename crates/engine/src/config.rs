@@ -10,8 +10,9 @@ use psfa_stream::RoutingPolicy;
 /// The accuracy parameters mirror the single-threaded operators: each shard
 /// owns an infinite-window heavy-hitter tracker (`φ`, `ε`), a Count-Min
 /// sketch (`cm_epsilon`, `cm_delta`, `cm_seed` — the *same* seed on every
-/// shard so per-shard sketches stay mergeable), and optionally a
-/// sliding-window frequency estimator over the shard's substream.
+/// shard so per-shard sketches stay mergeable), and optionally the per-shard
+/// pane state of a **global** sliding window that advances at
+/// shard-consistent boundaries (`window`, `window_panes`).
 ///
 /// `routing` selects how minibatches are split across shards: hash
 /// partitioning (each key owned by one shard, the default) or skew-aware
@@ -35,9 +36,19 @@ pub struct EngineConfig {
     pub cm_delta: f64,
     /// Count-Min hash seed, shared by all shards so sketches merge.
     pub cm_seed: u64,
-    /// Sliding-window size per shard substream; `None` disables the
-    /// sliding-window operator.
+    /// Global sliding-window size `n_W` in items across all shards;
+    /// `None` disables windowed queries. The window is divided into
+    /// [`EngineConfig::window_panes`] panes and advances at shard-consistent
+    /// boundaries every `n_W / window_panes` accepted items (see
+    /// `psfa_stream::WindowFence`), so `sliding_estimate` and
+    /// `sliding_heavy_hitters` answer over the same global window no matter
+    /// how traffic was routed.
     pub window: Option<u64>,
+    /// Number of panes the global window is divided into (the window
+    /// advances one pane per boundary; larger = smoother sliding, more
+    /// summaries per shard). Must divide `window`. Ignored without a
+    /// window.
+    pub window_panes: usize,
     /// Epoch-snapshot persistence; `None` (the default) keeps all state in
     /// memory. When set, a background flusher thread periodically cuts a
     /// consistent epoch across shards and appends it to the segment log at
@@ -60,6 +71,7 @@ impl Default for EngineConfig {
             cm_delta: 0.01,
             cm_seed: 0x00C0_FFEE,
             window: None,
+            window_panes: 8,
             persistence: None,
         }
     }
@@ -107,9 +119,17 @@ impl EngineConfig {
         self
     }
 
-    /// Enables the per-shard sliding-window estimator with window `n`.
+    /// Enables the global sliding window of `n` items (divided into
+    /// [`EngineConfig::window_panes`] panes; `n` must be a multiple of the
+    /// pane count).
     pub fn sliding_window(mut self, n: u64) -> Self {
         self.window = Some(n);
+        self
+    }
+
+    /// Sets how many panes the global sliding window is divided into.
+    pub fn window_panes(mut self, panes: usize) -> Self {
+        self.window_panes = panes;
         self
     }
 
@@ -152,11 +172,14 @@ impl EngineConfig {
             persistence.validate();
         }
         if let Some(n) = self.window {
-            assert!(n >= 1, "sliding window must be non-empty");
             assert!(
-                self.epsilon * n as f64 >= 16.0,
-                "sliding window requires epsilon * window >= 16 \
-                 (the work-efficient estimator's minimum counter granularity)"
+                self.window_panes >= 1,
+                "the sliding window needs at least one pane"
+            );
+            assert!(
+                n >= self.window_panes as u64 && n % self.window_panes as u64 == 0,
+                "sliding window size must be a positive multiple of window_panes \
+                 (the window advances one pane of n / panes items per boundary)"
             );
         }
     }
@@ -204,6 +227,15 @@ mod tests {
     fn epsilon_above_phi_rejected() {
         EngineConfig::with_shards(2)
             .heavy_hitters(0.01, 0.1)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of window_panes")]
+    fn indivisible_window_rejected() {
+        EngineConfig::with_shards(2)
+            .sliding_window(10_001)
+            .window_panes(8)
             .validate();
     }
 }

@@ -8,15 +8,17 @@ use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use psfa_freq::{HeavyHitter, InfiniteHeavyHitters, ParallelFrequencyEstimator};
+use psfa_freq::{GlobalWindow, HeavyHitter, InfiniteHeavyHitters, ParallelFrequencyEstimator};
 use psfa_sketch::ParallelCountMin;
 use psfa_store::{EpochRecord, EpochView, PersistenceConfig, SnapshotStore, StoreError};
-use psfa_stream::{IngestFence, MinibatchOperator, Placement, Router};
+use psfa_stream::{
+    IngestFence, MinibatchOperator, Placement, Router, WindowFence, WindowFenceState,
+};
 
 use crate::config::EngineConfig;
-use crate::metrics::EngineMetrics;
+use crate::metrics::{EngineMetrics, WindowMetrics};
 use crate::operator::ShardedOperator;
-use crate::persist::{Flusher, Persister};
+use crate::persist::{Flusher, PersistWindow, Persister};
 use crate::shard::{ShardCommand, ShardFinal, ShardShared, ShardSnapshot, ShardWorker};
 
 /// Error returned when ingesting into an engine whose workers have exited.
@@ -175,6 +177,25 @@ impl EngineBuilder {
         let fence = Arc::new(IngestFence::new());
         let accepted_batches = Arc::new(std::sync::atomic::AtomicU64::new(0));
 
+        // The window fence shares the ingest fence, so pane boundaries cut
+        // shard-consistently; on recovery the logical clock resumes from
+        // the persisted cut so boundaries keep landing at the same
+        // positions.
+        let window_fence = config.window.map(|n| {
+            let slide = n / config.window_panes as u64;
+            match recovered.as_ref().and_then(|r| r.window.as_ref()) {
+                None => Arc::new(WindowFence::new(fence.clone(), slide)),
+                Some(ws) => Arc::new(WindowFence::resume(
+                    fence.clone(),
+                    slide,
+                    WindowFenceState {
+                        ticket: ws.ticket,
+                        boundaries: ws.boundaries,
+                    },
+                )),
+            }
+        });
+
         let mut flusher = None;
         let persister = match &config.persistence {
             None => None,
@@ -194,7 +215,13 @@ impl EngineBuilder {
                     router.clone(),
                     config.phi,
                     config.epsilon,
-                    config.window,
+                    config.window.map(|n| PersistWindow {
+                        size: n,
+                        panes: config.window_panes as u32,
+                        fence: window_fence
+                            .clone()
+                            .expect("window fence exists when a window is configured"),
+                    }),
                 ));
                 flusher = Some(Flusher::spawn(
                     persister.clone(),
@@ -211,11 +238,13 @@ impl EngineBuilder {
             shared,
             router,
             fence,
+            window_fence,
             persister,
             accepted_batches,
             phi: config.phi,
             epsilon: config.epsilon,
             window: config.window,
+            window_panes: config.window_panes,
         };
         Ok(Engine {
             handle,
@@ -289,8 +318,14 @@ impl Engine {
         if record.phi != config.phi || record.epsilon != config.epsilon {
             return Err(StoreError::ConfigMismatch("phi/epsilon differ"));
         }
-        if record.window != config.window {
-            return Err(StoreError::ConfigMismatch("sliding-window size differs"));
+        match (&record.window, config.window) {
+            (None, None) => {}
+            (Some(ws), Some(n)) if ws.size == n && ws.panes as usize == config.window_panes => {}
+            _ => {
+                return Err(StoreError::ConfigMismatch(
+                    "sliding-window size or pane count differs",
+                ));
+            }
         }
         for state in &record.shards {
             let sketch = state.count_min.sketch();
@@ -439,6 +474,10 @@ pub struct EngineHandle {
     /// enqueues hold the fence's shared side across their sends, so a cut
     /// (or [`Engine::shutdown`]) serialises strictly between minibatches.
     fence: Arc<IngestFence>,
+    /// The global window's logical item clock, when a window is
+    /// configured: accepted items tick it (under the ingest guard), and
+    /// the producer that observes a `slide` crossing cuts the boundary.
+    window_fence: Option<Arc<WindowFence>>,
     /// Snapshot machinery, when persistence is configured.
     persister: Option<Arc<Persister>>,
     /// Minibatches accepted so far (one per successful `ingest` call, one
@@ -448,6 +487,7 @@ pub struct EngineHandle {
     phi: f64,
     epsilon: f64,
     window: Option<u64>,
+    window_panes: usize,
 }
 
 impl EngineHandle {
@@ -466,9 +506,19 @@ impl EngineHandle {
         self.epsilon
     }
 
-    /// The per-shard sliding window size, when configured.
+    /// The global sliding-window size `n_W`, when configured.
     pub fn window(&self) -> Option<u64> {
         self.window
+    }
+
+    /// Number of panes the global window is divided into.
+    pub fn window_panes(&self) -> usize {
+        self.window_panes
+    }
+
+    /// The window slide in items (`n_W / panes`), when configured.
+    pub fn window_slide(&self) -> Option<u64> {
+        self.window.map(|n| n / self.window_panes as u64)
     }
 
     /// Routes one minibatch through the configured [`Router`] and enqueues
@@ -487,29 +537,73 @@ impl EngineHandle {
         if minibatch.is_empty() {
             return Ok(());
         }
-        // One fence guard across every per-shard send: a racing shutdown or
-        // snapshot cut either happens entirely before this call (Err /
-        // cut excludes the batch) or entirely after it (Ok, everything
-        // enqueued and included).
-        let Some(_guard) = self.fence.enter() else {
-            return Err(IngestError::rejected());
-        };
-        let parts = self.router.partition(minibatch);
-        let parts_total = parts.iter().filter(|p| !p.is_empty()).count();
-        let mut parts_delivered = 0usize;
-        for (shard, part) in parts.into_iter().enumerate() {
-            if part.is_empty() {
-                continue;
+        {
+            // One fence guard across every per-shard send: a racing
+            // shutdown or snapshot cut either happens entirely before this
+            // call (Err / cut excludes the batch) or entirely after it
+            // (Ok, everything enqueued and included).
+            let Some(guard) = self.fence.enter() else {
+                return Err(IngestError::rejected());
+            };
+            let parts = self.router.partition(minibatch);
+            let parts_total = parts.iter().filter(|p| !p.is_empty()).count();
+            let mut parts_delivered = 0usize;
+            for (shard, part) in parts.into_iter().enumerate() {
+                if part.is_empty() {
+                    continue;
+                }
+                self.send_part(shard, part).map_err(|_| IngestError {
+                    parts_delivered,
+                    parts_total,
+                })?;
+                parts_delivered += 1;
             }
-            self.send_part(shard, part).map_err(|_| IngestError {
-                parts_delivered,
-                parts_total,
-            })?;
-            parts_delivered += 1;
+            // The window clock ticks under the same guard as the sends, so
+            // a boundary cut orders before or after the whole minibatch —
+            // never between its per-shard parts.
+            if let Some(windows) = &self.window_fence {
+                windows.record(&guard, minibatch.len() as u64);
+            }
+            self.accepted_batches
+                .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
         }
-        self.accepted_batches
-            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        self.cut_due_window_boundaries();
         Ok(())
+    }
+
+    /// Cuts any window boundary the logical clock has crossed (two atomic
+    /// loads when none is due). Must not be called while holding an ingest
+    /// guard — the cut takes the fence exclusively.
+    fn cut_due_window_boundaries(&self) {
+        if let Some(windows) = &self.window_fence {
+            windows.poll_cut(|seq| {
+                for sender in self.senders.iter() {
+                    // A send error means that worker already exited; the
+                    // surviving shards still seal so queries stay aligned.
+                    let _ = sender.send(ShardCommand::Boundary(seq));
+                }
+            });
+        }
+    }
+
+    /// Advances the global window's logical clock by `items` positions
+    /// *without* ingesting anything, cutting any boundary that becomes
+    /// due. This is the caller-supplied-timestamp hook: an external clock
+    /// (wall time, an upstream sequencer) can force panes to close during
+    /// quiet periods so `sliding_*` answers keep sliding forward. Returns
+    /// `false` when no window is configured or the engine is shut down.
+    pub fn advance_window_clock(&self, items: u64) -> bool {
+        let Some(windows) = &self.window_fence else {
+            return false;
+        };
+        {
+            let Some(guard) = self.fence.enter() else {
+                return false;
+            };
+            windows.record(&guard, items);
+        }
+        self.cut_due_window_boundaries();
+        true
     }
 
     /// Enqueues one pre-routed sub-batch onto `shard`'s queue. Useful with
@@ -518,15 +612,23 @@ impl EngineHandle {
     /// # Panics
     /// Panics if `shard` is out of range.
     pub fn enqueue(&self, shard: usize, part: Vec<u64>) -> Result<(), EngineClosed> {
-        // Hold the fence guard across the send: Engine::shutdown and
-        // snapshot cuts then serialise after this batch, guaranteeing the
-        // worker processes everything accepted here (see shutdown()).
-        let Some(_guard) = self.fence.enter() else {
-            return Err(EngineClosed);
-        };
-        self.send_part(shard, part)?;
-        self.accepted_batches
-            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        {
+            // Hold the fence guard across the send: Engine::shutdown and
+            // snapshot cuts then serialise after this batch, guaranteeing
+            // the worker processes everything accepted here (see
+            // shutdown()).
+            let Some(guard) = self.fence.enter() else {
+                return Err(EngineClosed);
+            };
+            let len = part.len() as u64;
+            self.send_part(shard, part)?;
+            if let Some(windows) = &self.window_fence {
+                windows.record(&guard, len);
+            }
+            self.accepted_batches
+                .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        }
+        self.cut_due_window_boundaries();
         Ok(())
     }
 
@@ -547,26 +649,43 @@ impl EngineHandle {
 
     /// Non-blocking variant of [`EngineHandle::enqueue`]: returns the batch
     /// if the shard's queue is full so the caller can shed or retry.
+    ///
+    /// One caveat when a global window is configured: a *successful*
+    /// enqueue whose items cross a window boundary places the boundary
+    /// marker on **every** shard's queue before returning (skipping a
+    /// boundary would desynchronise the aligned window), and a marker
+    /// send waits for queue space exactly like a snapshot cut does — so
+    /// that one call in `1 / slide` may wait for saturated workers to
+    /// drain a slot. The shed/retry path (`Err(Full)`) never blocks.
     pub fn try_enqueue(&self, shard: usize, part: Vec<u64>) -> Result<(), TrySendError<Vec<u64>>> {
         use std::sync::atomic::Ordering;
-        let Some(_guard) = self.fence.enter() else {
-            return Err(TrySendError::Disconnected(part));
+        let result = {
+            let Some(guard) = self.fence.enter() else {
+                return Err(TrySendError::Disconnected(part));
+            };
+            let len = part.len() as u64;
+            match self.senders[shard].try_send(ShardCommand::Batch(part)) {
+                Ok(()) => {
+                    let stats = &self.shared[shard].stats;
+                    stats.items_enqueued.fetch_add(len, Ordering::AcqRel);
+                    stats.batches_enqueued.fetch_add(1, Ordering::AcqRel);
+                    if let Some(windows) = &self.window_fence {
+                        windows.record(&guard, len);
+                    }
+                    self.accepted_batches.fetch_add(1, Ordering::AcqRel);
+                    Ok(())
+                }
+                Err(TrySendError::Full(ShardCommand::Batch(part))) => Err(TrySendError::Full(part)),
+                Err(TrySendError::Disconnected(ShardCommand::Batch(part))) => {
+                    Err(TrySendError::Disconnected(part))
+                }
+                Err(_) => unreachable!("try_send returns the command it was given"),
+            }
         };
-        let len = part.len() as u64;
-        match self.senders[shard].try_send(ShardCommand::Batch(part)) {
-            Ok(()) => {
-                let stats = &self.shared[shard].stats;
-                stats.items_enqueued.fetch_add(len, Ordering::AcqRel);
-                stats.batches_enqueued.fetch_add(1, Ordering::AcqRel);
-                self.accepted_batches.fetch_add(1, Ordering::AcqRel);
-                Ok(())
-            }
-            Err(TrySendError::Full(ShardCommand::Batch(part))) => Err(TrySendError::Full(part)),
-            Err(TrySendError::Disconnected(ShardCommand::Batch(part))) => {
-                Err(TrySendError::Disconnected(part))
-            }
-            Err(_) => unreachable!("try_send returns the command it was given"),
+        if result.is_ok() {
+            self.cut_due_window_boundaries();
         }
+        result
     }
 
     /// Blocks until every minibatch enqueued before this call is processed.
@@ -631,28 +750,58 @@ impl EngineHandle {
         }
     }
 
-    /// Live sliding-window estimate for `item` over the per-shard substream
-    /// windows (summed across shards for replicated keys); `0` when the
-    /// engine runs without a window.
+    /// The globally consistent sliding window at the latest boundary every
+    /// shard has sealed: per-shard sealed windows *for the same boundary*
+    /// merged by summing per-key estimates (the mergeable-summaries
+    /// accounting, so estimates are one-sided within `ε·n_W` of the true
+    /// window frequencies — see [`psfa_freq::windowed`]).
     ///
-    /// **Window semantics differ between routers**: each shard's window
-    /// covers the last `n` items *of that shard's substream*, so an
-    /// owner-routed key is estimated over one shard-window while a
-    /// replicated key's sum spans up to `shards` shard-windows of recent
-    /// traffic. In particular, a key's reported value can step up when the
-    /// skew-aware router promotes it. Estimates remain one-sided
-    /// (never above the key's count in the covered items); a router-independent
-    /// *global* window needs cross-shard window alignment — an open
-    /// ROADMAP item.
-    pub fn sliding_estimate(&self, item: u64) -> u64 {
-        match self.router.placement(item) {
-            Placement::Owner(shard) => self.shared[shard].load_snapshot().sliding_estimate(item),
-            Placement::Replicated => self
-                .shared
-                .iter()
-                .map(|s| s.load_snapshot().sliding_estimate(item))
-                .sum(),
+    /// Returns `None` when the engine runs without a window, before the
+    /// first boundary (`slide = n_W / panes` items must be accepted
+    /// first), or in the rare case that some shard lags the others by more
+    /// boundaries than the snapshots retain — [`EngineHandle::drain`]
+    /// realigns. **Router-independent**: the window covers the same global
+    /// items whether keys are hash-owned or split by the skew-aware
+    /// router.
+    pub fn global_window(&self) -> Option<GlobalWindow> {
+        self.window_fence.as_ref()?;
+        let snapshots = self.snapshots();
+        // The newest boundary *every* shard has sealed; each shard's
+        // snapshot keeps a few boundaries of history, so a slightly
+        // lagging shard does not force the query to fail.
+        let seq = snapshots.iter().map(|s| s.latest_window_seq()).min()?;
+        if seq == 0 {
+            return None;
         }
+        let aligned: Option<Vec<&psfa_freq::SealedWindow>> = snapshots
+            .iter()
+            .map(|s| s.window_at(seq).map(Arc::as_ref))
+            .collect();
+        GlobalWindow::merge(aligned?)
+    }
+
+    /// Live one-sided estimate of `item`'s frequency in the aligned global
+    /// sliding window: `f − ε·n_W ≤ f̂ ≤ f` over the window's `n_W` items,
+    /// under every routing policy (replicated hot keys are summed across
+    /// shards like any other — each occurrence lands on exactly one
+    /// shard). `0` when no aligned window is available yet (see
+    /// [`EngineHandle::global_window`]).
+    ///
+    /// Each call merges the per-shard sealed windows; to probe many keys
+    /// at one boundary, call [`EngineHandle::global_window`] once and use
+    /// [`GlobalWindow::estimate`] on the result.
+    pub fn sliding_estimate(&self, item: u64) -> u64 {
+        self.global_window().map_or(0, |w| w.estimate(item))
+    }
+
+    /// Live φ-heavy hitters of the aligned global sliding window, most
+    /// frequent first: every item with window frequency `≥ φ·n_W` is
+    /// reported and no item with window frequency `< (φ − ε)·n_W` is —
+    /// the paper's sliding-window query, answered across shards. Empty
+    /// when no aligned window is available yet.
+    pub fn sliding_heavy_hitters(&self) -> Vec<HeavyHitter> {
+        self.global_window()
+            .map_or_else(Vec::new, |w| w.heavy_hitters(self.phi, self.epsilon))
     }
 
     /// Live Count-Min overestimate for `item` (`f ≤ f̂ ≤ f + ε_cm·m`).
@@ -719,18 +868,38 @@ impl EngineHandle {
     }
 
     /// Point-in-time shard and queue metrics, including the active routing
-    /// policy, its current hot-key set, and — when persistence is
-    /// configured — the snapshot store's counters.
+    /// policy, its current hot-key set, the window fence's boundary
+    /// counters (when a global window is configured), and — when
+    /// persistence is configured — the snapshot store's counters.
     pub fn metrics(&self) -> EngineMetrics {
+        let shards: Vec<_> = self
+            .shared
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| s.stats.snapshot(shard))
+            .collect();
+        let window = self.window_fence.as_ref().map(|windows| {
+            let boundaries = windows.boundaries();
+            WindowMetrics {
+                slide: windows.slide(),
+                panes: self.window_panes as u32,
+                boundaries,
+                // How far the slowest shard's sealed window trails the
+                // fence: markers still sitting in its queue. Persistent
+                // lag beyond the snapshot history makes aligned queries
+                // fail, so it is worth watching.
+                max_shard_lag: shards
+                    .iter()
+                    .map(|s| boundaries.saturating_sub(s.window_seq))
+                    .max()
+                    .unwrap_or(0),
+            }
+        });
         EngineMetrics {
-            shards: self
-                .shared
-                .iter()
-                .enumerate()
-                .map(|(shard, s)| s.stats.snapshot(shard))
-                .collect(),
+            shards,
             router: self.router.name(),
             hot_keys: self.router.hot_keys(),
+            window,
             store: self.persister.as_ref().map(|p| p.metrics()),
         }
     }
@@ -934,15 +1103,53 @@ mod tests {
 
     #[test]
     fn sliding_window_surface_is_exposed_when_configured() {
+        // Window 10_000 over 8 panes ⇒ one boundary per 1250 items.
         let engine = Engine::spawn(config().sliding_window(10_000));
         let handle = engine.handle();
         assert_eq!(handle.window(), Some(10_000));
-        let batch = vec![42u64; 1_000];
-        handle.ingest(&batch).unwrap();
+        assert_eq!(handle.window_slide(), Some(1_250));
+        // Before the first boundary there is no aligned window yet.
+        handle.ingest(&vec![42u64; 1_000]).unwrap();
         engine.drain();
-        assert!(handle.sliding_estimate(42) > 0);
+        assert!(handle.global_window().is_none());
+        assert_eq!(handle.sliding_estimate(42), 0);
+        // Crossing the slide cuts a boundary on every shard; the aligned
+        // window now covers the whole sealed pane.
+        handle.ingest(&vec![42u64; 500]).unwrap();
+        engine.drain();
+        let window = handle.global_window().expect("boundary 1 sealed");
+        assert_eq!(window.seq(), 1);
+        assert_eq!(window.items(), 1_500);
+        assert_eq!(handle.sliding_estimate(42), 1_500);
         assert_eq!(handle.sliding_estimate(43), 0);
+        let hh = handle.sliding_heavy_hitters();
+        assert_eq!(hh.first().map(|h| (h.item, h.estimate)), Some((42, 1_500)));
+        let metrics = handle.metrics();
+        let wm = metrics.window.expect("window metrics present");
+        assert_eq!((wm.boundaries, wm.max_shard_lag), (1, 0));
         engine.shutdown();
+    }
+
+    #[test]
+    fn window_clock_can_be_advanced_without_traffic() {
+        let engine = Engine::spawn(config().sliding_window(8_000).window_panes(4));
+        let handle = engine.handle();
+        handle.ingest(&vec![9u64; 1_000]).unwrap();
+        engine.drain();
+        assert!(handle.global_window().is_none());
+        // An external clock pushes the window forward during a quiet spell:
+        // the open pane (the 1000 items) seals at the forced boundary.
+        assert!(handle.advance_window_clock(1_000));
+        engine.drain();
+        assert_eq!(handle.sliding_estimate(9), 1_000);
+        // Three more boundaries slide the pane out of the 4-pane window.
+        for _ in 0..4 {
+            assert!(handle.advance_window_clock(2_000));
+        }
+        engine.drain();
+        assert_eq!(handle.sliding_estimate(9), 0);
+        engine.shutdown();
+        assert!(!handle.advance_window_clock(1), "closed engine refuses");
     }
 
     #[test]

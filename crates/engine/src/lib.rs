@@ -7,20 +7,23 @@
 //!
 //! ```text
 //!  producers (any thread, cloneable EngineHandle)
-//!      │  ingest(&[u64])
+//!      │  ingest(&[u64])  — items tick the WindowFence's logical clock
 //!      ▼
 //!  pluggable router (psfa_stream::Router)
 //!      │  hash: each key owned by one shard (default)
 //!      │  skew-aware: hot keys split round-robin across all shards
 //!      │  bounded sync channels (backpressure when full)
+//!      │  every `slide` items: a window boundary marker is enqueued on
+//!      │  EVERY shard from one exclusive fence cut (same position on all)
 //!      ▼
 //!  shard workers 0..N   each owns: InfiniteHeavyHitters   (φ, ε)
-//!      │                           SlidingFreqWorkEfficient (optional)
+//!      │                           PaneWindow             (global window)
 //!      │                           ParallelCountMin       (shared seed)
 //!      │                           lifted MinibatchOperators
 //!      ▼
 //!  per-shard epoch snapshots  ──►  EngineHandle queries
 //!      (Arc swap per batch)        estimate / heavy_hitters / cm_estimate
+//!      (sealed window per boundary) sliding_estimate / sliding_heavy_hitters
 //! ```
 //!
 //! ## Why sharding preserves the paper's guarantees
@@ -54,6 +57,46 @@
 //! query/parallelism split of QPOPSS (queries run against published epochs,
 //! never against half-updated operator state).
 //!
+//! ## The global sliding window
+//!
+//! With [`EngineConfig::sliding_window`] configured, `sliding_estimate`
+//! and `sliding_heavy_hitters` answer over the **last `n_W` items of the
+//! global stream** — not over per-shard substreams. The mechanism is
+//! window-aligned barriers: accepted items draw logical positions from a
+//! shared atomic ticket (`psfa_stream::WindowFence`), and every
+//! `slide = n_W / panes` items one exclusive fence cut enqueues a boundary
+//! marker at the *same stream position on every shard*. Each shard seals
+//! its open pane at the marker into a ring of per-pane mergeable
+//! summaries, and queries merge every shard's sealed window *at the same
+//! boundary* — summing per-key estimates, which keeps the one-sided
+//! `ε·n_W` bound over the global window under any routing policy (see
+//! [`psfa_freq::windowed`] for the accounting). Alignment work happens at
+//! boundaries on the worker threads, never on the query path and never
+//! per item.
+//!
+//! ```
+//! use psfa_engine::{Engine, EngineConfig};
+//!
+//! // A 4-pane window of the last 8000 items, global across 2 shards.
+//! let engine = Engine::spawn(
+//!     EngineConfig::with_shards(2)
+//!         .heavy_hitters(0.05, 0.01)
+//!         .sliding_window(8_000)
+//!         .window_panes(4),
+//! );
+//! let handle = engine.handle();
+//! for _ in 0..4 {
+//!     handle.ingest(&vec![7u64; 1_000]).unwrap(); // 2 boundaries @ slide 2000
+//! }
+//! engine.drain();
+//! let window = handle.global_window().expect("aligned at boundary 2");
+//! assert_eq!((window.seq(), window.items()), (2, 4_000));
+//! assert_eq!(handle.sliding_estimate(7), 4_000);
+//! let heavy = handle.sliding_heavy_hitters();
+//! assert_eq!(heavy[0].item, 7);
+//! engine.shutdown();
+//! ```
+//!
 //! ## Consistency
 //!
 //! Each shard publishes an immutable [`ShardSnapshot`] after every
@@ -62,6 +105,9 @@
 //! natural consistency of a discretized-stream system between minibatches —
 //! with epochs exposed via [`EngineHandle::epochs`] for callers that need to
 //! wait for progress ([`EngineHandle::drain`] gives a full barrier).
+//! Windowed queries are stricter: they answer only at a boundary *every*
+//! shard has sealed, so the reported window is a single consistent global
+//! cut (never a mix of two different windows).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -75,15 +121,19 @@ mod shard;
 
 pub use config::EngineConfig;
 pub use engine::{Engine, EngineBuilder, EngineClosed, EngineHandle, EngineReport, IngestError};
-pub use metrics::{EngineMetrics, ShardMetrics, StoreMetrics};
+pub use metrics::{EngineMetrics, ShardMetrics, StoreMetrics, WindowMetrics};
 pub use operator::{EngineOperator, ShardedOperator};
 pub use shard::{ShardFinal, ShardSnapshot};
 
-// Routing lives in `psfa_stream::router`; re-exported here because the
-// engine's config and query semantics are expressed in terms of it.
-pub use psfa_stream::{HashRouter, IngestFence, Placement, Router, RoutingPolicy, SkewAwareRouter};
+// Routing and window fencing live in `psfa_stream`; re-exported here
+// because the engine's config and query semantics are expressed in terms
+// of them. The windowed query types come from `psfa_freq::windowed`.
+pub use psfa_freq::{GlobalWindow, SealedWindow};
+pub use psfa_stream::{
+    HashRouter, IngestFence, Placement, Router, RoutingPolicy, SkewAwareRouter, WindowFence,
+};
 
 // Persistence lives in `psfa-store`; the engine-facing pieces are
 // re-exported so `EngineConfig::persistence` and `Engine::recover` can be
 // used without a direct `psfa-store` dependency.
-pub use psfa_store::{EpochView, PersistenceConfig, SnapshotStore, StoreError};
+pub use psfa_store::{EpochView, PersistenceConfig, SnapshotStore, StoreError, WindowState};

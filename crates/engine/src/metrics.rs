@@ -15,6 +15,9 @@ pub(crate) struct ShardStats {
     pub items_processed: AtomicU64,
     pub batches_enqueued: AtomicU64,
     pub batches_processed: AtomicU64,
+    /// Newest window boundary this shard has sealed (`0` before the first
+    /// or without a window).
+    pub window_seq: AtomicU64,
 }
 
 impl ShardStats {
@@ -24,6 +27,7 @@ impl ShardStats {
         let items_processed = self.items_processed.load(Ordering::Acquire);
         let batches_enqueued = self.batches_enqueued.load(Ordering::Acquire);
         let items_enqueued = self.items_enqueued.load(Ordering::Acquire);
+        let window_seq = self.window_seq.load(Ordering::Acquire);
         ShardMetrics {
             shard,
             items_enqueued,
@@ -31,6 +35,7 @@ impl ShardStats {
             batches_enqueued,
             batches_processed,
             queue_depth: batches_enqueued.saturating_sub(batches_processed),
+            window_seq,
         }
     }
 }
@@ -50,6 +55,25 @@ pub struct ShardMetrics {
     pub batches_processed: u64,
     /// Minibatches currently queued or in flight.
     pub queue_depth: u64,
+    /// Newest window boundary this shard has sealed (`0` before the first
+    /// boundary or without a window).
+    pub window_seq: u64,
+}
+
+/// Point-in-time metrics of the global sliding window's fence (present
+/// only when `EngineConfig::window` is configured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowMetrics {
+    /// Window slide in items (`n_W / panes`): one boundary is cut per
+    /// `slide` accepted items.
+    pub slide: u64,
+    /// Number of panes the window is divided into.
+    pub panes: u32,
+    /// Window boundaries cut by the fence so far.
+    pub boundaries: u64,
+    /// How many boundaries the slowest shard's sealed window trails the
+    /// fence (markers still queued behind batches). `0` when drained.
+    pub max_shard_lag: u64,
 }
 
 /// Point-in-time metrics of the persistence subsystem (present only when
@@ -80,6 +104,8 @@ pub struct EngineMetrics {
     /// Keys the router currently splits across shards (empty under static
     /// hash routing), sorted ascending.
     pub hot_keys: Vec<u64>,
+    /// Window-fence metrics, when a global sliding window is configured.
+    pub window: Option<WindowMetrics>,
     /// Persistence metrics, when a snapshot store is attached.
     pub store: Option<StoreMetrics>,
 }
@@ -150,6 +176,12 @@ impl EngineMetrics {
             self.load_imbalance()
                 .map_or_else(|| "n/a".to_string(), |x| format!("{x:.3}")),
         ));
+        if let Some(window) = &self.window {
+            out.push_str(&format!(
+                "window: slide {} x {} panes | {} boundaries cut | max shard lag {}\n",
+                window.slide, window.panes, window.boundaries, window.max_shard_lag,
+            ));
+        }
         if let Some(store) = &self.store {
             out.push_str(&format!(
                 "store: epoch {} | {} epochs persisted | {} KiB | {} segments | {} failures\n",
@@ -190,6 +222,7 @@ mod tests {
                 batches_enqueued: 10,
                 batches_processed: 9,
                 queue_depth: 1,
+                window_seq: 4,
             },
             ShardMetrics {
                 shard: 1,
@@ -198,12 +231,19 @@ mod tests {
                 batches_enqueued: 5,
                 batches_processed: 3,
                 queue_depth: 2,
+                window_seq: 3,
             },
         ];
         let m = EngineMetrics {
             shards,
             router: "hash",
             hot_keys: Vec::new(),
+            window: Some(WindowMetrics {
+                slide: 25,
+                panes: 4,
+                boundaries: 4,
+                max_shard_lag: 1,
+            }),
             store: None,
         };
         assert_eq!(m.items_processed(), 120);
@@ -212,8 +252,14 @@ mod tests {
         assert!((m.max_shard_share().unwrap() - 0.75).abs() < 1e-12);
         // max = 90, mean = 60 ⇒ imbalance 1.5.
         assert!((m.load_imbalance().unwrap() - 1.5).abs() < 1e-12);
-        assert!(m.to_table().contains("queued"));
-        assert!(m.to_table().contains("router hash"));
+        let table = m.to_table();
+        assert!(table.contains("queued"));
+        assert!(table.contains("router hash"));
+        // The fix for the omitted window-fence stats: boundary count and
+        // shard lag must be visible in the rendered table.
+        assert!(table.contains("4 boundaries cut"));
+        assert!(table.contains("max shard lag 1"));
+        assert!(table.contains("slide 25 x 4 panes"));
     }
 
     #[test]
@@ -222,10 +268,12 @@ mod tests {
             shards: Vec::new(),
             router: "hash",
             hot_keys: Vec::new(),
+            window: None,
             store: None,
         };
         assert_eq!(m.items_processed(), 0);
         assert!(m.max_shard_share().is_none());
         assert!(m.load_imbalance().is_none());
+        assert!(!m.to_table().contains("boundaries cut"));
     }
 }

@@ -27,11 +27,24 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use psfa_store::{EpochRecord, ShardState, SnapshotStore, StoreError};
-use psfa_stream::{IngestFence, Router};
+use psfa_store::{EpochRecord, ShardState, SnapshotStore, StoreError, WindowState};
+use psfa_stream::{IngestFence, Router, WindowFence};
 
 use crate::metrics::StoreMetrics;
 use crate::shard::ShardCommand;
+
+/// The window configuration a persisted epoch must capture: the geometry
+/// plus the live [`WindowFence`] whose clock is read from inside the
+/// snapshot's exclusive cut, so the persisted [`WindowState`] is exactly
+/// consistent with the per-shard pane rings collected at the same cut.
+pub(crate) struct PersistWindow {
+    /// Global window size `n_W`.
+    pub size: u64,
+    /// Number of panes.
+    pub panes: u32,
+    /// The engine's window fence.
+    pub fence: Arc<WindowFence>,
+}
 
 /// Shared snapshot machinery: cuts epochs, appends them to the store, and
 /// keeps the store metrics. Shared by the flusher thread and every
@@ -48,7 +61,7 @@ pub(crate) struct Persister {
     router: Arc<dyn Router>,
     phi: f64,
     epsilon: f64,
-    window: Option<u64>,
+    window: Option<PersistWindow>,
     epochs_persisted: AtomicU64,
     bytes_written: AtomicU64,
     last_epoch: AtomicU64,
@@ -64,7 +77,7 @@ impl Persister {
         router: Arc<dyn Router>,
         phi: f64,
         epsilon: f64,
-        window: Option<u64>,
+        window: Option<PersistWindow>,
     ) -> Self {
         let last_epoch = store.latest_epoch().unwrap_or(0);
         let segments = store.segments() as u64;
@@ -99,11 +112,11 @@ impl Persister {
 
         // Phase 1 — the cut: enqueue a Persist marker on every shard while
         // holding the fence exclusively (see the module docs for why this
-        // makes the cut consistent), and capture the hot-key set at the
-        // same instant — a promotion racing phase 2 must not leak into the
-        // record's "hot keys at the cut". Send errors mean the workers
-        // exited.
-        let (receivers, hot_keys) = self
+        // makes the cut consistent), and capture the hot-key set and the
+        // window fence's clock at the same instant — a promotion or a
+        // window boundary racing phase 2 must not leak into the record's
+        // "state at the cut". Send errors mean the workers exited.
+        let (receivers, hot_keys, window) = self
             .fence
             .cut_with(|_cut| {
                 let receivers = self
@@ -120,7 +133,21 @@ impl Persister {
                 let mut hot_keys = self.router.hot_keys();
                 hot_keys.sort_unstable();
                 hot_keys.dedup();
-                Ok::<_, ()>((receivers, hot_keys))
+                // Boundary markers are themselves enqueued under exclusive
+                // cuts, so from inside this cut every shard's FIFO holds
+                // exactly `boundaries` markers before our Persist marker:
+                // the collected pane rings will be sealed at precisely
+                // this boundary.
+                let window = self.window.as_ref().map(|w| {
+                    let clock = w.fence.state();
+                    WindowState {
+                        size: w.size,
+                        panes: w.panes,
+                        ticket: clock.ticket,
+                        boundaries: clock.boundaries,
+                    }
+                });
+                Ok::<_, ()>((receivers, hot_keys, window))
             })
             .map_err(|_: ()| StoreError::Closed)?;
 
@@ -135,7 +162,7 @@ impl Persister {
             epoch: store.next_epoch(),
             phi: self.phi,
             epsilon: self.epsilon,
-            window: self.window,
+            window,
             hot_keys,
             shards,
         };

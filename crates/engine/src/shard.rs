@@ -10,11 +10,13 @@
 //! `O(1/ε)` cost of the summary snapshot, while point queries under the
 //! mutex are `O(d)`.
 
+use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{Arc, Mutex, RwLock};
 
-use psfa_freq::{InfiniteHeavyHitters, SlidingFreqWorkEfficient, SlidingFrequencyEstimator};
+use psfa_freq::{InfiniteHeavyHitters, PaneWindow, SealedWindow};
+use psfa_primitives::build_hist;
 use psfa_sketch::ParallelCountMin;
 use psfa_store::ShardState;
 use psfa_stream::MinibatchOperator;
@@ -22,12 +24,23 @@ use psfa_stream::MinibatchOperator;
 use crate::config::EngineConfig;
 use crate::metrics::ShardStats;
 
+/// Sealed windows kept per shard snapshot: enough boundary history for a
+/// query to find one boundary that *every* shard has already sealed even
+/// while shards lag each other by a few queued markers.
+const WINDOW_HISTORY: usize = 8;
+
 /// Commands accepted by a shard worker, in queue order.
 pub(crate) enum ShardCommand {
     /// One routed minibatch to ingest.
     Batch(Vec<u64>),
     /// Drain checkpoint: acknowledge once every earlier command is done.
     Barrier(SyncSender<()>),
+    /// Window boundary `seq`: seal the open pane. The `WindowFence`
+    /// enqueues this on every shard from inside an exclusive cut, so the
+    /// marker sits at the same stream position on every shard's FIFO — the
+    /// items between two markers (one pane) partition the global stream
+    /// identically from every shard's point of view.
+    Boundary(u64),
     /// Snapshot cut: reply with a clone of the full operator state. The
     /// persister enqueues this on every shard while holding the ingest
     /// fence exclusively, so the FIFO position — and therefore the state
@@ -41,10 +54,10 @@ pub(crate) enum ShardCommand {
 /// Immutable view of one shard's summaries at one epoch.
 ///
 /// Snapshots freeze the *query surfaces* (Misra–Gries entries, stream
-/// length, sliding-window tracked items) — `O(1/ε)` data — not the raw
-/// operator state. `epoch` equals the number of minibatches the shard had
-/// processed when the snapshot was published; it is strictly increasing, so
-/// callers can detect progress between reads.
+/// length, the sealed windows of recent boundaries) — `O(1/ε)` data — not
+/// the raw operator state. `epoch` equals the number of minibatches the
+/// shard had processed when the snapshot was published; it is strictly
+/// increasing, so callers can detect progress between reads.
 #[derive(Debug, Clone)]
 pub struct ShardSnapshot {
     /// Owning shard index.
@@ -56,9 +69,12 @@ pub struct ShardSnapshot {
     /// Misra–Gries `(item, estimate)` entries of the infinite-window
     /// estimator; estimates are one-sided: `f − ε·m_s ≤ f̂ ≤ f`.
     pub hh_entries: Vec<(u64, u64)>,
-    /// Tracked `(item, estimate)` pairs of the sliding-window estimator
-    /// (empty when the engine runs without a window).
-    pub sliding_entries: Vec<(u64, u64)>,
+    /// This shard's sealed views of the global sliding window at the most
+    /// recent boundaries it has processed, oldest first (empty when the
+    /// engine runs without a window or before the first boundary). Shared
+    /// `Arc`s: sealed windows are immutable and only change at boundaries,
+    /// so re-publishing a snapshot per batch costs pointer bumps.
+    pub windows: Vec<Arc<SealedWindow>>,
 }
 
 impl ShardSnapshot {
@@ -68,7 +84,7 @@ impl ShardSnapshot {
             epoch: 0,
             stream_len: 0,
             hh_entries: Vec::new(),
-            sliding_entries: Vec::new(),
+            windows: Vec::new(),
         }
     }
 
@@ -80,12 +96,15 @@ impl ShardSnapshot {
             .map_or(0, |&(_, e)| e)
     }
 
-    /// The sliding-window estimate for `item` (`0` when untracked).
-    pub fn sliding_estimate(&self, item: u64) -> u64 {
-        self.sliding_entries
-            .iter()
-            .find(|&&(i, _)| i == item)
-            .map_or(0, |&(_, e)| e)
+    /// The newest window boundary this shard has sealed (`0` before the
+    /// first).
+    pub fn latest_window_seq(&self) -> u64 {
+        self.windows.last().map_or(0, |w| w.seq)
+    }
+
+    /// This shard's sealed window at boundary `seq`, if still retained.
+    pub fn window_at(&self, seq: u64) -> Option<&Arc<SealedWindow>> {
+        self.windows.iter().find(|w| w.seq == seq)
     }
 }
 
@@ -115,17 +134,23 @@ impl ShardShared {
                     epoch: state.epoch,
                     stream_len: state.items,
                     hh_entries: state.heavy_hitters.estimator().tracked_items(),
-                    sliding_entries: state
-                        .sliding
+                    windows: state
+                        .window
                         .as_ref()
-                        .map(|s| s.tracked_items())
-                        .unwrap_or_default(),
+                        .and_then(|w| w.sealed_window())
+                        .map(Arc::new)
+                        .into_iter()
+                        .collect(),
                 },
                 state.count_min.clone(),
             ),
         };
+        let stats = ShardStats::default();
+        stats
+            .window_seq
+            .store(snapshot.latest_window_seq(), Ordering::Release);
         Self {
-            stats: ShardStats::default(),
+            stats,
             snapshot: RwLock::new(Arc::new(snapshot)),
             count_min: Mutex::new(count_min),
         }
@@ -147,8 +172,9 @@ pub struct ShardFinal {
     pub items: u64,
     /// The shard's infinite-window heavy-hitter tracker.
     pub heavy_hitters: InfiniteHeavyHitters,
-    /// The shard's sliding-window estimator, when configured.
-    pub sliding: Option<SlidingFreqWorkEfficient>,
+    /// The shard's pane state of the global sliding window, when
+    /// configured.
+    pub window: Option<PaneWindow>,
     /// Lifted operators, labelled, in registration order.
     pub lifted: Vec<(String, Box<dyn MinibatchOperator + Send>)>,
 }
@@ -159,7 +185,14 @@ pub(crate) struct ShardWorker {
     epoch: u64,
     items: u64,
     heavy_hitters: InfiniteHeavyHitters,
-    sliding: Option<SlidingFreqWorkEfficient>,
+    /// Pane state of the global sliding window, when configured.
+    window: Option<PaneWindow>,
+    /// Sealed views of the last few boundaries, oldest first (see
+    /// [`WINDOW_HISTORY`]).
+    window_history: VecDeque<Arc<SealedWindow>>,
+    /// Seed for the per-minibatch histogram shared between the
+    /// heavy-hitter tracker and the open window pane.
+    hist_seed: u64,
     lifted: Vec<(String, Box<dyn MinibatchOperator + Send>)>,
     shared: Arc<ShardShared>,
 }
@@ -175,28 +208,36 @@ impl ShardWorker {
         shared: Arc<ShardShared>,
         recovered: Option<&ShardState>,
     ) -> Self {
-        let (epoch, items, heavy_hitters, sliding) = match recovered {
+        let (epoch, items, heavy_hitters, window) = match recovered {
             None => (
                 0,
                 0,
                 InfiniteHeavyHitters::new(config.phi, config.epsilon),
                 config
                     .window
-                    .map(|n| SlidingFreqWorkEfficient::new(config.epsilon, n)),
+                    .map(|_| PaneWindow::new(config.epsilon, config.window_panes)),
             ),
             Some(state) => (
                 state.epoch,
                 state.items,
                 state.heavy_hitters.clone(),
-                state.sliding.clone(),
+                state.window.clone(),
             ),
         };
+        let window_history = window
+            .as_ref()
+            .and_then(|w| w.sealed_window())
+            .map(Arc::new)
+            .into_iter()
+            .collect();
         Self {
             shard,
             epoch,
             items,
             heavy_hitters,
-            sliding,
+            window,
+            window_history,
+            hist_seed: 0x5eed_0000 ^ shard as u64,
             lifted,
             shared,
         }
@@ -214,6 +255,7 @@ impl ShardWorker {
                     // up waiting, which is not the worker's problem.
                     let _ = ack.send(());
                 }
+                ShardCommand::Boundary(seq) => self.seal_boundary(seq),
                 ShardCommand::Persist(reply) => {
                     // Hand back a clone of the operator state as of this
                     // queue position; encoding and disk I/O happen on the
@@ -231,7 +273,7 @@ impl ShardWorker {
                         epoch: self.epoch,
                         items: self.items,
                         heavy_hitters: self.heavy_hitters.clone(),
-                        sliding: self.sliding.clone(),
+                        window: self.window.clone(),
                         count_min,
                     });
                 }
@@ -242,15 +284,46 @@ impl ShardWorker {
             shard: self.shard,
             items: self.items,
             heavy_hitters: self.heavy_hitters,
-            sliding: self.sliding,
+            window: self.window,
             lifted: self.lifted,
         }
     }
 
+    /// Seals the open window pane at boundary `seq` and publishes the new
+    /// sealed window. `O(k/ε)` work per boundary — amortised over the
+    /// `slide` items of the pane, not paid per item.
+    fn seal_boundary(&mut self, seq: u64) {
+        let Some(window) = &mut self.window else {
+            return;
+        };
+        let sealed = window.seal();
+        debug_assert_eq!(
+            sealed.seq, seq,
+            "shard {} sealed boundary {} when the fence cut {seq}",
+            self.shard, sealed.seq
+        );
+        self.window_history.push_back(Arc::new(sealed));
+        while self.window_history.len() > WINDOW_HISTORY {
+            self.window_history.pop_front();
+        }
+        self.publish_snapshot();
+        // The seq counter last: a reader that sees the new boundary also
+        // finds the sealed window in the published snapshot.
+        self.shared.stats.window_seq.store(seq, Ordering::Release);
+    }
+
     fn ingest(&mut self, minibatch: &[u64]) {
-        self.heavy_hitters.process_minibatch(minibatch);
-        if let Some(sliding) = &mut self.sliding {
-            sliding.process_minibatch(minibatch);
+        // One histogram pass shared by the heavy-hitter tracker and the
+        // open window pane — the windowed engine pays `buildHist` once.
+        self.hist_seed = self
+            .hist_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(1);
+        let hist = build_hist(minibatch, self.hist_seed);
+        let len = minibatch.len() as u64;
+        self.heavy_hitters.process_histogram(&hist, len);
+        if let Some(window) = &mut self.window {
+            window.process_histogram(&hist, len);
         }
         {
             let mut cm = self
@@ -283,11 +356,7 @@ impl ShardWorker {
             epoch: self.epoch,
             stream_len: self.items,
             hh_entries: self.heavy_hitters.estimator().tracked_items(),
-            sliding_entries: self
-                .sliding
-                .as_ref()
-                .map(|s| s.tracked_items())
-                .unwrap_or_default(),
+            windows: self.window_history.iter().cloned().collect(),
         });
         *self
             .shared
@@ -313,19 +382,29 @@ mod tests {
         let config = test_config();
         let shared = Arc::new(ShardShared::new(0, &config, None));
         let worker = ShardWorker::new(0, &config, Vec::new(), shared.clone(), None);
-        let (tx, rx) = sync_channel(4);
+        let (tx, rx) = sync_channel(8);
         tx.send(ShardCommand::Batch(vec![7; 100])).unwrap();
         tx.send(ShardCommand::Batch(vec![7, 8, 9])).unwrap();
+        tx.send(ShardCommand::Boundary(1)).unwrap();
+        tx.send(ShardCommand::Batch(vec![9; 10])).unwrap();
         tx.send(ShardCommand::Shutdown).unwrap();
         let fin = worker.run(rx);
-        assert_eq!(fin.items, 103);
+        assert_eq!(fin.items, 113);
         let snap = shared.load_snapshot();
-        assert_eq!(snap.epoch, 2);
-        assert_eq!(snap.stream_len, 103);
+        assert_eq!(snap.epoch, 3);
+        assert_eq!(snap.stream_len, 113);
         assert!(snap.estimate(7) >= 100, "dominant item must be tracked");
-        assert!(snap.sliding_estimate(7) > 0);
+        // The boundary sealed a window over everything before it; the
+        // post-boundary batch sits in the (unpublished) open pane.
+        assert_eq!(snap.latest_window_seq(), 1);
+        let sealed = snap.window_at(1).expect("boundary 1 sealed");
+        assert_eq!(sealed.items, 103);
+        assert_eq!(sealed.estimate(7), 101);
         assert_eq!(shared.count_min.lock().unwrap().query(7), 101);
-        assert_eq!(fin.heavy_hitters.estimator().stream_len(), 103);
+        assert_eq!(fin.heavy_hitters.estimator().stream_len(), 113);
+        let window = fin.window.expect("window configured");
+        assert_eq!(window.sealed_seq(), 1);
+        assert_eq!(window.open_items(), 10);
     }
 
     #[test]

@@ -66,6 +66,12 @@ impl InfiniteHeavyHitters {
         self.estimator.process_minibatch(minibatch);
     }
 
+    /// Incorporates one minibatch given its precomputed histogram (see
+    /// [`ParallelFrequencyEstimator::process_histogram`]).
+    pub fn process_histogram(&mut self, histogram: &[psfa_primitives::HistogramEntry], items: u64) {
+        self.estimator.process_histogram(histogram, items);
+    }
+
     /// The current heavy hitters, most frequent first.
     pub fn query(&self) -> Vec<HeavyHitter> {
         self.estimator

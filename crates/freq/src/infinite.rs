@@ -9,7 +9,7 @@
 //! `Ω(1/ε)` depth of merge-based approaches.
 
 use psfa_primitives::codec::{put_header, ByteReader, ByteWriter, CodecError};
-use psfa_primitives::{build_hist, WorkMeter};
+use psfa_primitives::{build_hist, HistogramEntry, WorkMeter};
 
 use crate::summary::MgSummary;
 
@@ -105,6 +105,32 @@ impl ParallelFrequencyEstimator {
         }
         self.summary.augment(&hist);
         self.stream_len += minibatch.len() as u64;
+    }
+
+    /// Incorporates one minibatch given its precomputed frequency
+    /// histogram (`items` = the minibatch length, i.e. the sum of the
+    /// histogram counts). Skips the `buildHist` pass, so a caller feeding
+    /// the *same* minibatch into several summaries — the engine's shard
+    /// workers update the infinite-window tracker and the sliding-window
+    /// pane from one histogram — pays for it once. The estimator state
+    /// after this call is identical to [`Self::process_minibatch`] on the
+    /// originating minibatch (the histogram's entry order is irrelevant to
+    /// `MGaugment`), except that the internal histogram seed is not
+    /// advanced — the caller owns histogram construction.
+    pub fn process_histogram(&mut self, histogram: &[HistogramEntry], items: u64) {
+        debug_assert_eq!(
+            histogram.iter().map(|e| e.count).sum::<u64>(),
+            items,
+            "histogram does not cover the declared item count"
+        );
+        if items == 0 {
+            return;
+        }
+        if let Some(meter) = &self.meter {
+            meter.charge(self.summary.capacity() as u64 + histogram.len() as u64);
+        }
+        self.summary.augment(histogram);
+        self.stream_len += items;
     }
 
     /// Returns the estimate `f̂ₑ ∈ [fₑ − εm, fₑ]` for `item`.

@@ -23,6 +23,10 @@
 //! * [`mod@sift`] — the `sift` routine of Lemma 5.9.
 //! * [`heavy_hitters`] — φ-heavy-hitter query layers over the estimators,
 //!   including the reduction stated at the start of Section 5.
+//! * [`windowed`] — boundary-aligned sliding windows across shards: per-pane
+//!   mergeable summaries ([`PaneWindow`]), sealed at shard-consistent window
+//!   boundaries and combined into a [`GlobalWindow`] with a one-sided
+//!   `ε·n_W` bound over the *global* window.
 //!
 //! Items are identified by `u64` keys; map richer item types onto identifiers
 //! at the ingestion boundary (see `psfa-stream`).
@@ -40,6 +44,7 @@ pub mod sliding_work;
 pub mod summary;
 #[cfg(test)]
 pub(crate) mod test_support;
+pub mod windowed;
 
 pub use heavy_hitters::{HeavyHitter, InfiniteHeavyHitters, SlidingHeavyHitters};
 pub use infinite::ParallelFrequencyEstimator;
@@ -48,6 +53,7 @@ pub use sliding_basic::SlidingFreqBasic;
 pub use sliding_space::SlidingFreqSpaceEfficient;
 pub use sliding_work::SlidingFreqWorkEfficient;
 pub use summary::MgSummary;
+pub use windowed::{GlobalWindow, PaneWindow, SealedWindow};
 
 /// Common interface implemented by all sliding-window frequency estimators in
 /// this crate, so experiments and examples can swap variants freely.

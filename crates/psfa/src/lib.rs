@@ -34,12 +34,12 @@
 //! | Crate | Paper section | Contents |
 //! |---|---|---|
 //! | [`psfa_primitives`] | §2 | scans, packing, integer sort, selection, `buildHist`, CSS, hash families |
-//! | [`psfa_window`] | §3–§4 | γ-snapshots, SBBC, basic counting, windowed sum |
-//! | [`psfa_freq`] | §5 | parallel Misra–Gries, sliding-window frequency estimation (basic / space- / work-efficient), heavy hitters, mergeable summaries |
+//! | [`psfa_window`] | §3–§4 | γ-snapshots, SBBC, basic counting, windowed sum, pane rings |
+//! | [`psfa_freq`] | §5 | parallel Misra–Gries, sliding-window frequency estimation (basic / space- / work-efficient), heavy hitters, mergeable summaries, cross-shard pane windows |
 //! | [`psfa_sketch`] | §6 | Count-Min sketch (sequential + parallel minibatch + mergeable), Count-Sketch |
 //! | [`psfa_baselines`] | §1, §5.4 | sequential comparators and the independent-data-structure approach |
-//! | [`psfa_stream`] | §1 | minibatch model, workload generators, pipeline driver, routing layer (hash + skew-aware hot-key splitting), epoch fencing |
-//! | [`psfa_engine`] | beyond the paper | sharded multi-threaded ingestion engine with pluggable routing and live cross-shard queries (`Engine`, `EngineHandle`) |
+//! | [`psfa_stream`] | §1 | minibatch model, workload generators, pipeline driver, routing layer (hash + skew-aware hot-key splitting), epoch + window fencing |
+//! | [`psfa_engine`] | beyond the paper | sharded multi-threaded ingestion engine with pluggable routing, live cross-shard queries, and globally consistent sliding windows (`Engine`, `EngineHandle`) |
 //! | [`psfa_store`] | beyond the paper | epoch-snapshot persistence: checksummed append-only segment log, crash recovery (`Engine::recover`), time-travel queries (`heavy_hitters_at`) |
 
 #![warn(missing_docs)]
@@ -64,25 +64,26 @@ pub mod prelude {
     };
     pub use psfa_engine::{
         Engine, EngineConfig, EngineHandle, EngineMetrics, EngineOperator, EngineReport,
-        IngestError, ShardedOperator, StoreMetrics,
+        IngestError, ShardedOperator, StoreMetrics, WindowMetrics,
     };
     pub use psfa_freq::{
-        HeavyHitter, InfiniteHeavyHitters, MgSummary, ParallelFrequencyEstimator, SlidingFreqBasic,
-        SlidingFreqSpaceEfficient, SlidingFreqWorkEfficient, SlidingFrequencyEstimator,
-        SlidingHeavyHitters,
+        GlobalWindow, HeavyHitter, InfiniteHeavyHitters, MgSummary, PaneWindow,
+        ParallelFrequencyEstimator, SealedWindow, SlidingFreqBasic, SlidingFreqSpaceEfficient,
+        SlidingFreqWorkEfficient, SlidingFrequencyEstimator, SlidingHeavyHitters,
     };
     pub use psfa_primitives::{CompactedSegment, WorkMeter};
     pub use psfa_sketch::{CountMinSketch, CountSketch, ParallelCountMin};
     pub use psfa_store::{
         EpochRecord, EpochView, PersistenceConfig, ShardState, SnapshotStore, StoreError,
+        WindowState,
     };
     pub use psfa_stream::{
         partition_by_key, shard_of, AdversarialChurnGenerator, BinaryStreamGenerator,
         BurstyGenerator, HashRouter, IngestFence, MinibatchOperator, PacketTraceGenerator,
         Pipeline, PipelineReport, Placement, Router, RoutingPolicy, SkewAwareRouter,
-        SplitGenerator, StreamGenerator, UniformGenerator, ZipfGenerator,
+        SplitGenerator, StreamGenerator, UniformGenerator, WindowFence, ZipfGenerator,
     };
-    pub use psfa_window::{BasicCounter, QueryResult, Sbbc, WindowedSum};
+    pub use psfa_window::{BasicCounter, Pane, PaneRing, QueryResult, Sbbc, WindowedSum};
 
     pub use crate::operators::{FrequencyOperator, HeavyHitterOperator, SketchOperator};
 }

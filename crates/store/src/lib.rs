@@ -14,7 +14,8 @@
 //!      │   (consistent cut:              seg-0000000001.psfalog   ◄─ frames:
 //!      │    every shard at the           …                           [len][crc32][EpochRecord]
 //!      ▼    same stream point)
-//!  EpochRecord { per-shard MG summary, Count-Min, sliding window, hot keys }
+//!  EpochRecord { per-shard MG summary, Count-Min, window panes, hot keys,
+//!                window cut (boundary + logical clock) }
 //!      │
 //!      ▼  SnapshotStore::append (fsync) · compact (retain K epochs)
 //!  recovery: Engine::recover(dir, config)  — replay latest epoch
@@ -75,6 +76,6 @@ pub mod testutil {
 pub use config::PersistenceConfig;
 pub use crc::crc32;
 pub use error::StoreError;
-pub use record::{EpochRecord, ShardState};
+pub use record::{EpochRecord, ShardState, WindowState};
 pub use store::SnapshotStore;
 pub use view::EpochView;

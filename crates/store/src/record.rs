@@ -1,13 +1,13 @@
 //! The on-disk record types: one persisted epoch and its per-shard states.
 
-use psfa_freq::{InfiniteHeavyHitters, SlidingFreqWorkEfficient};
+use psfa_freq::{InfiniteHeavyHitters, PaneWindow};
 use psfa_primitives::codec::{put_header, ByteReader, ByteWriter, CodecError};
 use psfa_sketch::ParallelCountMin;
 
 const EPOCH_TAG: u8 = 0x10;
-const EPOCH_VERSION: u8 = 1;
+const EPOCH_VERSION: u8 = 2;
 const SHARD_TAG: u8 = 0x11;
-const SHARD_VERSION: u8 = 1;
+const SHARD_VERSION: u8 = 2;
 
 /// Upper bound accepted for the persisted shard count — a sanity limit far
 /// above any real deployment, guarding decode against corrupted counts.
@@ -24,8 +24,9 @@ pub struct ShardState {
     pub items: u64,
     /// The shard's infinite-window heavy-hitter tracker.
     pub heavy_hitters: InfiniteHeavyHitters,
-    /// The shard's sliding-window estimator, when the engine runs one.
-    pub sliding: Option<SlidingFreqWorkEfficient>,
+    /// The shard's boundary-aligned sliding-window state, when the engine
+    /// runs a global window.
+    pub window: Option<PaneWindow>,
     /// The shard's Count-Min sketch.
     pub count_min: ParallelCountMin,
 }
@@ -37,10 +38,10 @@ impl ShardState {
         w.put_u64(self.epoch);
         w.put_u64(self.items);
         self.heavy_hitters.encode_into(w);
-        match &self.sliding {
-            Some(sliding) => {
+        match &self.window {
+            Some(window) => {
                 w.put_u8(1);
-                sliding.encode_into(w);
+                window.encode_into(w);
             }
             None => w.put_u8(0),
         }
@@ -53,10 +54,10 @@ impl ShardState {
         let epoch = r.get_u64()?;
         let items = r.get_u64()?;
         let heavy_hitters = InfiniteHeavyHitters::decode_from(r)?;
-        let sliding = match r.get_u8()? {
+        let window = match r.get_u8()? {
             0 => None,
-            1 => Some(SlidingFreqWorkEfficient::decode_from(r)?),
-            _ => return Err(CodecError::Invalid("shard state: bad sliding flag")),
+            1 => Some(PaneWindow::decode_from(r)?),
+            _ => return Err(CodecError::Invalid("shard state: bad window flag")),
         };
         let count_min = ParallelCountMin::decode_from(r)?;
         Ok(Self {
@@ -64,8 +65,60 @@ impl ShardState {
             epoch,
             items,
             heavy_hitters,
-            sliding,
+            window,
             count_min,
+        })
+    }
+}
+
+/// The global sliding-window configuration and clock at an epoch cut: what
+/// recovery needs to resume the `WindowFence` so pane boundaries keep
+/// landing at the same logical positions, and what ties the persisted
+/// per-shard [`PaneWindow`]s to one aligned boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowState {
+    /// Global window size `n_W` in items.
+    pub size: u64,
+    /// Number of panes the window is divided into (`k`; the slide is
+    /// `size / panes`).
+    pub panes: u32,
+    /// Logical items accepted when the epoch was cut (the ticket).
+    pub ticket: u64,
+    /// Window boundaries cut so far; every shard's sealed pane ring is at
+    /// exactly this boundary (the cut is consistent). Boundaries land at
+    /// consecutive multiples of the slide, so the next boundary's position
+    /// is derived, never stored.
+    pub boundaries: u64,
+}
+
+impl WindowState {
+    /// The window slide in items (`size / panes`).
+    pub fn slide(&self) -> u64 {
+        self.size / self.panes as u64
+    }
+
+    fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_u64(self.size);
+        w.put_u32(self.panes);
+        w.put_u64(self.ticket);
+        w.put_u64(self.boundaries);
+    }
+
+    fn decode_from(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let size = r.get_u64()?;
+        let panes = r.get_u32()?;
+        let ticket = r.get_u64()?;
+        let boundaries = r.get_u64()?;
+        if panes == 0 || size < panes as u64 || size % panes as u64 != 0 {
+            return Err(CodecError::Invalid(
+                "window state: size must be a positive multiple of panes",
+            ));
+        }
+        Ok(Self {
+            size,
+            panes,
+            ticket,
+            boundaries,
         })
     }
 }
@@ -81,8 +134,9 @@ pub struct EpochRecord {
     pub phi: f64,
     /// Estimation error ε the engine ran with.
     pub epsilon: f64,
-    /// Per-shard sliding-window size, when configured.
-    pub window: Option<u64>,
+    /// The global sliding-window configuration and clock at the cut, when
+    /// the engine ran a window.
+    pub window: Option<WindowState>,
     /// Keys the router was splitting across shards at the cut, sorted.
     pub hot_keys: Vec<u64>,
     /// Per-shard states, in shard order (`shards[i].shard == i`).
@@ -98,10 +152,10 @@ impl EpochRecord {
         w.put_u64(self.epoch);
         w.put_f64(self.phi);
         w.put_f64(self.epsilon);
-        match self.window {
-            Some(n) => {
+        match &self.window {
+            Some(state) => {
                 w.put_u8(1);
-                w.put_u64(n);
+                state.encode_into(&mut w);
             }
             None => w.put_u8(0),
         }
@@ -131,7 +185,7 @@ impl EpochRecord {
         }
         let window = match r.get_u8()? {
             0 => None,
-            1 => Some(r.get_u64()?),
+            1 => Some(WindowState::decode_from(&mut r)?),
             _ => return Err(CodecError::Invalid("epoch record: bad window flag")),
         };
         let hot_len = r.get_len(8)?;
@@ -154,6 +208,35 @@ impl EpochRecord {
             let shard = ShardState::decode_from(&mut r)?;
             if shard.shard as usize != expected {
                 return Err(CodecError::Invalid("epoch record: shards out of order"));
+            }
+            // The window invariants that make time travel and recovery
+            // sound: every shard carries a window iff the record does, its
+            // geometry matches, and — because the cut is consistent — every
+            // shard's pane ring is sealed at exactly the record's boundary.
+            match (&window, &shard.window) {
+                (None, None) => {}
+                (Some(ws), Some(pw)) => {
+                    if pw.panes() != ws.panes as usize {
+                        return Err(CodecError::Invalid(
+                            "epoch record: shard pane count differs from the window state",
+                        ));
+                    }
+                    if pw.epsilon().to_bits() != epsilon.to_bits() {
+                        return Err(CodecError::Invalid(
+                            "epoch record: shard window epsilon differs from the engine's",
+                        ));
+                    }
+                    if pw.sealed_seq() != ws.boundaries {
+                        return Err(CodecError::Invalid(
+                            "epoch record: shard window not aligned to the cut boundary",
+                        ));
+                    }
+                }
+                _ => {
+                    return Err(CodecError::Invalid(
+                        "epoch record: window presence differs between record and shard",
+                    ));
+                }
             }
             shards.push(shard);
         }
@@ -185,24 +268,27 @@ impl EpochRecord {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psfa_freq::SlidingFrequencyEstimator;
 
     fn sample_record() -> EpochRecord {
         let mut shards = Vec::new();
         for shard in 0..3u32 {
             let mut hh = InfiniteHeavyHitters::new(0.05, 0.01);
-            let mut sliding = SlidingFreqWorkEfficient::new(0.01, 10_000);
+            let mut window = PaneWindow::new(0.01, 4);
             let mut cm = ParallelCountMin::new(0.01, 0.01, 42);
             let batch: Vec<u64> = (0..500u64).map(|i| i % (7 + shard as u64)).collect();
             hh.process_minibatch(&batch);
-            sliding.process_minibatch(&batch);
+            window.process_minibatch(&batch);
+            // Two boundaries processed on every shard (a consistent cut).
+            window.seal();
+            window.process_minibatch(&batch[..100]);
+            window.seal();
             cm.process_minibatch(&batch);
             shards.push(ShardState {
                 shard,
                 epoch: 1 + shard as u64,
                 items: batch.len() as u64,
                 heavy_hitters: hh,
-                sliding: Some(sliding),
+                window: Some(window),
                 count_min: cm,
             });
         }
@@ -210,7 +296,12 @@ mod tests {
             epoch: 9,
             phi: 0.05,
             epsilon: 0.01,
-            window: Some(10_000),
+            window: Some(WindowState {
+                size: 10_000,
+                panes: 4,
+                ticket: 5_500,
+                boundaries: 2,
+            }),
             hot_keys: vec![0, 3, 11],
             shards,
         }
@@ -232,6 +323,22 @@ mod tests {
         for cut in (0..bytes.len()).step_by(7) {
             assert!(EpochRecord::decode(&bytes[..cut]).is_err(), "cut {cut}");
         }
+    }
+
+    #[test]
+    fn misaligned_shard_windows_are_rejected() {
+        // A shard whose pane ring is sealed at a different boundary than
+        // the record's window state cannot come from a consistent cut.
+        let mut record = sample_record();
+        record.shards[1].window.as_mut().unwrap().seal();
+        assert!(matches!(
+            EpochRecord::decode(&record.encode()),
+            Err(CodecError::Invalid(msg)) if msg.contains("aligned")
+        ));
+        // Window presence must agree between the record and every shard.
+        let mut record = sample_record();
+        record.shards[2].window = None;
+        assert!(EpochRecord::decode(&record.encode()).is_err());
     }
 
     #[test]

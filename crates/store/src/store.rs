@@ -448,7 +448,7 @@ mod tests {
                     epoch,
                     items: items_per_shard,
                     heavy_hitters: hh,
-                    sliding: None,
+                    window: None,
                     count_min: cm,
                 }
             })

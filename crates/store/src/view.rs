@@ -20,7 +20,7 @@
 //! overestimate. Count-Min overestimates by at most `ε_cm·m` by the mirror
 //! argument.
 
-use psfa_freq::{HeavyHitter, SlidingFrequencyEstimator};
+use psfa_freq::{GlobalWindow, HeavyHitter};
 use psfa_stream::{shard_of, Placement};
 use std::collections::HashMap;
 
@@ -98,20 +98,38 @@ impl EpochView {
         }
     }
 
-    /// Sliding-window estimate for `key` as of this epoch (per-shard
-    /// substream windows, summed for split keys); `0` when the engine ran
-    /// without a window.
+    /// The globally consistent sliding window as of this epoch: every
+    /// shard's persisted pane ring is sealed at the same boundary (the cut
+    /// is consistent — validated at decode), so their merged
+    /// [`GlobalWindow`] reproduces the aligned window the live engine
+    /// served at the cut, with the same one-sided `ε·n_W` bound. `None`
+    /// when the engine ran without a window or before the first boundary.
+    pub fn global_window(&self) -> Option<GlobalWindow> {
+        let sealed: Option<Vec<_>> = self
+            .record
+            .shards
+            .iter()
+            .map(|s| s.window.as_ref().and_then(|w| w.sealed_window()))
+            .collect();
+        GlobalWindow::merge(sealed.as_ref()?.iter())
+    }
+
+    /// One-sided estimate of `key`'s frequency in the aligned global
+    /// window as of this epoch (`f − ε·n_W ≤ f̂ ≤ f` over the window's
+    /// `n_W` items); `0` when the engine ran without a window or before
+    /// the first window boundary.
     pub fn sliding_estimate(&self, key: u64) -> u64 {
-        let per_shard = |s: usize| {
-            self.record.shards[s]
-                .sliding
-                .as_ref()
-                .map_or(0, |est| est.estimate(key))
-        };
-        match self.placement(key) {
-            Placement::Owner(shard) => per_shard(shard),
-            Placement::Replicated => (0..self.shards()).map(per_shard).sum(),
-        }
+        self.global_window().map_or(0, |w| w.estimate(key))
+    }
+
+    /// The φ-heavy hitters of the aligned global window as of this epoch,
+    /// most frequent first (empty without a window / before the first
+    /// boundary) — the historical mirror of the live engine's
+    /// `sliding_heavy_hitters`.
+    pub fn sliding_heavy_hitters(&self) -> Vec<HeavyHitter> {
+        self.global_window().map_or_else(Vec::new, |w| {
+            w.heavy_hitters(self.record.phi, self.record.epsilon)
+        })
     }
 
     /// Count-Min overestimate for `key` as of this epoch
@@ -173,7 +191,7 @@ mod tests {
                 epoch: 1,
                 items: batch.len() as u64,
                 heavy_hitters: hh,
-                sliding: None,
+                window: None,
                 count_min: cm,
             });
         }

@@ -22,7 +22,9 @@
 //! * [`router`] — pluggable routing policies over the split layer: hash
 //!   partitioning and skew-aware hot-key splitting.
 //! * [`fence`] — epoch fencing: consistent cuts of a concurrently ingested
-//!   stream, the ordering primitive under snapshot persistence.
+//!   stream, the ordering primitive under snapshot persistence, plus the
+//!   [`WindowFence`] logical item clock that turns cuts into window-aligned
+//!   barriers for cross-shard sliding windows.
 //! * [`metrics`] — throughput/latency accounting.
 
 #![warn(missing_docs)]
@@ -36,7 +38,7 @@ pub mod router;
 pub mod split;
 pub mod zipf;
 
-pub use fence::{IngestFence, IngestGuard};
+pub use fence::{IngestFence, IngestGuard, WindowFence, WindowFenceState};
 pub use generators::{
     AdversarialChurnGenerator, BinaryStreamGenerator, BurstyGenerator, PacketTraceGenerator,
     StreamGenerator, UniformGenerator, ZipfGenerator,

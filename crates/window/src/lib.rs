@@ -15,6 +15,9 @@
 //!   `O(ε⁻¹ log n)` space.
 //! * [`sum`] — Theorem 4.2: the sliding-window sum of integers in `[0, R]`
 //!   via one basic counter per bit position.
+//! * [`panes`] — boundary-aligned pane rings: a bounded ring of sealed
+//!   per-pane summaries, the substrate `psfa-freq` and the engine use for
+//!   globally consistent cross-shard sliding windows.
 //!
 //! Positions are 1-indexed along the stream (matching the paper); minibatch
 //! contents arrive as [`CompactedSegment`]s whose positions are 0-indexed
@@ -24,11 +27,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod basic_counting;
+pub mod panes;
 pub mod sbbc;
 pub mod snapshot;
 pub mod sum;
 
 pub use basic_counting::BasicCounter;
+pub use panes::{Pane, PaneRing};
 pub use sbbc::{QueryResult, Sbbc};
 pub use snapshot::GammaSnapshot;
 pub use sum::WindowedSum;

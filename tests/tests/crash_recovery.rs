@@ -63,6 +63,8 @@ fn kill_and_recover_preserves_bounds_placements_and_history() {
 
     // Record the live answers, then cut epoch 1.
     let live_hh = handle.heavy_hitters();
+    let live_window = handle.global_window().expect("24 boundaries at m = 60k");
+    let live_sliding_hh = handle.sliding_heavy_hitters();
     let probe_keys: Vec<u64> = truth
         .keys()
         .copied()
@@ -122,15 +124,34 @@ fn kill_and_recover_preserves_bounds_placements_and_history() {
         assert_eq!(handle.estimate(key), live_estimates[&key]);
     }
 
-    // Sliding-window state was recovered too (the hot key dominated recent
-    // traffic on every shard substream).
+    // The *global* sliding window was recovered exactly: same aligned
+    // boundary, same coverage, same answers — the persisted epoch records
+    // the window cut, so the recovered engine's aligned window is the one
+    // the live engine served at the snapshot.
+    let recovered_window = handle.global_window().expect("window recovered");
+    assert_eq!(recovered_window.seq(), live_window.seq());
+    assert_eq!(recovered_window.items(), live_window.items());
+    assert_eq!(handle.sliding_heavy_hitters(), live_sliding_hh);
     assert!(handle.sliding_estimate(hot_before[0]) > 0);
+    for &key in &hot_before {
+        assert_eq!(
+            recovered_window.estimate(key),
+            live_window.estimate(key),
+            "recovered window estimate differs for hot key {key}"
+        );
+    }
 
-    // Time travel is exact.
+    // Time travel is exact — including the windowed surface.
     assert_eq!(handle.heavy_hitters_at(epoch).unwrap(), live_hh);
     for (&k, &est) in &live_estimates {
         assert_eq!(handle.estimate_at(k, epoch).unwrap(), est);
     }
+    let view = handle.view_at(epoch).unwrap();
+    assert_eq!(view.sliding_heavy_hitters(), live_sliding_hh);
+    assert_eq!(
+        view.global_window().map(|w| (w.seq(), w.items())),
+        Some((live_window.seq(), live_window.items()))
+    );
 
     // The recovered engine is fully live: ingest, snapshot epoch 2, and
     // epoch 1's historical answers stay frozen.

@@ -247,14 +247,16 @@ fn queries_answer_while_ingestion_is_in_flight() {
         }));
     }
 
-    // Query loop racing the producers: totals and epochs must be monotone,
-    // and every query style must answer without blocking on ingestion.
+    // Query loop racing the producers: totals, epochs, and the aligned
+    // window boundary must be monotone, and every query style must answer
+    // without blocking on ingestion.
     let queries = {
         let handle = engine.handle();
         let done = done.clone();
         std::thread::spawn(move || {
             let mut last_total = 0u64;
             let mut last_epochs = vec![0u64; handle.shards()];
+            let mut last_window_seq = 0u64;
             let mut observed_mid_ingest = 0u64;
             while !done.load(Ordering::Acquire) {
                 let total = handle.total_items();
@@ -275,7 +277,20 @@ fn queries_answer_while_ingestion_is_in_flight() {
                     assert!(!hh.is_empty(), "no heavy hitters at m = {total}");
                     assert!(handle.estimate(hh[0].item) > 0);
                     assert!(handle.cm_estimate(hh[0].item) >= handle.estimate(hh[0].item));
-                    assert!(handle.sliding_estimate(hh[0].item) > 0);
+                }
+                // The sliding surface answers concurrently; before the
+                // first boundary it reports "no aligned window" rather
+                // than a wrong number, and the aligned boundary only
+                // moves forward.
+                if let Some(window) = handle.global_window() {
+                    assert!(
+                        window.seq() >= last_window_seq,
+                        "aligned window went backwards"
+                    );
+                    last_window_seq = window.seq();
+                    assert!(window.items() > 0);
+                    let _ = handle.sliding_estimate(hh.first().map_or(0, |h| h.item));
+                    let _ = handle.sliding_heavy_hitters();
                 }
                 // Count only rounds that genuinely raced live ingestion:
                 // some data had arrived but the full 300k had not.
@@ -304,6 +319,24 @@ fn queries_answer_while_ingestion_is_in_flight() {
         "the query thread never observed the engine mid-ingest; \
          increase the workload if this machine got faster"
     );
+    // After the drain every shard is aligned to the latest boundary:
+    // 300k items at slide 25k ⇒ boundary 12, window = the last 8 panes.
+    // With concurrent producers a boundary can overshoot its exact
+    // multiple (batches recorded between the crossing and the cut land in
+    // the earlier pane), so the 8-pane window covers *about* 200k items —
+    // its exact count is reported, never guessed.
+    let window = handle.global_window().expect("aligned window after drain");
+    assert_eq!(window.seq(), 12);
+    assert!(
+        window.items() <= 200_000 && window.items() >= 150_000,
+        "8 panes of ~25k items, got {}",
+        window.items()
+    );
+    let hh = handle.heavy_hitters();
+    assert!(handle.sliding_estimate(hh[0].item) > 0);
+    let metrics = handle.metrics();
+    let wm = metrics.window.expect("window metrics");
+    assert_eq!((wm.boundaries, wm.max_shard_lag), (12, 0));
     let report = engine.shutdown();
     assert_eq!(report.total_items(), sent);
 }
