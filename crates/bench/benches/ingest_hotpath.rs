@@ -1,0 +1,123 @@
+//! E13 bench: the shard ingest hot path — the seed per-batch worker loop
+//! (allocating double-histogram, mutex'd Count-Min, eager `RwLock`
+//! snapshot clone) against the PR 5 rebuild (scratch-reused histogram,
+//! relaxed-atomic Count-Min, lazy `ArcCell` publication), plus the real
+//! engine end to end, and an allocations-per-batch audit via the counting
+//! allocator shim.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use psfa::prelude::*;
+use psfa_bench::hotpath::{drive_shards, pre_split, HotPathParams, HotShardLoop, LegacyShardLoop};
+use psfa_bench::{alloc_counter, zipf_minibatches};
+
+/// Counting shim so the `allocations` group can report per-batch counts.
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+
+const BATCHES: usize = 24;
+const BATCH_SIZE: usize = 20_000;
+
+fn bench_worker_loops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_hotpath_loops");
+    let batches = zipf_minibatches(100_000, 1.5, BATCHES, BATCH_SIZE, 61);
+    let items = (BATCHES * BATCH_SIZE) as u64;
+    group.throughput(Throughput::Elements(items));
+    let params = HotPathParams::default();
+
+    for &shards in &[1usize, 4] {
+        let split = pre_split(&batches, shards);
+        group.bench_with_input(BenchmarkId::new("seed", shards), &split, |b, split| {
+            b.iter(|| {
+                drive_shards(
+                    split,
+                    |s| LegacyShardLoop::new(s, params),
+                    |l, batch| l.ingest(batch),
+                    |l| l.finish(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rebuilt", shards), &split, |b, split| {
+            b.iter(|| {
+                drive_shards(
+                    split,
+                    |s| HotShardLoop::new(s, params),
+                    |l, batch| l.ingest(batch),
+                    |l| l.finish(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_hotpath_engine");
+    let batches = zipf_minibatches(100_000, 1.5, BATCHES, BATCH_SIZE, 61);
+    let items = (BATCHES * BATCH_SIZE) as u64;
+    group.throughput(Throughput::Elements(items));
+
+    for &shards in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("ingest_drain", shards),
+            &batches,
+            |b, batches| {
+                b.iter(|| {
+                    let engine =
+                        Engine::spawn(EngineConfig::with_shards(shards).heavy_hitters(0.01, 0.001));
+                    let handle = engine.handle();
+                    for batch in batches {
+                        handle.ingest(batch).expect("engine closed");
+                    }
+                    engine.drain();
+                    let total = handle.total_items();
+                    engine.shutdown();
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Not a timing group: prints allocations per batch for both loops, the
+/// number E13 tracks (the rebuilt loop's residue is the MG summary's
+/// occasional growth; the recycled routing+histogram sub-path is exactly
+/// zero, asserted by `reproduce --exp e13`).
+fn report_allocations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_hotpath_allocs");
+    let batches = zipf_minibatches(100_000, 1.5, BATCHES, BATCH_SIZE, 61);
+    let params = HotPathParams::default();
+    for (name, allocs) in [
+        ("seed", {
+            let mut state = LegacyShardLoop::new(0, params);
+            let before = alloc_counter::allocations();
+            for batch in &batches {
+                state.ingest(batch);
+            }
+            alloc_counter::allocations() - before
+        }),
+        ("rebuilt", {
+            let mut state = HotShardLoop::new(0, params);
+            let before = alloc_counter::allocations();
+            for batch in &batches {
+                state.ingest(batch);
+            }
+            alloc_counter::allocations() - before
+        }),
+    ] {
+        println!(
+            "ingest_hotpath_allocs/{name}: {:.1} allocations per batch",
+            allocs as f64 / BATCHES as f64
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = common::config();
+    targets = bench_worker_loops, bench_engine_ingest, report_allocations
+}
+criterion_main!(benches);

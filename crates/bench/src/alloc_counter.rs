@@ -1,0 +1,67 @@
+//! A counting global-allocator shim for allocation audits.
+//!
+//! The hot-path experiment (E13) claims the recycled ingest path performs
+//! *zero* steady-state heap allocations — a claim a benchmark should
+//! assert, not assume. [`CountingAllocator`] wraps the system allocator and
+//! counts every `alloc`/`realloc` with relaxed atomics (~two uncontended
+//! RMWs per allocation: measurable but far below the noise floor of any
+//! throughput number reported here).
+//!
+//! Install it in a binary with:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: psfa_bench::alloc_counter::CountingAllocator =
+//!     psfa_bench::alloc_counter::CountingAllocator;
+//! ```
+//!
+//! The counters are global, so allocation deltas are only attributable when
+//! the measured section runs single-threaded (as E13's audit does).
+//! [`installed`] reports whether the shim is active in this process (any
+//! Rust program allocates before `main`, so a zero count means the shim is
+//! not the global allocator) — audits should assert it rather than
+//! silently measure nothing.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Counting wrapper around the system allocator (see the module docs).
+pub struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System` unchanged; the counters
+// are side effects only.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Heap allocations (`alloc` + `realloc` calls) since process start.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Bytes requested from the allocator since process start.
+pub fn allocated_bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
+
+/// True when [`CountingAllocator`] is this process's global allocator.
+pub fn installed() -> bool {
+    allocations() > 0
+}

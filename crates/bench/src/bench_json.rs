@@ -1,0 +1,94 @@
+//! Machine-readable benchmark records for the repository's BENCH
+//! trajectory.
+//!
+//! `reproduce --bench-json <path>` collects one record per throughput
+//! measurement and writes them as a JSON array of
+//! `{"experiment", "config", "items_per_sec"}` objects — the format the
+//! committed `BENCH_<pr>.json` files use, so successive PRs can be compared
+//! mechanically. The writer is hand-rolled (no serde in the offline build);
+//! experiment and config strings are plain ASCII table labels, escaped for
+//! the JSON string characters that could occur.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One throughput measurement.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Experiment id, e.g. `"E13"`.
+    pub experiment: String,
+    /// Configuration label, e.g. `"engine x4 (new)"`.
+    pub config: String,
+    /// Measured ingest throughput.
+    pub items_per_sec: f64,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Appends one record to the in-process collection.
+pub fn record(experiment: &str, config: &str, items_per_sec: f64) {
+    RECORDS
+        .lock()
+        .expect("bench-json record lock poisoned")
+        .push(Record {
+            experiment: experiment.to_string(),
+            config: config.to_string(),
+            items_per_sec,
+        });
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes every collected record to `path` as a JSON array (pretty-printed
+/// one object per line) and returns how many were written.
+pub fn write_to(path: impl AsRef<Path>) -> std::io::Result<usize> {
+    let records = RECORDS
+        .lock()
+        .expect("bench-json record lock poisoned")
+        .clone();
+    let mut out = std::fs::File::create(path)?;
+    writeln!(out, "[")?;
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        writeln!(
+            out,
+            "  {{\"experiment\": \"{}\", \"config\": \"{}\", \"items_per_sec\": {:.0}}}{comma}",
+            escape(&r.experiment),
+            escape(&r.config),
+            r.items_per_sec
+        )?;
+    }
+    writeln!(out, "]")?;
+    Ok(records.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_as_json_lines() {
+        record("E13", "engine x4 \"new\"", 1234567.89);
+        let dir = std::env::temp_dir().join(format!("psfa-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+        let n = write_to(&path).unwrap();
+        assert!(n >= 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n"));
+        assert!(text.contains("\"experiment\": \"E13\""));
+        assert!(text.contains("\\\"new\\\""));
+        assert!(text.contains("\"items_per_sec\": 1234568"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

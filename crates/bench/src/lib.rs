@@ -10,6 +10,10 @@ use std::time::Instant;
 
 use psfa::prelude::*;
 
+pub mod alloc_counter;
+pub mod bench_json;
+pub mod hotpath;
+
 /// Number of threads rayon is using — recorded in experiment output because
 /// the depth/speedup claims are only observable with more than one core.
 pub fn threads() -> usize {

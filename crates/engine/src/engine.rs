@@ -1,18 +1,19 @@
 //! The engine: shard spawning, routed ingestion, live cross-shard queries,
 //! drain and shutdown.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use psfa_freq::{GlobalWindow, HeavyHitter, InfiniteHeavyHitters, ParallelFrequencyEstimator};
+use psfa_freq::{
+    merge_sum, GlobalWindow, HeavyHitter, InfiniteHeavyHitters, ParallelFrequencyEstimator,
+};
 use psfa_sketch::ParallelCountMin;
 use psfa_store::{EpochRecord, EpochView, PersistenceConfig, SnapshotStore, StoreError};
 use psfa_stream::{
-    IngestFence, MinibatchOperator, Placement, Router, WindowFence, WindowFenceState,
+    BufferPool, IngestFence, MinibatchOperator, Placement, Router, WindowFence, WindowFenceState,
 };
 
 use crate::config::EngineConfig;
@@ -155,6 +156,10 @@ impl EngineBuilder {
                 .map(|shard| Arc::new(ShardShared::new(shard, &config, recovered_shard(shard))))
                 .collect(),
         );
+        // Sub-batch buffers circulate producers → workers → producers; a
+        // lane never needs to park more buffers than can be in flight on
+        // one queue (capacity) plus a checkout in progress.
+        let pool = Arc::new(BufferPool::new(config.shards, config.queue_capacity + 2));
         let mut senders = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         for (shard, ops) in lifted.into_iter().enumerate() {
@@ -164,6 +169,7 @@ impl EngineBuilder {
                 &config,
                 ops,
                 shared[shard].clone(),
+                pool.clone(),
                 recovered_shard(shard),
             );
             let join = std::thread::Builder::new()
@@ -237,6 +243,7 @@ impl EngineBuilder {
             senders,
             shared,
             router,
+            pool,
             fence,
             window_fence,
             persister,
@@ -470,6 +477,9 @@ pub struct EngineHandle {
     senders: Arc<Vec<SyncSender<ShardCommand>>>,
     shared: Arc<Vec<Arc<ShardShared>>>,
     router: Arc<dyn Router>,
+    /// Recycles routed sub-batch buffers between producers and workers, so
+    /// steady-state ingestion allocates nothing (see [`BufferPool`]).
+    pool: Arc<BufferPool>,
     /// Orders whole minibatches against snapshot cuts and shutdown:
     /// enqueues hold the fence's shared side across their sends, so a cut
     /// (or [`Engine::shutdown`]) serialises strictly between minibatches.
@@ -545,18 +555,31 @@ impl EngineHandle {
             let Some(guard) = self.fence.enter() else {
                 return Err(IngestError::rejected());
             };
-            let parts = self.router.partition(minibatch);
+            // Route into pooled buffers: the sub-batch `Vec`s sent below
+            // were recycled from the workers' return lanes, so a
+            // steady-state ingest call performs no heap allocation.
+            let mut parts = self.pool.checkout();
+            self.router.partition_into(minibatch, &mut parts);
             let parts_total = parts.iter().filter(|p| !p.is_empty()).count();
             let mut parts_delivered = 0usize;
-            for (shard, part) in parts.into_iter().enumerate() {
-                if part.is_empty() {
+            let mut delivery_failed = false;
+            for (shard, slot) in parts.iter_mut().enumerate() {
+                if slot.is_empty() {
                     continue;
                 }
-                self.send_part(shard, part).map_err(|_| IngestError {
+                if self.send_part(shard, std::mem::take(slot)).is_err() {
+                    delivery_failed = true;
+                    break;
+                }
+                parts_delivered += 1;
+            }
+            // The container (and any unsent capacity) goes back either way.
+            self.pool.checkin(parts);
+            if delivery_failed {
+                return Err(IngestError {
                     parts_delivered,
                     parts_total,
-                })?;
-                parts_delivered += 1;
+                });
             }
             // The window clock ticks under the same guard as the sends, so
             // a boundary cut orders before or after the whole minibatch —
@@ -565,7 +588,7 @@ impl EngineHandle {
                 windows.record(&guard, minibatch.len() as u64);
             }
             self.accepted_batches
-                .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
         self.cut_due_window_boundaries();
         Ok(())
@@ -626,7 +649,7 @@ impl EngineHandle {
                 windows.record(&guard, len);
             }
             self.accepted_batches
-                .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
         self.cut_due_window_boundaries();
         Ok(())
@@ -640,10 +663,11 @@ impl EngineHandle {
             .send(ShardCommand::Batch(part))
             .map_err(|_| EngineClosed)?;
         // Counters only after a successful send, so a refused batch never
-        // leaves phantom queue depth behind.
+        // leaves phantom queue depth behind. Relaxed: monotone progress
+        // hints (see the ordering contract in `shard.rs`).
         let stats = &self.shared[shard].stats;
-        stats.items_enqueued.fetch_add(len, Ordering::AcqRel);
-        stats.batches_enqueued.fetch_add(1, Ordering::AcqRel);
+        stats.items_enqueued.fetch_add(len, Ordering::Relaxed);
+        stats.batches_enqueued.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -667,12 +691,12 @@ impl EngineHandle {
             match self.senders[shard].try_send(ShardCommand::Batch(part)) {
                 Ok(()) => {
                     let stats = &self.shared[shard].stats;
-                    stats.items_enqueued.fetch_add(len, Ordering::AcqRel);
-                    stats.batches_enqueued.fetch_add(1, Ordering::AcqRel);
+                    stats.items_enqueued.fetch_add(len, Ordering::Relaxed);
+                    stats.batches_enqueued.fetch_add(1, Ordering::Relaxed);
                     if let Some(windows) = &self.window_fence {
                         windows.record(&guard, len);
                     }
-                    self.accepted_batches.fetch_add(1, Ordering::AcqRel);
+                    self.accepted_batches.fetch_add(1, Ordering::Relaxed);
                     Ok(())
                 }
                 Err(TrySendError::Full(ShardCommand::Batch(part))) => Err(TrySendError::Full(part)),
@@ -809,14 +833,15 @@ impl EngineHandle {
     /// Owner-routed keys query the owning shard's sketch (error `ε_cm·m_s`);
     /// replicated keys sum the per-shard overestimates, which remains an
     /// overestimate with error at most `Σ_s ε_cm·m_s = ε_cm·m`.
+    ///
+    /// **Lock-free**: the sketches are relaxed-atomic
+    /// ([`psfa_sketch::AtomicCountMin`]), so this never contends with the
+    /// shard workers' batch updates. A query racing an update answers for a
+    /// recent prefix of the shard's substream — never below what any
+    /// published snapshot of that shard reflects (the publication
+    /// `Release`/`Acquire` edge; see `shard.rs`).
     pub fn cm_estimate(&self, item: u64) -> u64 {
-        let query_shard = |shard: usize| {
-            self.shared[shard]
-                .count_min
-                .lock()
-                .expect("count-min lock poisoned")
-                .query(item)
-        };
+        let query_shard = |shard: usize| self.shared[shard].count_min.query(item);
         match self.router.placement(item) {
             Placement::Owner(shard) => query_shard(shard),
             Placement::Replicated => (0..self.shards()).map(query_shard).sum(),
@@ -828,7 +853,9 @@ impl EngineHandle {
     ///
     /// Per-shard summary entries are **summed by key** before thresholding,
     /// so a hot key split across shards by the skew-aware router is judged
-    /// by its global estimate, not its largest fragment. Guarantees over the
+    /// by its global estimate, not its largest fragment. Snapshots keep
+    /// their entries sorted by item, so the merge is a linear sorted merge
+    /// ([`psfa_freq::merge_sum`]) — no hashing. Guarantees over the
     /// observed prefix of `m` items: every item with true frequency `≥ φm`
     /// is reported (its summed estimate is at least `f − ε·m ≥ (φ − ε)m`);
     /// no item with true frequency `< (φ − ε)m` is reported (summed
@@ -837,13 +864,15 @@ impl EngineHandle {
         let snapshots = self.snapshots();
         let m: u64 = snapshots.iter().map(|s| s.stream_len).sum();
         let threshold = ((self.phi - self.epsilon) * m as f64).max(0.0);
-        let mut sums: HashMap<u64, u64> = HashMap::new();
+        let mut merged: Vec<(u64, u64)> = Vec::new();
         for snapshot in &snapshots {
-            for &(item, est) in &snapshot.hh_entries {
-                *sums.entry(item).or_insert(0) += est;
+            if merged.is_empty() {
+                merged = snapshot.hh_entries.clone();
+            } else if !snapshot.hh_entries.is_empty() {
+                merged = merge_sum(&merged, &snapshot.hh_entries);
             }
         }
-        let mut out: Vec<HeavyHitter> = sums
+        let mut out: Vec<HeavyHitter> = merged
             .into_iter()
             .filter(|&(_, est)| est as f64 >= threshold)
             .map(|(item, estimate)| HeavyHitter { item, estimate })
@@ -854,15 +883,11 @@ impl EngineHandle {
 
     /// Merges every shard's Count-Min sketch into one global sketch of the
     /// full stream (all shards share hash seeds, so the merge is exact).
-    /// Locks each shard's sketch briefly, one at a time.
+    /// Lock-free: each shard's atomic sketch is snapshotted in place.
     pub fn merged_count_min(&self) -> ParallelCountMin {
-        let mut merged = self.shared[0]
-            .count_min
-            .lock()
-            .expect("count-min lock poisoned")
-            .clone();
+        let mut merged = self.shared[0].count_min.to_parallel();
         for shared in &self.shared[1..] {
-            merged.merge(&shared.count_min.lock().expect("count-min lock poisoned"));
+            merged.merge(&shared.count_min.to_parallel());
         }
         merged
     }
@@ -983,6 +1008,7 @@ mod tests {
     use super::*;
     use psfa_stream::{StreamGenerator, ZipfGenerator};
     use std::collections::HashMap;
+    use std::sync::mpsc::TrySendError;
 
     fn config() -> EngineConfig {
         EngineConfig::with_shards(4)

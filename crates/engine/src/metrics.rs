@@ -4,6 +4,13 @@
 //! batch completion); [`EngineMetrics`] is a point-in-time copy assembled by
 //! [`crate::EngineHandle::metrics`]. Counters are monotone, so queue depths
 //! derived from them are exact up to in-flight updates.
+//!
+//! Counter increments are **relaxed** — they are progress hints, and the
+//! data a reader can act on is fenced by the snapshot publication instead
+//! (see the ordering contract in `shard.rs`). Reads stay `Acquire` so a
+//! metrics snapshot observes a consistent-enough recent view (notably:
+//! `window_seq` is `Release`-stored after the sealed window is published,
+//! so seeing a boundary here implies the window is queryable).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -66,10 +66,15 @@ impl InfiniteHeavyHitters {
         self.estimator.process_minibatch(minibatch);
     }
 
-    /// Incorporates one minibatch given its precomputed histogram (see
+    /// Incorporates one minibatch given its precomputed histogram and
+    /// returns the applied `MGaugment` cut-off (see
     /// [`ParallelFrequencyEstimator::process_histogram`]).
-    pub fn process_histogram(&mut self, histogram: &[psfa_primitives::HistogramEntry], items: u64) {
-        self.estimator.process_histogram(histogram, items);
+    pub fn process_histogram(
+        &mut self,
+        histogram: &[psfa_primitives::HistogramEntry],
+        items: u64,
+    ) -> u64 {
+        self.estimator.process_histogram(histogram, items)
     }
 
     /// The current heavy hitters, most frequent first.

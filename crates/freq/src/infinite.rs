@@ -117,20 +117,27 @@ impl ParallelFrequencyEstimator {
     /// originating minibatch (the histogram's entry order is irrelevant to
     /// `MGaugment`), except that the internal histogram seed is not
     /// advanced — the caller owns histogram construction.
-    pub fn process_histogram(&mut self, histogram: &[HistogramEntry], items: u64) {
+    ///
+    /// Returns the `MGaugment` cut-off `ϕ` that was applied: `0` means no
+    /// counter was decremented — in particular, no tracked item can have
+    /// been evicted, which is how the engine's lazy snapshot publication
+    /// detects membership churn (a non-zero cut-off may have swapped one
+    /// item for another without changing the entry count).
+    pub fn process_histogram(&mut self, histogram: &[HistogramEntry], items: u64) -> u64 {
         debug_assert_eq!(
             histogram.iter().map(|e| e.count).sum::<u64>(),
             items,
             "histogram does not cover the declared item count"
         );
         if items == 0 {
-            return;
+            return 0;
         }
         if let Some(meter) = &self.meter {
             meter.charge(self.summary.capacity() as u64 + histogram.len() as u64);
         }
-        self.summary.augment(histogram);
+        let cutoff = self.summary.augment(histogram);
         self.stream_len += items;
+        cutoff
     }
 
     /// Returns the estimate `f̂ₑ ∈ [fₑ − εm, fₑ]` for `item`.
@@ -161,6 +168,15 @@ impl ParallelFrequencyEstimator {
     /// All tracked `(item, estimate)` pairs in unspecified order.
     pub fn tracked_items(&self) -> Vec<(u64, u64)> {
         self.summary.entries()
+    }
+
+    /// All tracked `(item, estimate)` pairs, ascending by item — the layout
+    /// snapshot publication wants: point queries binary-search it and
+    /// cross-shard merges run as sorted merges ([`crate::merge_sum`]).
+    pub fn tracked_items_sorted(&self) -> Vec<(u64, u64)> {
+        let mut entries = self.summary.entries();
+        entries.sort_unstable_by_key(|&(item, _)| item);
+        entries
     }
 
     /// Canonical binary encoding, appended to `w`. The histogram seed is

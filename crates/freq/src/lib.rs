@@ -53,7 +53,7 @@ pub use sliding_basic::SlidingFreqBasic;
 pub use sliding_space::SlidingFreqSpaceEfficient;
 pub use sliding_work::SlidingFreqWorkEfficient;
 pub use summary::MgSummary;
-pub use windowed::{GlobalWindow, PaneWindow, SealedWindow};
+pub use windowed::{merge_sum, GlobalWindow, PaneWindow, SealedWindow};
 
 /// Common interface implemented by all sliding-window frequency estimators in
 /// this crate, so experiments and examples can swap variants freely.

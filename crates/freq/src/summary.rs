@@ -25,11 +25,36 @@ const TAG: u8 = 0x03;
 const VERSION: u8 = 1;
 
 /// A Misra–Gries summary: at most `capacity` items with approximate counters.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct MgSummary {
     capacity: usize,
     entries: HashMap<u64, u64>,
+    /// Reusable counter-value buffer for the cut-off selection in
+    /// [`MgSummary::augment`]; pure scratch, excluded from equality and
+    /// cloning.
+    scratch: Vec<u64>,
 }
+
+impl Clone for MgSummary {
+    /// Clones the persistent state only — the clone starts with empty
+    /// scratch (copying up to `S + p` dead selection values would charge
+    /// every state clone, e.g. a persistence cut, for nothing).
+    fn clone(&self) -> Self {
+        Self {
+            capacity: self.capacity,
+            entries: self.entries.clone(),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl PartialEq for MgSummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity && self.entries == other.entries
+    }
+}
+
+impl Eq for MgSummary {}
 
 impl MgSummary {
     /// Creates an empty summary with room for `capacity` counters.
@@ -41,6 +66,7 @@ impl MgSummary {
         Self {
             capacity,
             entries: HashMap::with_capacity(capacity + 1),
+            scratch: Vec::new(),
         }
     }
 
@@ -94,33 +120,37 @@ impl MgSummary {
     /// Runs in `O(S + p)` work where `p` is the number of distinct items in
     /// the histogram. Returns the cut-off `ϕ` that was applied (useful for
     /// instrumentation; `0` means no counter was decremented).
+    ///
+    /// The combine–select–subtract steps mutate the counter map **in
+    /// place** (the map is the combined set once the histogram is added;
+    /// `retain` keeps its table). With the value buffer for the cut-off
+    /// selection reused across calls, a steady-state augment whose
+    /// combined set fits the table performs no heap allocation — this is
+    /// the per-minibatch core of the engine's ingest hot path.
     pub fn augment(&mut self, histogram: &[HistogramEntry]) -> u64 {
-        // Step 1: combine counters.
-        let mut combined: HashMap<u64, u64> =
-            HashMap::with_capacity(self.entries.len() + histogram.len());
-        for (&item, &count) in &self.entries {
-            *combined.entry(item).or_insert(0) += count;
-        }
+        // Step 1: combine counters (the map transiently holds up to
+        // S + p entries).
         for e in histogram {
-            *combined.entry(e.item).or_insert(0) += e.count;
+            *self.entries.entry(e.item).or_insert(0) += e.count;
+        }
+        if self.entries.len() <= self.capacity {
+            // `phi_cutoff` is 0 whenever at most S counters exist; skip
+            // even reading the values out.
+            return 0;
         }
 
         // Step 2: find the cut-off ϕ such that at most S counters exceed it.
-        let values: Vec<u64> = combined.values().copied().collect();
-        let phi = phi_cutoff(&values, self.capacity);
+        self.scratch.clear();
+        self.scratch.extend(self.entries.values().copied());
+        let phi = phi_cutoff(&self.scratch, self.capacity);
 
         // Step 3: subtract ϕ and keep the strictly positive counters.
-        self.entries = combined
-            .into_iter()
-            .filter_map(|(item, count)| {
-                let rem = count.saturating_sub(phi);
-                if rem > 0 {
-                    Some((item, rem))
-                } else {
-                    None
-                }
-            })
-            .collect();
+        if phi > 0 {
+            self.entries.retain(|_, count| {
+                *count = count.saturating_sub(phi);
+                *count > 0
+            });
+        }
         debug_assert!(self.entries.len() <= self.capacity);
         phi
     }
@@ -201,6 +231,7 @@ impl MgSummary {
         Ok(Self {
             capacity: capacity as usize,
             entries,
+            scratch: Vec::new(),
         })
     }
 

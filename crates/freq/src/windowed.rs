@@ -96,8 +96,14 @@ const PRUNE_FACTOR: usize = 4;
 /// ascending by item. One-sided for the pane's items.
 type PaneEntries = Vec<(u64, u64)>;
 
-/// Sums two sorted `(item, estimate)` runs per key (linear merge).
-fn merge_sum(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
+/// Sums two `(item, value)` runs sorted ascending by item into one sorted
+/// run, adding the values of keys present in both (a linear sorted merge).
+///
+/// This is the mergeable-summaries primitive in its cheapest form: pane
+/// sealing uses it to combine per-pane summaries, and the engine's
+/// cross-shard `heavy_hitters` uses it to sum per-shard snapshot entries by
+/// key without hashing.
+pub fn merge_sum(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {

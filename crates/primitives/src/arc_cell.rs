@@ -1,0 +1,189 @@
+//! Atomic publication of shared immutable values: a home-built `ArcCell`.
+//!
+//! The engine's shard workers publish an immutable snapshot after (some)
+//! minibatches, and query threads read the latest one. A
+//! `RwLock<Arc<Snapshot>>` serves that pattern but pays an OS-backed lock
+//! word on every read *and* every write — on the ingest hot path that is a
+//! contended atomic RMW plus a potential futex wait for what is logically a
+//! single pointer exchange. [`ArcCell`] keeps exactly the pointer exchange:
+//!
+//! * the cell owns one strong reference, stored as a raw pointer in an
+//!   [`AtomicPtr`];
+//! * [`ArcCell::set`] (the single writer) swaps the pointer in with
+//!   `Release` ordering, so everything written before the publication is
+//!   visible to any reader that observes the new pointer;
+//! * [`ArcCell::get`] briefly swaps the pointer *out* (taking ownership of
+//!   the cell's strong count), clones the `Arc`, and puts it back.
+//!
+//! The swap-out window in `get` means two concurrent readers exclude each
+//! other for the few instructions between the swap and the store — an
+//! obstruction-free busy-wait, not a lock: there is no OS interaction, no
+//! writer starvation (writers use the same protocol), and the window does
+//! not scale with the size of `T`. This is the classic `ArcCell` design
+//! (crossbeam 0.2); it is rebuilt here because the offline build vendors no
+//! concurrency crates.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use psfa_primitives::ArcCell;
+//!
+//! let cell = ArcCell::new(Arc::new(1u64));
+//! assert_eq!(*cell.get(), 1);
+//! let old = cell.set(Arc::new(2));
+//! assert_eq!((*old, *cell.get()), (1, 2));
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// A shared, atomically swappable [`Arc`] slot (see the module docs).
+pub struct ArcCell<T> {
+    /// Raw pointer from `Arc::into_raw`, representing one strong reference
+    /// owned by the cell. Null only transiently, while a `get`/`set` holds
+    /// the reference on its own stack.
+    ptr: AtomicPtr<T>,
+}
+
+// The cell hands out clones of an `Arc<T>` across threads, so it needs
+// exactly the bounds `Arc<T>: Send + Sync` needs.
+unsafe impl<T: Send + Sync> Send for ArcCell<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcCell<T> {}
+
+impl<T> ArcCell<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: Arc<T>) -> Self {
+        Self {
+            ptr: AtomicPtr::new(Arc::into_raw(value).cast_mut()),
+        }
+    }
+
+    /// Takes the cell's strong reference off the slot, spinning through the
+    /// (normally nanoseconds-long) windows in which another thread holds
+    /// it. After a short burst of pure spinning the wait yields to the
+    /// scheduler: if the slot-holder was preempted mid-`get` on an
+    /// oversubscribed host, burning its timeslice away would only delay
+    /// the holder further (priority inversion) — yielding hands it the CPU
+    /// it needs to put the pointer back.
+    fn take(&self) -> Arc<T> {
+        let mut spins = 0u32;
+        loop {
+            let raw = self.ptr.swap(std::ptr::null_mut(), Ordering::Acquire);
+            if !raw.is_null() {
+                // SAFETY: a non-null pointer in the slot is always the
+                // `Arc::into_raw` of a strong reference owned by the cell,
+                // and the swap transferred that ownership to us exclusively.
+                return unsafe { Arc::from_raw(raw) };
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Puts a strong reference back into the (currently null) slot.
+    fn put(&self, value: Arc<T>) {
+        self.ptr
+            .store(Arc::into_raw(value).cast_mut(), Ordering::Release);
+    }
+
+    /// Returns a clone of the current value.
+    ///
+    /// Pairs with [`ArcCell::set`]: observing a pointer published by `set`
+    /// makes every write the publisher performed before the `set` visible
+    /// (`Release` store / `Acquire` swap).
+    pub fn get(&self) -> Arc<T> {
+        let current = self.take();
+        let out = current.clone();
+        self.put(current);
+        out
+    }
+
+    /// Publishes `value` and returns the previously held one.
+    pub fn set(&self, value: Arc<T>) -> Arc<T> {
+        let old = self.take();
+        self.put(value);
+        old
+    }
+}
+
+impl<T> Drop for ArcCell<T> {
+    fn drop(&mut self) {
+        // `&mut self`: no other thread can hold the slot mid-swap, so the
+        // pointer is non-null and owned by the cell.
+        let raw = *self.ptr.get_mut();
+        if !raw.is_null() {
+            // SAFETY: the slot owns one strong reference (see `put`).
+            unsafe { drop(Arc::from_raw(raw)) };
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for ArcCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ArcCell").field(&self.get()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn get_and_set_exchange_values() {
+        let cell = ArcCell::new(Arc::new(vec![1, 2, 3]));
+        assert_eq!(*cell.get(), vec![1, 2, 3]);
+        let old = cell.set(Arc::new(vec![4]));
+        assert_eq!(*old, vec![1, 2, 3]);
+        assert_eq!(*cell.get(), vec![4]);
+    }
+
+    #[test]
+    fn no_reference_is_leaked_or_double_freed() {
+        let first = Arc::new(7u64);
+        let cell = ArcCell::new(first.clone());
+        let second = Arc::new(8u64);
+        let got = cell.get();
+        let old = cell.set(second.clone());
+        drop(cell);
+        // `first` is referenced by `first`, `got`, and `old` only.
+        drop(got);
+        drop(old);
+        assert_eq!(Arc::strong_count(&first), 1);
+        assert_eq!(Arc::strong_count(&second), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_and_one_writer_never_tear() {
+        // One writer republishes (epoch, 2*epoch) pairs; readers must always
+        // observe internally consistent pairs with monotone epochs.
+        let cell = Arc::new(ArcCell::new(Arc::new((0u64, 0u64))));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let cell = cell.clone();
+            let stop = stop.clone();
+            readers.push(std::thread::spawn(move || {
+                let mut last = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let pair = cell.get();
+                    assert_eq!(pair.1, 2 * pair.0, "torn read: {pair:?}");
+                    assert!(pair.0 >= last, "epoch went backwards");
+                    last = pair.0;
+                }
+            }));
+        }
+        for epoch in 1..=10_000u64 {
+            cell.set(Arc::new((epoch, 2 * epoch)));
+        }
+        stop.store(true, Ordering::Release);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(cell.get().0, 10_000);
+    }
+}

@@ -108,6 +108,23 @@ impl PolynomialHash {
         Self::new(k, range, &mut rng)
     }
 
+    /// Re-derives this instance in place, exactly as
+    /// [`PolynomialHash::from_seed`] with the same arguments would, reusing
+    /// the coefficient buffer — allocation-free once its capacity reaches
+    /// `k`. For per-batch reseeding on hot paths (`build_hist_into`).
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `range == 0`.
+    pub fn reseed(&mut self, k: usize, range: u64, seed: u64) {
+        assert!(k >= 1, "PolynomialHash: k must be at least 1");
+        assert!(range >= 1, "PolynomialHash: range must be at least 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.coeffs.clear();
+        self.coeffs
+            .extend((0..k).map(|_| rng.gen_range(0..MERSENNE_61)));
+        self.range = range;
+    }
+
     /// Default family used by `buildHist`: 8-wise independence.
     pub fn for_histogram<R: RngCore>(range: u64, rng: &mut R) -> Self {
         Self::new(8, range, rng)

@@ -29,6 +29,9 @@
 //! * [`codec`] — the little-endian byte reader/writer and typed error used
 //!   by every summary's canonical `encode`/`decode` pair (the persistence
 //!   substrate of `psfa-store`).
+//! * [`arc_cell`] — atomic-pointer publication of shared immutable values
+//!   (`ArcCell`), the lock-free snapshot slot under the engine's query
+//!   surface.
 //!
 //! All primitives perform `O(n)` work and have polylogarithmic span, so the
 //! cost bounds proved in the paper carry over to the data structures built
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arc_cell;
 pub mod codec;
 pub mod css;
 pub mod hash;
@@ -47,10 +51,11 @@ pub mod pack;
 pub mod scan;
 pub mod select;
 
+pub use arc_cell::ArcCell;
 pub use codec::{put_header, ByteReader, ByteWriter, CodecError};
 pub use css::CompactedSegment;
 pub use hash::{HashFamily, MultiplyShiftHash, PolynomialHash};
-pub use histogram::{build_hist, build_hist_hashmap, HistogramEntry};
+pub use histogram::{build_hist, build_hist_hashmap, build_hist_into, HistScratch, HistogramEntry};
 pub use instrument::WorkMeter;
 pub use intsort::{int_sort_by_key, int_sort_pairs};
 pub use pack::{pack, pack_indices, pack_map};

@@ -71,14 +71,14 @@ pub mod prelude {
         ParallelFrequencyEstimator, SealedWindow, SlidingFreqBasic, SlidingFreqSpaceEfficient,
         SlidingFreqWorkEfficient, SlidingFrequencyEstimator, SlidingHeavyHitters,
     };
-    pub use psfa_primitives::{CompactedSegment, WorkMeter};
-    pub use psfa_sketch::{CountMinSketch, CountSketch, ParallelCountMin};
+    pub use psfa_primitives::{ArcCell, CompactedSegment, HistScratch, WorkMeter};
+    pub use psfa_sketch::{AtomicCountMin, CountMinSketch, CountSketch, ParallelCountMin};
     pub use psfa_store::{
         EpochRecord, EpochView, PersistenceConfig, ShardState, SnapshotStore, StoreError,
         WindowState,
     };
     pub use psfa_stream::{
-        partition_by_key, shard_of, AdversarialChurnGenerator, BinaryStreamGenerator,
+        partition_by_key, shard_of, AdversarialChurnGenerator, BinaryStreamGenerator, BufferPool,
         BurstyGenerator, HashRouter, IngestFence, MinibatchOperator, PacketTraceGenerator,
         Pipeline, PipelineReport, Placement, Router, RoutingPolicy, SkewAwareRouter,
         SplitGenerator, StreamGenerator, UniformGenerator, WindowFence, ZipfGenerator,

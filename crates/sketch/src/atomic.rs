@@ -1,0 +1,275 @@
+//! Lock-free concurrent Count-Min: single-writer relaxed-atomic counters.
+//!
+//! [`crate::ParallelCountMin`] is a plain-memory sketch: sharing it between
+//! an ingesting shard worker and concurrent point queries requires a mutex,
+//! which serialises the worker's `O((µ + w)·d)` batch update against every
+//! `O(d)` query — the one lock left on the engine's ingest hot path after
+//! snapshot publication went atomic. [`AtomicCountMin`] removes it by
+//! storing the counter matrix as [`AtomicU64`]s:
+//!
+//! * the (single) writer adds histogram counts with **relaxed**
+//!   `fetch_add`s — an atomic read-modify-write per `(row, distinct item)`;
+//! * readers take **relaxed** loads and the row-wise minimum, with no
+//!   synchronisation against the writer at all.
+//!
+//! ## Why relaxed ordering preserves the Count-Min guarantee
+//!
+//! Count-Min's contract is one-sided: a point query must **never
+//! underestimate** the true frequency of the stream prefix it answers for,
+//! and overestimates by at most `ε·m` (w.h.p.). Both sides survive relaxed
+//! atomics:
+//!
+//! * **No increment is ever lost.** `fetch_add` is an atomic RMW; relaxed
+//!   ordering weakens *when other threads observe* an increment, never
+//!   whether it happens. Every counter is monotonically non-decreasing.
+//! * **A read observes some prefix of each counter's increments.** A
+//!   concurrent query may see row `i` already updated by a batch and row
+//!   `j` not yet — so the row-wise min is an overestimate of the item's
+//!   frequency in the *least-advanced visible prefix*, and a lower bound
+//!   on nothing it shouldn't be: each counter the min inspects only ever
+//!   contains real mass from routed occurrences (plus collisions), so the
+//!   answer still never under-counts any prefix it claims to cover.
+//! * **The upper bound is inherited.** Counters never exceed what the
+//!   plain-memory sketch would hold after the same updates, so
+//!   `f̂ ≤ f + ε·m` holds with the same probability once the writer's
+//!   updates are visible (e.g. after a queue drain, or via the engine's
+//!   snapshot-publication `Release`/`Acquire` edge, which orders the
+//!   relaxed adds of every batch at or before the snapshot's epoch before
+//!   any reader that loaded that snapshot).
+//!
+//! With **multiple** writers the same argument holds per increment (RMWs
+//! from different threads interleave without losing updates), but this
+//! engine only ever has one writer per shard, which additionally makes the
+//! writer's own reads (e.g. a persistence clone on the worker thread)
+//! exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use psfa_primitives::{HashFamily, HistogramEntry, PolynomialHash};
+
+use crate::count_min::CountMinSketch;
+use crate::parallel::ParallelCountMin;
+
+/// A Count-Min sketch whose counters are relaxed atomics: one writer
+/// ingests minibatch histograms through `&self` while any number of
+/// readers run point queries concurrently, lock-free (see the module docs
+/// for the memory-ordering argument).
+#[derive(Debug)]
+pub struct AtomicCountMin {
+    epsilon: f64,
+    delta: f64,
+    seed: u64,
+    /// Histogram seed carried for codec continuity with
+    /// [`ParallelCountMin`] (this type ingests pre-built histograms, so the
+    /// seed is never advanced here).
+    hist_seed: u64,
+    width: usize,
+    depth: usize,
+    /// Row-major `depth × width` counter matrix.
+    counters: Vec<AtomicU64>,
+    hashes: Vec<PolynomialHash>,
+    /// Total mass added (`m`); incremented after the counter adds, so it
+    /// trails them — a reader never sees a total ahead of the counters.
+    total: AtomicU64,
+}
+
+impl AtomicCountMin {
+    /// Creates an empty sketch for error `ε` and failure probability `δ`,
+    /// dimensioned and hashed exactly like
+    /// [`CountMinSketch::new`] with the same arguments (so snapshots taken
+    /// with [`AtomicCountMin::to_parallel`] stay mergeable with any sketch
+    /// built from the same `(ε, δ, seed)`).
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε < 1` and `0 < δ < 1`.
+    pub fn new(epsilon: f64, delta: f64, seed: u64) -> Self {
+        Self::from_parallel(&ParallelCountMin::new(epsilon, delta, seed))
+    }
+
+    /// Builds an atomic sketch holding exactly the state of `sketch`
+    /// (crash recovery: the persisted [`ParallelCountMin`] is rehydrated
+    /// into the shared atomic matrix).
+    pub fn from_parallel(sketch: &ParallelCountMin) -> Self {
+        let inner = sketch.sketch();
+        let counters = inner
+            .counters()
+            .iter()
+            .flat_map(|row| row.iter().map(|&c| AtomicU64::new(c)))
+            .collect();
+        let depth = inner.depth();
+        let hashes = (0..depth).map(|row| inner.row_hash(row).clone()).collect();
+        Self {
+            epsilon: inner.epsilon(),
+            delta: inner.delta(),
+            seed: inner.seed(),
+            hist_seed: sketch.histogram_seed(),
+            width: inner.width(),
+            depth,
+            counters,
+            hashes,
+            total: AtomicU64::new(inner.total()),
+        }
+    }
+
+    /// Snapshots the atomic matrix into a plain [`ParallelCountMin`]
+    /// (persistence, cross-shard merging). Called by the single writer, the
+    /// snapshot is exact; called concurrently with the writer, it holds
+    /// some recent value of every counter — still a valid Count-Min of a
+    /// recent prefix per the module docs.
+    pub fn to_parallel(&self) -> ParallelCountMin {
+        let rows: Vec<Vec<u64>> = (0..self.depth)
+            .map(|row| {
+                self.row(row)
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect()
+            })
+            .collect();
+        let sketch = CountMinSketch::from_parts(
+            self.epsilon,
+            self.delta,
+            self.seed,
+            self.total.load(Ordering::Relaxed),
+            rows,
+        );
+        ParallelCountMin::from_sketch_with_seed(sketch, self.hist_seed)
+    }
+
+    fn row(&self, row: usize) -> &[AtomicU64] {
+        &self.counters[row * self.width..(row + 1) * self.width]
+    }
+
+    /// Adds one minibatch's histogram: one relaxed `fetch_add` per
+    /// `(row, distinct item)` and no allocation. `&self` — the writer needs
+    /// no exclusive access.
+    pub fn ingest_histogram(&self, hist: &[HistogramEntry]) {
+        if hist.is_empty() {
+            return;
+        }
+        let mut added = 0u64;
+        for entry in hist {
+            added += entry.count;
+            for (row, hash) in self.hashes.iter().enumerate() {
+                let col = hash.hash(entry.item) as usize;
+                self.row(row)[col].fetch_add(entry.count, Ordering::Relaxed);
+            }
+        }
+        self.total.fetch_add(added, Ordering::Relaxed);
+    }
+
+    /// Lock-free point query: the row-wise minimum under relaxed loads —
+    /// an overestimate of `item`'s frequency in every fully visible prefix
+    /// and never more than `f + ε·m` (w.h.p.) over the whole stream.
+    pub fn query(&self, item: u64) -> u64 {
+        (0..self.depth)
+            .map(|row| self.row(row)[self.hashes[row].hash(item) as usize].load(Ordering::Relaxed))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total mass the writer has recorded so far (trails the counters; see
+    /// the field docs).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// The error parameter ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The failure probability δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The hash seed the rows were derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn hist_of(batch: &[u64]) -> Vec<HistogramEntry> {
+        let mut counts = std::collections::HashMap::new();
+        for &x in batch {
+            *counts.entry(x).or_insert(0u64) += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(item, count)| HistogramEntry { item, count })
+            .collect()
+    }
+
+    #[test]
+    fn matches_the_plain_sketch_exactly() {
+        let atomic = AtomicCountMin::new(0.01, 0.02, 42);
+        let mut plain = ParallelCountMin::new(0.01, 0.02, 42);
+        let mut state = 1u64;
+        for _ in 0..20 {
+            let batch: Vec<u64> = (0..500)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 33) % 300
+                })
+                .collect();
+            let hist = hist_of(&batch);
+            atomic.ingest_histogram(&hist);
+            plain.ingest_histogram(&hist);
+        }
+        assert_eq!(atomic.total(), plain.total());
+        for item in 0..300u64 {
+            assert_eq!(atomic.query(item), plain.query(item));
+        }
+        // The snapshot is byte-equal state: same counters, same params.
+        assert_eq!(atomic.to_parallel(), plain);
+    }
+
+    #[test]
+    fn roundtrips_through_parallel_for_recovery() {
+        let mut plain = ParallelCountMin::new(0.05, 0.05, 9);
+        plain.process_minibatch(&[1, 1, 2, 3, 3, 3]);
+        let atomic = AtomicCountMin::from_parallel(&plain);
+        assert_eq!(atomic.to_parallel(), plain);
+        assert_eq!(atomic.query(3), plain.query(3));
+        // The rehydrated sketch keeps ingesting correctly.
+        atomic.ingest_histogram(&[HistogramEntry { item: 3, count: 4 }]);
+        assert_eq!(atomic.query(3), plain.query(3) + 4);
+    }
+
+    #[test]
+    fn concurrent_queries_never_observe_lost_increments() {
+        // One writer, several readers: every reader's estimate of the single
+        // hot item must be monotone and end at the exact total.
+        let sketch = Arc::new(AtomicCountMin::new(0.01, 0.01, 7));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let sketch = sketch.clone();
+            let stop = stop.clone();
+            readers.push(std::thread::spawn(move || {
+                let mut last = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let q = sketch.query(77);
+                    assert!(q >= last, "estimate went backwards: {q} < {last}");
+                    last = q;
+                }
+            }));
+        }
+        let rounds = 2_000u64;
+        for _ in 0..rounds {
+            sketch.ingest_histogram(&[HistogramEntry { item: 77, count: 3 }]);
+        }
+        stop.store(true, Ordering::Release);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(sketch.query(77), 3 * rounds);
+        assert_eq!(sketch.total(), 3 * rounds);
+    }
+}

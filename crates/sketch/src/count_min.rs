@@ -107,6 +107,39 @@ impl CountMinSketch {
         self.hashes[row].hash(item) as usize
     }
 
+    /// The hash function of row `row` (exposed for the atomic concurrent
+    /// sketch, which shares this sketch's exact hashing).
+    pub(crate) fn row_hash(&self, row: usize) -> &PolynomialHash {
+        &self.hashes[row]
+    }
+
+    /// Rebuilds a sketch from raw parts: the `(ε, δ, seed)` triple plus a
+    /// counter matrix and total previously read out of a sketch with the
+    /// same parameters (e.g. a relaxed-atomic snapshot of
+    /// [`crate::AtomicCountMin`]). The row hashes are re-derived from the
+    /// seed, so the result is hash-identical — and therefore mergeable —
+    /// with every sketch built from the same triple.
+    ///
+    /// # Panics
+    /// Panics if the parameters are out of range or `rows` does not match
+    /// the `(ε, δ)`-derived dimensions.
+    pub(crate) fn from_parts(
+        epsilon: f64,
+        delta: f64,
+        seed: u64,
+        total: u64,
+        rows: Vec<Vec<u64>>,
+    ) -> Self {
+        let mut sketch = CountMinSketch::new(epsilon, delta, seed);
+        assert!(
+            rows.len() == sketch.depth && rows.iter().all(|r| r.len() == sketch.width),
+            "from_parts: counter matrix does not match the (epsilon, delta) dimensions"
+        );
+        sketch.rows = rows;
+        sketch.total = total;
+        sketch
+    }
+
     /// Adds `count` occurrences of `item` (the classic per-element update,
     /// applied once per distinct item when driven from a histogram).
     pub fn update(&mut self, item: u64, count: u64) {

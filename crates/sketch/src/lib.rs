@@ -17,14 +17,21 @@
 //!   columns (Theorem 6.1).
 //! * [`count_sketch`] — Count-Sketch (Charikar–Chen–Farach-Colton) with the
 //!   same minibatch interface, providing unbiased estimates.
+//! * [`atomic`] — the single-writer/multi-reader concurrent variant: the
+//!   same sketch over relaxed [`std::sync::atomic::AtomicU64`] counters, so
+//!   an ingesting shard worker and concurrent point queries never contend
+//!   on a lock (the one-sided overestimate bound survives relaxed ordering;
+//!   see the module docs for the argument).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod atomic;
 pub mod count_min;
 pub mod count_sketch;
 pub mod parallel;
 
+pub use atomic::AtomicCountMin;
 pub use count_min::CountMinSketch;
 pub use count_sketch::CountSketch;
 pub use parallel::ParallelCountMin;

@@ -44,6 +44,19 @@ impl ParallelCountMin {
         }
     }
 
+    /// Wraps an existing sequential sketch with an explicit per-minibatch
+    /// histogram seed (state rehydration from [`crate::AtomicCountMin`]).
+    pub fn from_sketch_with_seed(sketch: CountMinSketch, seed: u64) -> Self {
+        Self { sketch, seed }
+    }
+
+    /// The per-minibatch histogram seed (advances on every
+    /// [`ParallelCountMin::process_minibatch`]; callers feeding pre-built
+    /// histograms never advance it).
+    pub fn histogram_seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Read-only access to the underlying sketch.
     pub fn sketch(&self) -> &CountMinSketch {
         &self.sketch

@@ -19,6 +19,9 @@
 //!   harness used by the examples and the experiment binaries.
 //! * [`split`] — key-space splitting of minibatch streams across shards,
 //!   the routing layer under the sharded ingestion engine (`psfa-engine`).
+//! * [`pool`] — recycling of routed sub-batch buffers between producers and
+//!   shard workers ([`BufferPool`]), so the steady-state ingest path
+//!   allocates nothing.
 //! * [`router`] — pluggable routing policies over the split layer: hash
 //!   partitioning and skew-aware hot-key splitting.
 //! * [`fence`] — epoch fencing: consistent cuts of a concurrently ingested
@@ -34,6 +37,7 @@ pub mod fence;
 pub mod generators;
 pub mod metrics;
 pub mod pipeline;
+pub mod pool;
 pub mod router;
 pub mod split;
 pub mod zipf;
@@ -45,6 +49,7 @@ pub use generators::{
 };
 pub use metrics::ThroughputMeter;
 pub use pipeline::{MinibatchOperator, Pipeline, PipelineReport};
+pub use pool::BufferPool;
 pub use router::{HashRouter, Placement, Router, RoutingPolicy, SkewAwareRouter};
 pub use split::{partition_by_key, shard_of, SplitGenerator};
 pub use zipf::ZipfSampler;

@@ -1,0 +1,207 @@
+//! Minibatch buffer recycling between producers and shard workers.
+//!
+//! Routed ingestion moves one `Vec<u64>` per non-empty per-shard sub-batch
+//! from a producer into a shard worker's queue; without recycling, every
+//! minibatch costs a fresh allocation per sub-batch on the producer and a
+//! deallocation on the worker — per batch, forever. A [`BufferPool`] closes
+//! the loop:
+//!
+//! * producers [`BufferPool::checkout`] a *parts container* (`shards`
+//!   buffers, one per shard), route into it, send the non-empty buffers to
+//!   the workers, and [`BufferPool::checkin`] the container;
+//! * each worker, after ingesting a sub-batch, clears the buffer and
+//!   [`BufferPool::give_back`]s it to its shard's **return lane**; the next
+//!   `checkout` refills container slots from the lanes, so buffer capacity
+//!   circulates producer → worker → producer instead of allocator → heap.
+//!
+//! Every pool operation uses `try_lock` and **never blocks**: under
+//! momentary contention a checkout simply hands out a fresh (empty) buffer
+//! and a give-back drops the buffer — recycling is an optimisation, never a
+//! synchronisation point, so the pool cannot deadlock or stall the ingest
+//! path. Lanes are bounded, so a burst of in-flight batches cannot pin
+//! unbounded memory in the pool.
+//!
+//! ```
+//! use psfa_stream::BufferPool;
+//!
+//! let pool = BufferPool::new(2, 4);
+//! let mut parts = pool.checkout();
+//! parts[0].extend([1, 2, 3]);
+//! let routed = std::mem::take(&mut parts[0]); // sent to shard 0's worker
+//! pool.checkin(parts);
+//! // ... the worker finishes the batch:
+//! let mut done = routed;
+//! done.clear();
+//! pool.give_back(0, done); // capacity returns to shard 0's lane
+//! assert!(pool.checkout()[0].capacity() >= 3);
+//! ```
+
+use std::sync::Mutex;
+
+/// Recycles routed sub-batch buffers between producers and shard workers
+/// (see the module docs).
+#[derive(Debug)]
+pub struct BufferPool {
+    /// Per-shard return lanes of cleared buffers, filled by workers.
+    lanes: Vec<Mutex<Vec<Vec<u64>>>>,
+    /// Recycled parts containers (the outer `Vec` of per-shard buffers).
+    containers: Mutex<Vec<Vec<Vec<u64>>>>,
+    /// Maximum buffers retained per lane; give-backs beyond it are dropped.
+    lane_capacity: usize,
+}
+
+impl BufferPool {
+    /// Creates a pool for `shards` shards retaining at most `lane_capacity`
+    /// buffers per shard lane (a sensible value is the engine's per-shard
+    /// queue capacity plus a small slack — more buffers than that can never
+    /// be in flight at once).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0` or `lane_capacity == 0`.
+    pub fn new(shards: usize, lane_capacity: usize) -> Self {
+        assert!(shards > 0, "BufferPool: shards must be non-zero");
+        assert!(
+            lane_capacity > 0,
+            "BufferPool: lane capacity must be non-zero"
+        );
+        Self {
+            lanes: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            containers: Mutex::new(Vec::new()),
+            lane_capacity,
+        }
+    }
+
+    /// Number of shards the pool recycles for.
+    pub fn shards(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Hands out a parts container of `shards` empty buffers, refilling
+    /// capacity-less slots from the shard return lanes. Never blocks; on
+    /// lane contention the slot simply stays empty and the router grows it.
+    pub fn checkout(&self) -> Vec<Vec<u64>> {
+        let mut parts = match self.containers.try_lock() {
+            Ok(mut containers) => containers.pop().unwrap_or_default(),
+            Err(_) => Vec::new(),
+        };
+        parts.resize_with(self.lanes.len(), Vec::new);
+        for (shard, part) in parts.iter_mut().enumerate() {
+            debug_assert!(part.is_empty(), "checked-in container held items");
+            if part.capacity() == 0 {
+                if let Ok(mut lane) = self.lanes[shard].try_lock() {
+                    if let Some(buf) = lane.pop() {
+                        *part = buf;
+                    }
+                }
+            }
+        }
+        parts
+    }
+
+    /// Returns a parts container after its non-empty buffers were sent off
+    /// (their slots left behind as empty `Vec`s by `std::mem::take`).
+    /// Leftover capacity in unsent slots stays with the container for the
+    /// next checkout.
+    pub fn checkin(&self, mut parts: Vec<Vec<u64>>) {
+        for part in &mut parts {
+            part.clear();
+        }
+        if let Ok(mut containers) = self.containers.try_lock() {
+            if containers.len() < self.lane_capacity {
+                containers.push(parts);
+            }
+        }
+    }
+
+    /// Returns one finished sub-batch buffer to `shard`'s lane (worker
+    /// side). The buffer's contents are discarded; its capacity is what
+    /// circulates. Never blocks — on contention or a full lane the buffer
+    /// is simply dropped.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn give_back(&self, shard: usize, mut buffer: Vec<u64>) {
+        buffer.clear();
+        if buffer.capacity() == 0 {
+            return;
+        }
+        if let Ok(mut lane) = self.lanes[shard].try_lock() {
+            if lane.len() < self.lane_capacity {
+                lane.push(buffer);
+            }
+        }
+    }
+
+    /// Buffers currently parked in `shard`'s return lane (tests, metrics).
+    pub fn lane_depth(&self, shard: usize) -> usize {
+        self.lanes[shard].try_lock().map_or(0, |lane| lane.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_circulates_through_the_lanes() {
+        let pool = BufferPool::new(2, 4);
+        let mut parts = pool.checkout();
+        assert_eq!(parts.len(), 2);
+        parts[1].extend(0..100u64);
+        let sent = std::mem::take(&mut parts[1]);
+        pool.checkin(parts);
+        pool.give_back(1, sent);
+        assert_eq!(pool.lane_depth(1), 1);
+        let refreshed = pool.checkout();
+        assert!(refreshed[1].capacity() >= 100, "lane buffer was reused");
+        assert!(refreshed[1].is_empty());
+        assert_eq!(pool.lane_depth(1), 0);
+    }
+
+    #[test]
+    fn lanes_are_bounded() {
+        let pool = BufferPool::new(1, 2);
+        for _ in 0..5 {
+            pool.give_back(0, Vec::with_capacity(8));
+        }
+        assert_eq!(pool.lane_depth(0), 2);
+        // Capacity-less buffers are not worth parking.
+        let pool = BufferPool::new(1, 2);
+        pool.give_back(0, Vec::new());
+        assert_eq!(pool.lane_depth(0), 0);
+    }
+
+    #[test]
+    fn checkin_scrubs_leftover_items() {
+        let pool = BufferPool::new(2, 4);
+        let mut parts = pool.checkout();
+        parts[0].extend([9, 9, 9]);
+        // Slot 0 was never sent (e.g. the routed sub-batch stayed empty
+        // elsewhere); checkin must clear it before the container recycles.
+        pool.checkin(parts);
+        let parts = pool.checkout();
+        assert!(parts.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn concurrent_producers_and_workers_never_block() {
+        let pool = std::sync::Arc::new(BufferPool::new(4, 8));
+        let mut threads = Vec::new();
+        for t in 0..4 {
+            let pool = pool.clone();
+            threads.push(std::thread::spawn(move || {
+                for round in 0..500usize {
+                    let mut parts = pool.checkout();
+                    let shard = (t + round) % 4;
+                    parts[shard].extend(0..32u64);
+                    let sent = std::mem::take(&mut parts[shard]);
+                    pool.checkin(parts);
+                    pool.give_back(shard, sent);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+    }
+}

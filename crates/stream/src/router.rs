@@ -90,6 +90,21 @@ pub trait Router: Send + Sync {
     /// a sub-batch preserves stream order. May update internal skew state.
     fn partition(&self, minibatch: &[u64]) -> Vec<Vec<u64>>;
 
+    /// Allocation-free variant of [`Router::partition`]: routes into
+    /// caller-provided buffers (one per shard, cleared first) instead of
+    /// allocating fresh `Vec`s. The ingest hot path draws `parts` from a
+    /// [`crate::BufferPool`], so steady-state routing performs no heap
+    /// allocation at all. The default implementation delegates to
+    /// `partition` (allocating); both built-in routers override it.
+    ///
+    /// # Panics
+    /// Implementations may panic if `parts.len() != self.shards()`.
+    fn partition_into(&self, minibatch: &[u64], parts: &mut [Vec<u64>]) {
+        for (slot, part) in parts.iter_mut().zip(self.partition(minibatch)) {
+            *slot = part;
+        }
+    }
+
     /// The shards on which `key`'s count mass may reside. Queries use this
     /// to decide between an owner-only read and a cross-shard sum.
     fn placement(&self, key: u64) -> Placement;
@@ -135,6 +150,16 @@ impl Router for HashRouter {
 
     fn partition(&self, minibatch: &[u64]) -> Vec<Vec<u64>> {
         partition_by_key(minibatch, self.shards)
+    }
+
+    fn partition_into(&self, minibatch: &[u64], parts: &mut [Vec<u64>]) {
+        assert_eq!(parts.len(), self.shards, "partition_into: wrong part count");
+        for part in parts.iter_mut() {
+            part.clear();
+        }
+        for &item in minibatch {
+            parts[shard_of(item, self.shards)].push(item);
+        }
     }
 
     fn placement(&self, key: u64) -> Placement {
@@ -377,10 +402,19 @@ impl Router for SkewAwareRouter {
     }
 
     fn partition(&self, minibatch: &[u64]) -> Vec<Vec<u64>> {
+        let mut parts: Vec<Vec<u64>> = (0..self.shards)
+            .map(|_| Vec::with_capacity(minibatch.len() / self.shards + 1))
+            .collect();
+        self.partition_into(minibatch, &mut parts);
+        parts
+    }
+
+    fn partition_into(&self, minibatch: &[u64], parts: &mut [Vec<u64>]) {
+        assert_eq!(parts.len(), self.shards, "partition_into: wrong part count");
         self.with_hot(|hot| {
-            let mut parts: Vec<Vec<u64>> = (0..self.shards)
-                .map(|_| Vec::with_capacity(minibatch.len() / self.shards + 1))
-                .collect();
+            for part in parts.iter_mut() {
+                part.clear();
+            }
             // One shared-cursor RMW per *batch*, not per hot occurrence: under
             // heavy skew a per-item fetch_add would ping-pong one cache line
             // between all producers. Reserving `len` slots up front over-counts
@@ -397,7 +431,6 @@ impl Router for SkewAwareRouter {
                 parts[shard].push(item);
             }
             self.observe(minibatch, hot);
-            parts
         })
     }
 
