@@ -1,41 +1,92 @@
 //! Machine-readable benchmark records for the repository's BENCH
 //! trajectory.
 //!
-//! `reproduce --bench-json <path>` collects one record per throughput
-//! measurement and writes them as a JSON array of
-//! `{"experiment", "config", "items_per_sec"}` objects — the format the
-//! committed `BENCH_<pr>.json` files use, so successive PRs can be compared
-//! mechanically. The writer is hand-rolled (no serde in the offline build);
-//! experiment and config strings are plain ASCII table labels, escaped for
-//! the JSON string characters that could occur.
+//! `reproduce --bench-json <path>` collects one record per measurement and
+//! writes them as a JSON array. Two record shapes exist:
+//!
+//! * throughput — `{"experiment", "config", "items_per_sec"}` (every
+//!   committed `BENCH_<pr>.json` since PR 5);
+//! * latency percentiles — `{"experiment", "config", "metric", "p50_ns",
+//!   "p90_ns", "p99_ns", "p999_ns"}` (added with the observability layer:
+//!   E14 records enqueue-wait and per-kind query latencies).
+//!
+//! The writer is hand-rolled (no serde in the offline build); experiment,
+//! config and metric strings are plain ASCII table labels, escaped for the
+//! JSON string characters that could occur. [`validate_file`] checks a
+//! committed file against the schema so CI catches a malformed or
+//! hand-mangled trajectory.
 
 use std::io::Write;
 use std::path::Path;
 use std::sync::Mutex;
 
-/// One throughput measurement.
+/// One benchmark record.
 #[derive(Debug, Clone)]
-pub struct Record {
-    /// Experiment id, e.g. `"E13"`.
-    pub experiment: String,
-    /// Configuration label, e.g. `"engine x4 (new)"`.
-    pub config: String,
-    /// Measured ingest throughput.
-    pub items_per_sec: f64,
+pub enum Record {
+    /// One throughput measurement.
+    Throughput {
+        /// Experiment id, e.g. `"E13"`.
+        experiment: String,
+        /// Configuration label, e.g. `"engine x4 (new)"`.
+        config: String,
+        /// Measured ingest throughput.
+        items_per_sec: f64,
+    },
+    /// One latency distribution, as the standard percentile set in
+    /// nanoseconds (one-sided log-bucket upper bounds; see `psfa-obs`).
+    Latency {
+        /// Experiment id, e.g. `"E14"`.
+        experiment: String,
+        /// Configuration label, e.g. `"engine x4 + obs"`.
+        config: String,
+        /// Metric name, e.g. `"enqueue_wait"` or `"query_estimate"`.
+        metric: String,
+        /// Median, ns.
+        p50_ns: u64,
+        /// 90th percentile, ns.
+        p90_ns: u64,
+        /// 99th percentile, ns.
+        p99_ns: u64,
+        /// 99.9th percentile, ns.
+        p999_ns: u64,
+    },
 }
 
 static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
 
-/// Appends one record to the in-process collection.
-pub fn record(experiment: &str, config: &str, items_per_sec: f64) {
+fn push(record: Record) {
     RECORDS
         .lock()
         .expect("bench-json record lock poisoned")
-        .push(Record {
-            experiment: experiment.to_string(),
-            config: config.to_string(),
-            items_per_sec,
-        });
+        .push(record);
+}
+
+/// Appends one throughput record to the in-process collection.
+pub fn record(experiment: &str, config: &str, items_per_sec: f64) {
+    push(Record::Throughput {
+        experiment: experiment.to_string(),
+        config: config.to_string(),
+        items_per_sec,
+    });
+}
+
+/// Appends one latency-percentile record (nanoseconds) to the in-process
+/// collection.
+pub fn record_latency(
+    experiment: &str,
+    config: &str,
+    metric: &str,
+    (p50_ns, p90_ns, p99_ns, p999_ns): (u64, u64, u64, u64),
+) {
+    push(Record::Latency {
+        experiment: experiment.to_string(),
+        config: config.to_string(),
+        metric: metric.to_string(),
+        p50_ns,
+        p90_ns,
+        p99_ns,
+        p999_ns,
+    });
 }
 
 fn escape(s: &str) -> String {
@@ -60,16 +111,104 @@ pub fn write_to(path: impl AsRef<Path>) -> std::io::Result<usize> {
     writeln!(out, "[")?;
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
-        writeln!(
-            out,
-            "  {{\"experiment\": \"{}\", \"config\": \"{}\", \"items_per_sec\": {:.0}}}{comma}",
-            escape(&r.experiment),
-            escape(&r.config),
-            r.items_per_sec
-        )?;
+        match r {
+            Record::Throughput {
+                experiment,
+                config,
+                items_per_sec,
+            } => writeln!(
+                out,
+                "  {{\"experiment\": \"{}\", \"config\": \"{}\", \"items_per_sec\": {:.0}}}{comma}",
+                escape(experiment),
+                escape(config),
+                items_per_sec
+            )?,
+            Record::Latency {
+                experiment,
+                config,
+                metric,
+                p50_ns,
+                p90_ns,
+                p99_ns,
+                p999_ns,
+            } => writeln!(
+                out,
+                "  {{\"experiment\": \"{}\", \"config\": \"{}\", \"metric\": \"{}\", \
+                 \"p50_ns\": {p50_ns}, \"p90_ns\": {p90_ns}, \"p99_ns\": {p99_ns}, \
+                 \"p999_ns\": {p999_ns}}}{comma}",
+                escape(experiment),
+                escape(config),
+                escape(metric),
+            )?,
+        }
     }
     writeln!(out, "]")?;
     Ok(records.len())
+}
+
+/// Validates a committed `BENCH_<pr>.json` file against the record schema:
+/// a JSON array, one object per line, each object either a throughput
+/// record (`experiment`, `config`, `items_per_sec`) or a latency record
+/// (`experiment`, `config`, `metric`, and the four `p*_ns` percentiles).
+/// Returns the number of valid records, or a description of the first
+/// malformed line. Matches exactly what [`write_to`] emits — the point is
+/// to catch hand-edited or truncated committed files in CI, not to be a
+/// general JSON parser.
+pub fn validate_file(path: impl AsRef<Path>) -> Result<usize, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+    if lines.next() != Some("[") {
+        return Err(format!("{}: must open with a JSON array", path.display()));
+    }
+    let mut records = 0usize;
+    let mut closed = false;
+    for line in lines {
+        if closed {
+            return Err(format!(
+                "{}: content after the closing bracket",
+                path.display()
+            ));
+        }
+        if line == "]" {
+            closed = true;
+            continue;
+        }
+        let object = line.strip_suffix(',').unwrap_or(line);
+        let bad = |why: &str| format!("{}: {why}: {line}", path.display());
+        if !(object.starts_with('{') && object.ends_with('}')) {
+            return Err(bad("expected one object per line"));
+        }
+        let has_str_key =
+            |key: &str| object.contains(&format!("\"{key}\": \"")) && !object.contains('\n');
+        let has_num_key = |key: &str| {
+            object
+                .split(&format!("\"{key}\": "))
+                .nth(1)
+                .is_some_and(|rest| rest.starts_with(|c: char| c.is_ascii_digit()))
+        };
+        if !has_str_key("experiment") || !has_str_key("config") {
+            return Err(bad("missing experiment/config"));
+        }
+        let throughput = has_num_key("items_per_sec");
+        let latency = has_str_key("metric")
+            && ["p50_ns", "p90_ns", "p99_ns", "p999_ns"]
+                .iter()
+                .all(|k| has_num_key(k));
+        if throughput == latency {
+            return Err(bad(
+                "must be exactly one of a throughput or a latency record",
+            ));
+        }
+        records += 1;
+    }
+    if !closed {
+        return Err(format!("{}: missing closing bracket", path.display()));
+    }
+    if records == 0 {
+        return Err(format!("{}: no records", path.display()));
+    }
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -79,16 +218,75 @@ mod tests {
     #[test]
     fn records_round_trip_as_json_lines() {
         record("E13", "engine x4 \"new\"", 1234567.89);
+        record_latency(
+            "E14",
+            "engine x4 + obs",
+            "enqueue_wait",
+            (64, 128, 512, 2048),
+        );
         let dir = std::env::temp_dir().join(format!("psfa-bench-json-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("out.json");
         let n = write_to(&path).unwrap();
-        assert!(n >= 1);
+        assert!(n >= 2);
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("[\n"));
         assert!(text.contains("\"experiment\": \"E13\""));
         assert!(text.contains("\\\"new\\\""));
         assert!(text.contains("\"items_per_sec\": 1234568"));
+        assert!(text.contains("\"metric\": \"enqueue_wait\""));
+        assert!(text.contains("\"p999_ns\": 2048"));
+        // What the writer emits, the validator accepts.
+        assert_eq!(validate_file(&path).unwrap(), n);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn committed_bench_trajectories_validate() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let mut seen = 0usize;
+        for entry in std::fs::read_dir(&root).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            if name.starts_with("BENCH_") && name.ends_with(".json") {
+                let n = validate_file(&path).unwrap_or_else(|e| panic!("schema violation: {e}"));
+                assert!(n > 0, "{name}: empty trajectory");
+                seen += 1;
+            }
+        }
+        assert!(seen >= 1, "no committed BENCH_*.json trajectories found");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_files() {
+        let dir = std::env::temp_dir().join(format!("psfa-bench-json-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, content: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, content).unwrap();
+            path
+        };
+        // Not an array.
+        let p = write("a.json", "{\"experiment\": \"E9\"}\n");
+        assert!(validate_file(p).is_err());
+        // Truncated (no closing bracket).
+        let p = write(
+            "b.json",
+            "[\n  {\"experiment\": \"E9\", \"config\": \"x\", \"items_per_sec\": 1}\n",
+        );
+        assert!(validate_file(p).is_err());
+        // Missing keys.
+        let p = write("c.json", "[\n  {\"experiment\": \"E9\"}\n]\n");
+        assert!(validate_file(p).is_err());
+        // Neither throughput nor latency.
+        let p = write(
+            "d.json",
+            "[\n  {\"experiment\": \"E14\", \"config\": \"x\", \"metric\": \"m\"}\n]\n",
+        );
+        assert!(validate_file(p).is_err());
+        // Empty array.
+        let p = write("e.json", "[\n]\n");
+        assert!(validate_file(p).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

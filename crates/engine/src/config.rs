@@ -5,6 +5,8 @@ use std::path::Path;
 use psfa_store::PersistenceConfig;
 use psfa_stream::RoutingPolicy;
 
+use crate::obs::ObsConfig;
+
 /// Configuration of a sharded ingestion engine.
 ///
 /// The accuracy parameters mirror the single-threaded operators: each shard
@@ -54,6 +56,11 @@ pub struct EngineConfig {
     /// consistent epoch across shards and appends it to the segment log at
     /// `persistence.dir` — see `psfa-store` and [`crate::Engine::recover`].
     pub persistence: Option<PersistenceConfig>,
+    /// Observability: latency histograms, stall accounting, and the
+    /// control-plane trace ring (see [`ObsConfig`] and the `obs` module
+    /// docs). `None` (the default) compiles the instrumentation out of the
+    /// hot path entirely — no clock reads, no histogram writes.
+    pub observability: Option<ObsConfig>,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +80,7 @@ impl Default for EngineConfig {
             window: None,
             window_panes: 8,
             persistence: None,
+            observability: None,
         }
     }
 }
@@ -143,6 +151,18 @@ impl EngineConfig {
     /// (see [`PersistenceConfig::new`]).
     pub fn persist_to(self, dir: impl AsRef<Path>) -> Self {
         self.persistence(PersistenceConfig::new(dir))
+    }
+
+    /// Enables observability with the given configuration.
+    pub fn observability(mut self, obs: ObsConfig) -> Self {
+        self.observability = Some(obs);
+        self
+    }
+
+    /// Enables observability with default knobs (1024-event trace ring, no
+    /// periodic reporter).
+    pub fn observe(self) -> Self {
+        self.observability(ObsConfig::default())
     }
 
     /// Checks parameter ranges.

@@ -10,6 +10,7 @@ use std::thread::JoinHandle;
 use psfa_freq::{
     merge_sum, GlobalWindow, HeavyHitter, InfiniteHeavyHitters, ParallelFrequencyEstimator,
 };
+use psfa_obs::{TraceEvent, TraceKind, NO_SHARD};
 use psfa_sketch::ParallelCountMin;
 use psfa_store::{EpochRecord, EpochView, PersistenceConfig, SnapshotStore, StoreError};
 use psfa_stream::{
@@ -18,9 +19,15 @@ use psfa_stream::{
 
 use crate::config::EngineConfig;
 use crate::metrics::{EngineMetrics, WindowMetrics};
+use crate::obs::{EngineObs, QueryKind, Reporter};
 use crate::operator::ShardedOperator;
 use crate::persist::{Flusher, PersistWindow, Persister};
 use crate::shard::{ShardCommand, ShardFinal, ShardShared, ShardSnapshot, ShardWorker};
+
+/// How many trailing trace events an [`psfa_obs::ObsReport`] embeds (a
+/// non-destructive peek; [`EngineHandle::trace_events`] drains the full
+/// ring).
+const RECENT_TRACE_EVENTS: usize = 32;
 
 /// Error returned when ingesting into an engine whose workers have exited.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,6 +167,12 @@ impl EngineBuilder {
         // lane never needs to park more buffers than can be in flight on
         // one queue (capacity) plus a checkout in progress.
         let pool = Arc::new(BufferPool::new(config.shards, config.queue_capacity + 2));
+        // Observability is opt-in: `None` here compiles every instrumentation
+        // point in the hot paths down to an untaken branch.
+        let obs = config
+            .observability
+            .as_ref()
+            .map(|oc| Arc::new(EngineObs::new(oc, config.shards)));
         let mut senders = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         for (shard, ops) in lifted.into_iter().enumerate() {
@@ -171,6 +184,7 @@ impl EngineBuilder {
                 shared[shard].clone(),
                 pool.clone(),
                 recovered_shard(shard),
+                obs.clone(),
             );
             let join = std::thread::Builder::new()
                 .name(format!("psfa-shard-{shard}"))
@@ -228,6 +242,7 @@ impl EngineBuilder {
                             .clone()
                             .expect("window fence exists when a window is configured"),
                     }),
+                    obs.clone(),
                 ));
                 flusher = Some(Flusher::spawn(
                     persister.clone(),
@@ -248,15 +263,33 @@ impl EngineBuilder {
             window_fence,
             persister,
             accepted_batches,
+            obs,
             phi: config.phi,
             epsilon: config.epsilon,
             window: config.window,
             window_panes: config.window_panes,
         };
+        // The periodic reporter renders the full ObsReport table off a
+        // cloned handle; it only exists when both observability and a
+        // report interval are configured.
+        let reporter = config
+            .observability
+            .as_ref()
+            .and_then(|oc| oc.report_interval)
+            .map(|interval| {
+                let handle = handle.clone();
+                Reporter::spawn(interval, move || {
+                    handle
+                        .metrics()
+                        .obs
+                        .map_or_else(String::new, |report| report.to_table())
+                })
+            });
         Ok(Engine {
             handle,
             workers,
             flusher,
+            reporter,
         })
     }
 }
@@ -271,6 +304,7 @@ pub struct Engine {
     handle: EngineHandle,
     workers: Vec<JoinHandle<ShardFinal>>,
     flusher: Option<Flusher>,
+    reporter: Option<Reporter>,
 }
 
 impl Engine {
@@ -396,6 +430,11 @@ impl Engine {
     /// shutdown: every `ingest` that returned `Ok` is guaranteed to be
     /// processed.
     pub fn shutdown(mut self) -> EngineReport {
+        // Stop the reporter first: it queries through the handle, and there
+        // is no point rendering tables against a draining engine.
+        if let Some(mut reporter) = self.reporter.take() {
+            reporter.stop();
+        }
         // Closing the fence waits for every in-flight enqueue (which holds
         // the fence's shared side across its sends) to finish, and makes
         // later enqueues fail fast. Everything successfully sent is
@@ -431,6 +470,9 @@ impl Engine {
     /// the latest consistent epoch. Intended for crash-recovery tests and
     /// chaos drills.
     pub fn kill(mut self) {
+        if let Some(mut reporter) = self.reporter.take() {
+            reporter.stop();
+        }
         self.handle.fence.close();
         if let Some(flusher) = self.flusher.take() {
             flusher.abort();
@@ -449,6 +491,9 @@ impl Drop for Engine {
     /// behaves like a crash towards the store: the flusher is stopped
     /// without a final snapshot.
     fn drop(&mut self) {
+        if let Some(mut reporter) = self.reporter.take() {
+            reporter.stop();
+        }
         if let Some(flusher) = self.flusher.take() {
             flusher.abort();
         }
@@ -494,6 +539,10 @@ pub struct EngineHandle {
     /// per accepted pre-routed `enqueue`/`try_enqueue`); the flusher's
     /// `interval_batches` counts against this.
     accepted_batches: Arc<std::sync::atomic::AtomicU64>,
+    /// Observability recorders, when [`crate::ObsConfig`] is set. All
+    /// recording is relaxed telemetry: it never adds ordering the data
+    /// plane relies on (see the ordering contract in `shard.rs`).
+    obs: Option<Arc<EngineObs>>,
     phi: f64,
     epsilon: f64,
     window: Option<u64>,
@@ -560,6 +609,7 @@ impl EngineHandle {
             // steady-state ingest call performs no heap allocation.
             let mut parts = self.pool.checkout();
             self.router.partition_into(minibatch, &mut parts);
+            self.trace_hot_promotions();
             let parts_total = parts.iter().filter(|p| !p.is_empty()).count();
             let mut parts_delivered = 0usize;
             let mut delivery_failed = false;
@@ -598,14 +648,65 @@ impl EngineHandle {
     /// loads when none is due). Must not be called while holding an ingest
     /// guard — the cut takes the fence exclusively.
     fn cut_due_window_boundaries(&self) {
-        if let Some(windows) = &self.window_fence {
-            windows.poll_cut(|seq| {
-                for sender in self.senders.iter() {
-                    // A send error means that worker already exited; the
-                    // surviving shards still seal so queries stay aligned.
-                    let _ = sender.send(ShardCommand::Boundary(seq));
+        let Some(windows) = &self.window_fence else {
+            return;
+        };
+        match &self.obs {
+            None => {
+                windows.poll_cut(|seq| self.send_boundary(seq));
+            }
+            Some(obs) => {
+                // Boundary cuts take the fence exclusively; their duration
+                // is producer stall, recorded alongside snapshot cuts.
+                let start = obs.now_ns();
+                let cut = windows.poll_cut(|seq| {
+                    self.send_boundary(seq);
+                    let slide = windows.slide();
+                    obs.trace.push(
+                        obs.now_ns(),
+                        TraceKind::Boundary,
+                        NO_SHARD,
+                        seq * slide,
+                        seq,
+                    );
+                });
+                if cut > 0 {
+                    obs.fence_exclusive_wait
+                        .record(obs.now_ns().saturating_sub(start));
                 }
-            });
+            }
+        }
+    }
+
+    /// Enqueues one boundary marker on every shard's queue.
+    fn send_boundary(&self, seq: u64) {
+        for sender in self.senders.iter() {
+            // A send error means that worker already exited; the
+            // surviving shards still seal so queries stay aligned.
+            let _ = sender.send(ShardCommand::Boundary(seq));
+        }
+    }
+
+    /// Emits a [`TraceKind::HotPromote`] event when the router's hot set
+    /// changed since the last emission. Racing producers deduplicate on the
+    /// monotone promotion epoch: exactly one of them wins the `fetch_max`
+    /// for any given epoch and emits the event.
+    fn trace_hot_promotions(&self) {
+        use std::sync::atomic::Ordering;
+        let Some(obs) = &self.obs else {
+            return;
+        };
+        let promotions = self.router.promotions();
+        if promotions > obs.promotions_seen.load(Ordering::Relaxed)
+            && obs.promotions_seen.fetch_max(promotions, Ordering::Relaxed) < promotions
+        {
+            obs.trace.push(
+                obs.now_ns(),
+                TraceKind::HotPromote,
+                NO_SHARD,
+                promotions,
+                self.router.hot_keys().len() as u64,
+            );
         }
     }
 
@@ -659,9 +760,25 @@ impl EngineHandle {
     fn send_part(&self, shard: usize, part: Vec<u64>) -> Result<(), EngineClosed> {
         use std::sync::atomic::Ordering;
         let len = part.len() as u64;
-        self.senders[shard]
-            .send(ShardCommand::Batch(part))
-            .map_err(|_| EngineClosed)?;
+        match &self.obs {
+            None => self.senders[shard]
+                .send(ShardCommand::Batch(part))
+                .map_err(|_| EngineClosed)?,
+            Some(obs) => {
+                // Backpressure accounting: an uncontended enqueue records a
+                // zero wait with no clock read; only the blocking path (the
+                // shard's queue was full) pays for timestamps.
+                match self.senders[shard].try_send(ShardCommand::Batch(part)) {
+                    Ok(()) => obs.enqueue_wait.record(0),
+                    Err(TrySendError::Full(cmd)) => {
+                        let start = obs.now_ns();
+                        self.senders[shard].send(cmd).map_err(|_| EngineClosed)?;
+                        obs.enqueue_wait.record(obs.now_ns().saturating_sub(start));
+                    }
+                    Err(TrySendError::Disconnected(_)) => return Err(EngineClosed),
+                }
+            }
+        }
         // Counters only after a successful send, so a refused batch never
         // leaves phantom queue depth behind. Relaxed: monotone progress
         // hints (see the ordering contract in `shard.rs`).
@@ -690,6 +807,11 @@ impl EngineHandle {
             let len = part.len() as u64;
             match self.senders[shard].try_send(ShardCommand::Batch(part)) {
                 Ok(()) => {
+                    if let Some(obs) = &self.obs {
+                        // Non-blocking by construction: a successful
+                        // try_enqueue never waited.
+                        obs.enqueue_wait.record(0);
+                    }
                     let stats = &self.shared[shard].stats;
                     stats.items_enqueued.fetch_add(len, Ordering::Relaxed);
                     stats.batches_enqueued.fetch_add(1, Ordering::Relaxed);
@@ -725,6 +847,22 @@ impl EngineHandle {
             // A receive error means the worker exited after draining its
             // queue — equivalent to an acknowledgement.
             let _ = ack.recv();
+        }
+    }
+
+    /// Runs a query body under the observability clock, recording its
+    /// latency into the per-kind histogram. A single branch when
+    /// observability is off.
+    #[inline]
+    fn timed<R>(&self, kind: QueryKind, f: impl FnOnce() -> R) -> R {
+        match &self.obs {
+            None => f(),
+            Some(obs) => {
+                let start = obs.now_ns();
+                let out = f();
+                obs.record_query(kind, start);
+                out
+            }
         }
     }
 
@@ -764,14 +902,14 @@ impl EngineHandle {
     /// shard underestimates its substream by at most `ε·m_s`, so the sum
     /// underestimates by at most `ε·m` and never overestimates.
     pub fn estimate(&self, item: u64) -> u64 {
-        match self.router.placement(item) {
+        self.timed(QueryKind::Estimate, || match self.router.placement(item) {
             Placement::Owner(shard) => self.shared[shard].load_snapshot().estimate(item),
             Placement::Replicated => self
                 .shared
                 .iter()
                 .map(|s| s.load_snapshot().estimate(item))
                 .sum(),
-        }
+        })
     }
 
     /// The globally consistent sliding window at the latest boundary every
@@ -815,7 +953,9 @@ impl EngineHandle {
     /// at one boundary, call [`EngineHandle::global_window`] once and use
     /// [`GlobalWindow::estimate`] on the result.
     pub fn sliding_estimate(&self, item: u64) -> u64 {
-        self.global_window().map_or(0, |w| w.estimate(item))
+        self.timed(QueryKind::SlidingEstimate, || {
+            self.global_window().map_or(0, |w| w.estimate(item))
+        })
     }
 
     /// Live φ-heavy hitters of the aligned global sliding window, most
@@ -824,8 +964,10 @@ impl EngineHandle {
     /// the paper's sliding-window query, answered across shards. Empty
     /// when no aligned window is available yet.
     pub fn sliding_heavy_hitters(&self) -> Vec<HeavyHitter> {
-        self.global_window()
-            .map_or_else(Vec::new, |w| w.heavy_hitters(self.phi, self.epsilon))
+        self.timed(QueryKind::SlidingHeavyHitters, || {
+            self.global_window()
+                .map_or_else(Vec::new, |w| w.heavy_hitters(self.phi, self.epsilon))
+        })
     }
 
     /// Live Count-Min overestimate for `item` (`f ≤ f̂ ≤ f + ε_cm·m`).
@@ -841,11 +983,13 @@ impl EngineHandle {
     /// published snapshot of that shard reflects (the publication
     /// `Release`/`Acquire` edge; see `shard.rs`).
     pub fn cm_estimate(&self, item: u64) -> u64 {
-        let query_shard = |shard: usize| self.shared[shard].count_min.query(item);
-        match self.router.placement(item) {
-            Placement::Owner(shard) => query_shard(shard),
-            Placement::Replicated => (0..self.shards()).map(query_shard).sum(),
-        }
+        self.timed(QueryKind::CmEstimate, || {
+            let query_shard = |shard: usize| self.shared[shard].count_min.query(item);
+            match self.router.placement(item) {
+                Placement::Owner(shard) => query_shard(shard),
+                Placement::Replicated => (0..self.shards()).map(query_shard).sum(),
+            }
+        })
     }
 
     /// Live φ-heavy hitters of the full stream, merged across shards from
@@ -861,24 +1005,26 @@ impl EngineHandle {
     /// no item with true frequency `< (φ − ε)m` is reported (summed
     /// estimates never overestimate).
     pub fn heavy_hitters(&self) -> Vec<HeavyHitter> {
-        let snapshots = self.snapshots();
-        let m: u64 = snapshots.iter().map(|s| s.stream_len).sum();
-        let threshold = ((self.phi - self.epsilon) * m as f64).max(0.0);
-        let mut merged: Vec<(u64, u64)> = Vec::new();
-        for snapshot in &snapshots {
-            if merged.is_empty() {
-                merged = snapshot.hh_entries.clone();
-            } else if !snapshot.hh_entries.is_empty() {
-                merged = merge_sum(&merged, &snapshot.hh_entries);
+        self.timed(QueryKind::HeavyHitters, || {
+            let snapshots = self.snapshots();
+            let m: u64 = snapshots.iter().map(|s| s.stream_len).sum();
+            let threshold = ((self.phi - self.epsilon) * m as f64).max(0.0);
+            let mut merged: Vec<(u64, u64)> = Vec::new();
+            for snapshot in &snapshots {
+                if merged.is_empty() {
+                    merged = snapshot.hh_entries.clone();
+                } else if !snapshot.hh_entries.is_empty() {
+                    merged = merge_sum(&merged, &snapshot.hh_entries);
+                }
             }
-        }
-        let mut out: Vec<HeavyHitter> = merged
-            .into_iter()
-            .filter(|&(_, est)| est as f64 >= threshold)
-            .map(|(item, estimate)| HeavyHitter { item, estimate })
-            .collect();
-        out.sort_unstable_by(|a, b| b.estimate.cmp(&a.estimate).then(a.item.cmp(&b.item)));
-        out
+            let mut out: Vec<HeavyHitter> = merged
+                .into_iter()
+                .filter(|&(_, est)| est as f64 >= threshold)
+                .map(|(item, estimate)| HeavyHitter { item, estimate })
+                .collect();
+            out.sort_unstable_by(|a, b| b.estimate.cmp(&a.estimate).then(a.item.cmp(&b.item)));
+            out
+        })
     }
 
     /// Merges every shard's Count-Min sketch into one global sketch of the
@@ -920,13 +1066,50 @@ impl EngineHandle {
                     .unwrap_or(0),
             }
         });
+        let pool = self.pool.counters();
+        let work_units: Vec<u64> = self.shared.iter().map(|s| s.work.total()).collect();
+        let obs = self.obs.as_ref().map(|obs| {
+            obs.report(
+                pool,
+                self.fence.cuts(),
+                work_units.iter().sum(),
+                RECENT_TRACE_EVENTS,
+            )
+        });
         EngineMetrics {
             shards,
             router: self.router.name(),
             hot_keys: self.router.hot_keys(),
             window,
             store: self.persister.as_ref().map(|p| p.metrics()),
+            pool,
+            work_units,
+            obs,
         }
+    }
+
+    /// True when the engine was configured with an [`crate::ObsConfig`].
+    pub fn observability_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Drains the bounded trace ring: every retained event since the last
+    /// drain, oldest first. Under sustained load the ring overwrites its
+    /// oldest entries, so long-idle consumers see the most recent
+    /// `ObsConfig::trace_capacity` events (the drop count is reported in
+    /// the [`psfa_obs::ObsReport`] counters). Empty when observability is
+    /// off.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.obs
+            .as_ref()
+            .map_or_else(Vec::new, |obs| obs.trace.drain())
+    }
+
+    /// Renders the current observability report in the Prometheus text
+    /// exposition format (see [`psfa_obs::ObsReport::prometheus_text`]).
+    /// `None` when observability is off.
+    pub fn prometheus_text(&self) -> Option<String> {
+        self.metrics().obs.map(|report| report.prometheus_text())
     }
 
     // ---- persistence & time travel ------------------------------------
@@ -1496,6 +1679,90 @@ mod tests {
         engine.shutdown();
         assert!(matches!(handle.snapshot_now(), Err(StoreError::Closed)));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn observability_reports_latencies_and_traces() {
+        let dir = tmpdir("obs");
+        let engine = Engine::spawn(
+            config()
+                .sliding_window(8_000)
+                .persistence(manual_persistence(&dir))
+                .observe(),
+        );
+        let handle = engine.handle();
+        assert!(handle.observability_enabled());
+        let mut generator = ZipfGenerator::new(5_000, 1.2, 3);
+        for _ in 0..8 {
+            handle.ingest(&generator.next_minibatch(1_500)).unwrap();
+        }
+        engine.drain();
+        let _ = handle.estimate(1);
+        let _ = handle.cm_estimate(1);
+        let _ = handle.heavy_hitters();
+        let _ = handle.sliding_estimate(1);
+        let _ = handle.sliding_heavy_hitters();
+        handle.snapshot_now().unwrap();
+
+        let report = handle.metrics().obs.expect("obs report present");
+        // Every ingest recorded an enqueue wait (one sample per delivered
+        // per-shard sub-batch) and every drained batch a service time.
+        let waits = report.percentiles("enqueue_wait").unwrap();
+        assert!(waits.count >= 8);
+        assert!(report.percentiles("batch_service").unwrap().count >= 8);
+        // Workers published at least once per shard, tagged with a reason.
+        assert!(report.percentiles("publish_staleness").unwrap().count >= 4);
+        let republished: u64 = ["membership", "boundary", "drain", "idle", "query_refresh"]
+            .iter()
+            .map(|r| report.counter(&format!("republish_{r}")).unwrap())
+            .sum();
+        assert!(republished >= 4);
+        // Each exercised query kind has exactly one latency sample.
+        for kind in [
+            "query_estimate",
+            "query_cm_estimate",
+            "query_heavy_hitters",
+            "query_sliding_estimate",
+            "query_sliding_heavy_hitters",
+        ] {
+            assert_eq!(report.percentiles(kind).unwrap().count, 1, "{kind}");
+        }
+        // The snapshot cut and append were timed.
+        assert!(report.percentiles("fence_exclusive_wait").unwrap().count >= 1);
+        assert_eq!(report.percentiles("persist_append").unwrap().count, 1);
+        assert!(report.counter("pool_hit").unwrap() + report.counter("pool_miss").unwrap() > 0);
+        assert!(report.counter("work_units").unwrap() > 0);
+
+        // The trace ring saw the lifecycle: worker starts, publishes, the
+        // window boundary at 2000 items (slide 8000/8 = 1000), the persist.
+        let events = handle.trace_events();
+        let kinds: Vec<TraceKind> = events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&TraceKind::WorkerStart));
+        assert!(kinds.contains(&TraceKind::EpochPublish));
+        assert!(kinds.contains(&TraceKind::Boundary));
+        assert!(kinds.contains(&TraceKind::EpochPersist));
+        // Draining consumed them; a second drain starts empty.
+        assert!(handle.trace_events().is_empty());
+
+        let text = handle.prometheus_text().expect("exporter present");
+        assert!(text.contains("enqueue_wait"));
+        assert!(text.contains("quantile=\"0.99\""));
+
+        engine.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn observability_off_by_default() {
+        let engine = Engine::spawn(config());
+        let handle = engine.handle();
+        assert!(!handle.observability_enabled());
+        handle.ingest(&[1, 2, 3]).unwrap();
+        engine.drain();
+        assert!(handle.metrics().obs.is_none());
+        assert!(handle.trace_events().is_empty());
+        assert!(handle.prometheus_text().is_none());
+        engine.shutdown();
     }
 
     #[test]

@@ -115,6 +115,7 @@
 mod config;
 mod engine;
 mod metrics;
+mod obs;
 mod operator;
 mod persist;
 mod shard;
@@ -122,6 +123,7 @@ mod shard;
 pub use config::EngineConfig;
 pub use engine::{Engine, EngineBuilder, EngineClosed, EngineHandle, EngineReport, IngestError};
 pub use metrics::{EngineMetrics, ShardMetrics, StoreMetrics, WindowMetrics};
+pub use obs::ObsConfig;
 pub use operator::{EngineOperator, ShardedOperator};
 pub use shard::{ShardFinal, ShardSnapshot};
 
@@ -137,3 +139,11 @@ pub use psfa_stream::{
 // re-exported so `EngineConfig::persistence` and `Engine::recover` can be
 // used without a direct `psfa-store` dependency.
 pub use psfa_store::{EpochView, PersistenceConfig, SnapshotStore, StoreError, WindowState};
+
+// Observability mechanisms live in `psfa-obs`; the pieces surfaced by
+// `EngineMetrics::obs` and `EngineHandle::trace_events` are re-exported so
+// callers can consume reports without a direct `psfa-obs` dependency.
+pub use psfa_obs::{
+    Clock, HistogramSnapshot, ManualClock, MonotonicClock, ObsCounter, ObsReport, ObsSection,
+    Percentiles, TraceEvent, TraceKind,
+};

@@ -14,6 +14,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use psfa_obs::ObsReport;
+use psfa_stream::PoolCounters;
+
 /// Live atomic counters of one shard (shared between producers, the shard
 /// worker, and query handles).
 #[derive(Debug, Default)]
@@ -115,6 +118,17 @@ pub struct EngineMetrics {
     pub window: Option<WindowMetrics>,
     /// Persistence metrics, when a snapshot store is attached.
     pub store: Option<StoreMetrics>,
+    /// Sub-batch [`psfa_stream::BufferPool`] counters: a rising `misses`
+    /// rate means producers outrun the recycle lanes and fall back to heap
+    /// allocation (see the pool docs for sizing).
+    pub pool: PoolCounters,
+    /// Abstract work units charged by each shard's estimator (the E8
+    /// work-optimality meter; see `psfa_primitives::WorkMeter` for
+    /// overflow/reset semantics), in shard order.
+    pub work_units: Vec<u64>,
+    /// Full latency/staleness report, when the engine was configured with
+    /// [`crate::ObsConfig`].
+    pub obs: Option<ObsReport>,
 }
 
 impl EngineMetrics {
@@ -131,6 +145,12 @@ impl EngineMetrics {
     /// Total minibatches currently queued or in flight.
     pub fn queue_depth(&self) -> u64 {
         self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Total abstract work units charged across shards (wraps with the
+    /// underlying meters; see `psfa_primitives::WorkMeter`).
+    pub fn total_work_units(&self) -> u64 {
+        self.work_units.iter().fold(0u64, |a, &b| a.wrapping_add(b))
     }
 
     /// Largest per-shard share of processed items (1/shards = perfectly
@@ -199,6 +219,16 @@ impl EngineMetrics {
                 store.flush_failures,
             ));
         }
+        out.push_str(&format!(
+            "pool: {} hits | {} misses | {} drops | work units {}\n",
+            self.pool.hits,
+            self.pool.misses,
+            self.pool.drops,
+            self.total_work_units(),
+        ));
+        if let Some(obs) = &self.obs {
+            out.push_str(&obs.to_table());
+        }
         out
     }
 }
@@ -252,8 +282,16 @@ mod tests {
                 max_shard_lag: 1,
             }),
             store: None,
+            pool: PoolCounters {
+                hits: 12,
+                misses: 3,
+                drops: 1,
+            },
+            work_units: vec![200, 100],
+            obs: None,
         };
         assert_eq!(m.items_processed(), 120);
+        assert_eq!(m.total_work_units(), 300);
         assert_eq!(m.items_enqueued(), 150);
         assert_eq!(m.queue_depth(), 3);
         assert!((m.max_shard_share().unwrap() - 0.75).abs() < 1e-12);
@@ -267,6 +305,8 @@ mod tests {
         assert!(table.contains("4 boundaries cut"));
         assert!(table.contains("max shard lag 1"));
         assert!(table.contains("slide 25 x 4 panes"));
+        assert!(table.contains("3 misses"));
+        assert!(table.contains("work units 300"));
     }
 
     #[test]
@@ -277,6 +317,9 @@ mod tests {
             hot_keys: Vec::new(),
             window: None,
             store: None,
+            pool: PoolCounters::default(),
+            work_units: Vec::new(),
+            obs: None,
         };
         assert_eq!(m.items_processed(), 0);
         assert!(m.max_shard_share().is_none());

@@ -27,10 +27,12 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use psfa_obs::{TraceKind, NO_SHARD};
 use psfa_store::{EpochRecord, ShardState, SnapshotStore, StoreError, WindowState};
 use psfa_stream::{IngestFence, Router, WindowFence};
 
 use crate::metrics::StoreMetrics;
+use crate::obs::EngineObs;
 use crate::shard::ShardCommand;
 
 /// The window configuration a persisted epoch must capture: the geometry
@@ -67,9 +69,13 @@ pub(crate) struct Persister {
     last_epoch: AtomicU64,
     segments: AtomicU64,
     flush_failures: AtomicU64,
+    /// Observability recorders, when enabled: cut (fence-exclusive) and
+    /// append (encode + fsync) durations, persist/flush trace events.
+    obs: Option<Arc<EngineObs>>,
 }
 
 impl Persister {
+    #[allow(clippy::too_many_arguments)] // internal ctor mirroring the field list
     pub(crate) fn new(
         store: SnapshotStore,
         fence: Arc<IngestFence>,
@@ -78,6 +84,7 @@ impl Persister {
         phi: f64,
         epsilon: f64,
         window: Option<PersistWindow>,
+        obs: Option<Arc<EngineObs>>,
     ) -> Self {
         let last_epoch = store.latest_epoch().unwrap_or(0);
         let segments = store.segments() as u64;
@@ -95,6 +102,7 @@ impl Persister {
             last_epoch: AtomicU64::new(last_epoch),
             segments: AtomicU64::new(segments),
             flush_failures: AtomicU64::new(0),
+            obs,
         }
     }
 
@@ -116,6 +124,7 @@ impl Persister {
         // window fence's clock at the same instant — a promotion or a
         // window boundary racing phase 2 must not leak into the record's
         // "state at the cut". Send errors mean the workers exited.
+        let cut_start = self.obs.as_ref().map(|obs| obs.now_ns());
         let (receivers, hot_keys, window) = self
             .fence
             .cut_with(|_cut| {
@@ -150,6 +159,12 @@ impl Persister {
                 Ok::<_, ()>((receivers, hot_keys, window))
             })
             .map_err(|_: ()| StoreError::Closed)?;
+        if let Some(obs) = &self.obs {
+            // The exclusive-fence window is the only moment producers are
+            // excluded; its duration is the persistence stall budget.
+            obs.fence_exclusive_wait
+                .record(obs.now_ns().saturating_sub(cut_start.unwrap_or(0)));
+        }
 
         // Phase 2 — collect and write, with ingestion running again.
         let mut shards: Vec<ShardState> = Vec::with_capacity(receivers.len());
@@ -166,10 +181,18 @@ impl Persister {
             hot_keys,
             shards,
         };
+        let append_start = self.obs.as_ref().map(|obs| obs.now_ns());
         let bytes = store.append(&record)?;
         store.compact()?;
         let segments = store.segments() as u64;
         drop(store);
+        if let Some(obs) = &self.obs {
+            let now = obs.now_ns();
+            obs.persist_append
+                .record(now.saturating_sub(append_start.unwrap_or(0)));
+            obs.trace
+                .push(now, TraceKind::EpochPersist, NO_SHARD, record.epoch, bytes);
+        }
 
         self.epochs_persisted.fetch_add(1, Ordering::AcqRel);
         self.bytes_written.fetch_add(bytes, Ordering::AcqRel);
@@ -179,7 +202,11 @@ impl Persister {
     }
 
     pub(crate) fn note_flush_failure(&self) {
-        self.flush_failures.fetch_add(1, Ordering::AcqRel);
+        let failures = self.flush_failures.fetch_add(1, Ordering::AcqRel) + 1;
+        if let Some(obs) = &self.obs {
+            obs.trace
+                .push(obs.now_ns(), TraceKind::Flush, NO_SHARD, failures, 0);
+        }
     }
 
     /// Runs `f` with the store locked (historical queries).

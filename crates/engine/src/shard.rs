@@ -78,13 +78,15 @@ use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
 use std::sync::Arc;
 
 use psfa_freq::{InfiniteHeavyHitters, PaneWindow, SealedWindow};
-use psfa_primitives::{build_hist_into, ArcCell, HistScratch, HistogramEntry};
+use psfa_obs::TraceKind;
+use psfa_primitives::{build_hist_into, ArcCell, HistScratch, HistogramEntry, WorkMeter};
 use psfa_sketch::AtomicCountMin;
 use psfa_store::ShardState;
 use psfa_stream::{BufferPool, MinibatchOperator};
 
 use crate::config::EngineConfig;
 use crate::metrics::ShardStats;
+use crate::obs::{EngineObs, PublishReason};
 
 /// Sealed windows kept per shard snapshot: enough boundary history for a
 /// query to find one boundary that *every* shard has already sealed even
@@ -193,6 +195,10 @@ pub(crate) struct ShardShared {
     /// Set by a reader that observed a stale snapshot; cleared by the
     /// worker when it republishes on the next batch.
     refresh: AtomicBool,
+    /// Abstract summary-update work charged by this shard's tracker (the
+    /// work-optimality accounting of E8, live on a running engine). The
+    /// worker holds a clone of the same counter.
+    pub work: WorkMeter,
 }
 
 impl ShardShared {
@@ -236,6 +242,7 @@ impl ShardShared {
             count_min,
             live_epoch,
             refresh: AtomicBool::new(false),
+            work: WorkMeter::new(),
         }
     }
 
@@ -298,6 +305,13 @@ pub(crate) struct ShardWorker {
     dirty: bool,
     lifted: Vec<(String, Box<dyn MinibatchOperator + Send>)>,
     shared: Arc<ShardShared>,
+    /// Observability recorders, when enabled (see the `obs` module).
+    obs: Option<Arc<EngineObs>>,
+    /// Clock reading at the last snapshot publication (staleness base;
+    /// `0` until the worker starts with observability enabled).
+    last_publish_ns: u64,
+    /// Epoch of the last snapshot publication (epoch-gap base).
+    last_publish_epoch: u64,
 }
 
 impl ShardWorker {
@@ -311,6 +325,7 @@ impl ShardWorker {
         shared: Arc<ShardShared>,
         pool: Arc<BufferPool>,
         recovered: Option<&ShardState>,
+        obs: Option<Arc<EngineObs>>,
     ) -> Self {
         let (epoch, items, heavy_hitters, window) = match recovered {
             None => (
@@ -328,6 +343,9 @@ impl ShardWorker {
                 state.window.clone(),
             ),
         };
+        // The tracker charges its summary-update work to the shard's shared
+        // meter (decode drops meters, so recovered trackers re-attach here).
+        let heavy_hitters = heavy_hitters.with_meter(shared.work.clone());
         let window_history = window
             .as_ref()
             .and_then(|w| w.sealed_window())
@@ -350,12 +368,21 @@ impl ShardWorker {
             dirty: false,
             lifted,
             shared,
+            obs,
+            last_publish_ns: 0,
+            last_publish_epoch: epoch,
         }
     }
 
     /// Runs until [`ShardCommand::Shutdown`] (or every sender is dropped)
     /// and returns the final operator state.
     pub(crate) fn run(mut self, queue: Receiver<ShardCommand>) -> ShardFinal {
+        if let Some(obs) = self.obs.clone() {
+            let now = obs.now_ns();
+            self.last_publish_ns = now;
+            obs.trace
+                .push(now, TraceKind::WorkerStart, self.shard as u32, 0, 0);
+        }
         loop {
             // Drain-then-block: once the queue runs dry, publish anything
             // pending so idle shards always expose an exact snapshot, then
@@ -363,7 +390,7 @@ impl ShardWorker {
             let command = match queue.try_recv() {
                 Ok(command) => command,
                 Err(TryRecvError::Empty) => {
-                    self.publish_if_dirty();
+                    self.publish_if_dirty(PublishReason::Idle);
                     match queue.recv() {
                         Ok(command) => command,
                         Err(_) => break,
@@ -378,7 +405,7 @@ impl ShardWorker {
                     // already processed; publish it so a drained caller
                     // reads current state. A failed send means the drainer
                     // gave up waiting, which is not the worker's problem.
-                    self.publish_if_dirty();
+                    self.publish_if_dirty(PublishReason::Drain);
                     let _ = ack.send(());
                 }
                 ShardCommand::Boundary(seq) => self.seal_boundary(seq),
@@ -404,7 +431,16 @@ impl ShardWorker {
         }
         // Outstanding handles keep answering queries after shutdown; leave
         // them the final state.
-        self.publish_if_dirty();
+        self.publish_if_dirty(PublishReason::Drain);
+        if let Some(obs) = &self.obs {
+            obs.trace.push(
+                obs.now_ns(),
+                TraceKind::WorkerExit,
+                self.shard as u32,
+                self.items,
+                0,
+            );
+        }
         ShardFinal {
             shard: self.shard,
             items: self.items,
@@ -431,7 +467,7 @@ impl ShardWorker {
         while self.window_history.len() > WINDOW_HISTORY {
             self.window_history.pop_front();
         }
-        self.publish_snapshot();
+        self.publish_snapshot(PublishReason::Boundary);
         // The seq counter last: a reader that sees the new boundary also
         // finds the sealed window in the published snapshot.
         self.shared.stats.window_seq.store(seq, Ordering::Release);
@@ -443,6 +479,10 @@ impl ShardWorker {
     /// buffers, no stale reader): **zero** heap allocations and **zero**
     /// lock acquisitions.
     fn ingest(&mut self, minibatch: Vec<u64>) {
+        // Telemetry stays relaxed and off the common path: with
+        // observability disabled this reads no clock at all; enabled, it
+        // costs two clock reads and one relaxed RMW per *batch*.
+        let service_start = self.obs.as_ref().map(|obs| obs.now_ns());
         self.hist_seed = self
             .hist_seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -479,24 +519,31 @@ impl ShardWorker {
         // augment applied a non-zero cut-off (which can evict one item
         // while another enters, leaving the count unchanged). Either way,
         // publish at once so heavy-hitter churn is never deferred.
-        let membership_changed = cutoff > 0
-            || self.heavy_hitters.estimator().num_counters() != self.published_entries;
-        if membership_changed || self.shared.refresh.swap(false, Ordering::AcqRel) {
-            self.publish_snapshot();
+        let membership_changed =
+            cutoff > 0 || self.heavy_hitters.estimator().num_counters() != self.published_entries;
+        if membership_changed {
+            self.publish_snapshot(PublishReason::Membership);
+        } else if self.shared.refresh.swap(false, Ordering::AcqRel) {
+            self.publish_snapshot(PublishReason::QueryRefresh);
         } else {
             self.dirty = true;
         }
         // Hand the buffer's capacity back to the producers.
         self.pool.give_back(self.shard, minibatch);
-    }
-
-    fn publish_if_dirty(&mut self) {
-        if self.dirty {
-            self.publish_snapshot();
+        if let Some(obs) = &self.obs {
+            let start = service_start.unwrap_or(0);
+            obs.batch_service(self.shard)
+                .record(obs.now_ns().saturating_sub(start));
         }
     }
 
-    fn publish_snapshot(&mut self) {
+    fn publish_if_dirty(&mut self, reason: PublishReason) {
+        if self.dirty {
+            self.publish_snapshot(reason);
+        }
+    }
+
+    fn publish_snapshot(&mut self, reason: PublishReason) {
         let hh_entries = self.heavy_hitters.estimator().tracked_items_sorted();
         self.published_entries = hh_entries.len();
         self.dirty = false;
@@ -507,6 +554,26 @@ impl ShardWorker {
             hh_entries,
             windows: self.window_history.iter().cloned().collect(),
         }));
+        // Stall accounting: how long (and how many epochs) the previous
+        // snapshot stayed current, and why this publication happened. All
+        // relaxed — the data-plane `Release` above is the visibility edge.
+        if let Some(obs) = self.obs.clone() {
+            let now = obs.now_ns();
+            obs.publish_staleness
+                .record(now.saturating_sub(self.last_publish_ns));
+            obs.publish_epoch_gap
+                .record(self.epoch.saturating_sub(self.last_publish_epoch));
+            obs.count_republish(reason);
+            obs.trace.push(
+                now,
+                TraceKind::EpochPublish,
+                self.shard as u32,
+                self.epoch,
+                reason as u64,
+            );
+            self.last_publish_ns = now;
+            self.last_publish_epoch = self.epoch;
+        }
     }
 }
 
@@ -529,7 +596,15 @@ mod tests {
     fn worker_processes_batches_and_publishes_snapshots() {
         let config = test_config();
         let shared = Arc::new(ShardShared::new(0, &config, None));
-        let worker = ShardWorker::new(0, &config, Vec::new(), shared.clone(), test_pool(), None);
+        let worker = ShardWorker::new(
+            0,
+            &config,
+            Vec::new(),
+            shared.clone(),
+            test_pool(),
+            None,
+            None,
+        );
         let (tx, rx) = sync_channel(8);
         tx.send(ShardCommand::Batch(vec![7; 100])).unwrap();
         tx.send(ShardCommand::Batch(vec![7, 8, 9])).unwrap();
@@ -563,7 +638,15 @@ mod tests {
     fn barrier_acknowledges_after_prior_batches() {
         let config = test_config();
         let shared = Arc::new(ShardShared::new(0, &config, None));
-        let worker = ShardWorker::new(0, &config, Vec::new(), shared.clone(), test_pool(), None);
+        let worker = ShardWorker::new(
+            0,
+            &config,
+            Vec::new(),
+            shared.clone(),
+            test_pool(),
+            None,
+            None,
+        );
         let (tx, rx) = sync_channel(4);
         let (ack_tx, ack_rx) = sync_channel(1);
         tx.send(ShardCommand::Batch(vec![1; 50])).unwrap();
@@ -581,7 +664,15 @@ mod tests {
         // a refresh that the next batch serves.
         let config = test_config();
         let shared = Arc::new(ShardShared::new(0, &config, None));
-        let worker = ShardWorker::new(0, &config, Vec::new(), shared.clone(), test_pool(), None);
+        let worker = ShardWorker::new(
+            0,
+            &config,
+            Vec::new(),
+            shared.clone(),
+            test_pool(),
+            None,
+            None,
+        );
         let (tx, rx) = sync_channel(16);
         let handle = std::thread::spawn(move || worker.run(rx));
         // First batch: membership changes (empty → {7}), published at once.
@@ -607,7 +698,7 @@ mod tests {
         let config = test_config();
         let shared = Arc::new(ShardShared::new(0, &config, None));
         let pool = test_pool();
-        let worker = ShardWorker::new(0, &config, Vec::new(), shared, pool.clone(), None);
+        let worker = ShardWorker::new(0, &config, Vec::new(), shared, pool.clone(), None, None);
         let (tx, rx) = sync_channel(4);
         tx.send(ShardCommand::Batch(Vec::with_capacity(64)))
             .unwrap();
@@ -630,7 +721,7 @@ mod tests {
                 c.fetch_add(b.len() as u64, Ordering::Relaxed);
             })),
         )];
-        let worker = ShardWorker::new(0, &config, lifted, shared, test_pool(), None);
+        let worker = ShardWorker::new(0, &config, lifted, shared, test_pool(), None, None);
         let (tx, rx) = sync_channel(4);
         tx.send(ShardCommand::Batch(vec![1, 2, 3])).unwrap();
         tx.send(ShardCommand::Batch(vec![4; 10])).unwrap();

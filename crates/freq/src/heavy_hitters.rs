@@ -61,6 +61,16 @@ impl InfiniteHeavyHitters {
         &self.estimator
     }
 
+    /// Attaches a [`psfa_primitives::WorkMeter`] to the underlying
+    /// estimator, which charges it with the dominant operations of every
+    /// processed histogram (see
+    /// [`ParallelFrequencyEstimator::with_meter`]). Meters are not
+    /// persisted: a decoded tracker starts unmetered.
+    pub fn with_meter(mut self, meter: psfa_primitives::WorkMeter) -> Self {
+        self.estimator = self.estimator.with_meter(meter);
+        self
+    }
+
     /// Incorporates one minibatch.
     pub fn process_minibatch(&mut self, minibatch: &[u64]) {
         self.estimator.process_minibatch(minibatch);

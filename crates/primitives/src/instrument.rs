@@ -14,7 +14,19 @@ use std::sync::Arc;
 
 /// A shareable counter of abstract work units.
 ///
-/// Cloning a `WorkMeter` yields a handle to the same underlying counter.
+/// Cloning a `WorkMeter` yields a handle to the same underlying counter —
+/// a [`WorkMeter::reset`] through any clone therefore zeroes the total
+/// observed by every other clone. Updates are relaxed atomics: totals read
+/// concurrently with charges are exact for all charges that
+/// happened-before the read, and never torn.
+///
+/// ## Overflow
+///
+/// The counter **wraps** at `u64::MAX` (relaxed `fetch_add` semantics).
+/// At the charge rates of this codebase (`O(1/ε)` units per minibatch)
+/// wrapping would take centuries of sustained ingest, so no saturation
+/// check is paid on the hot path; long-lived monitors that care should
+/// [`WorkMeter::reset`] periodically and accumulate the returned deltas.
 #[derive(Debug, Clone, Default)]
 pub struct WorkMeter {
     ops: Arc<AtomicU64>,
@@ -26,7 +38,8 @@ impl WorkMeter {
         Self::default()
     }
 
-    /// Charges `n` units of work to the meter.
+    /// Charges `n` units of work to the meter (wrapping on overflow; see
+    /// the type docs).
     #[inline]
     pub fn charge(&self, n: u64) {
         self.ops.fetch_add(n, Ordering::Relaxed);
@@ -37,7 +50,9 @@ impl WorkMeter {
         self.ops.load(Ordering::Relaxed)
     }
 
-    /// Resets the meter to zero and returns the previous total.
+    /// Resets the meter to zero and returns the previous total. Affects
+    /// every clone sharing the counter; charges racing the reset land on
+    /// exactly one side of it (atomic swap), never lost.
     pub fn reset(&self) -> u64 {
         self.ops.swap(0, Ordering::Relaxed)
     }

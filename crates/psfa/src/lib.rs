@@ -41,6 +41,7 @@
 //! | [`psfa_stream`] | §1 | minibatch model, workload generators, pipeline driver, routing layer (hash + skew-aware hot-key splitting), epoch + window fencing |
 //! | [`psfa_engine`] | beyond the paper | sharded multi-threaded ingestion engine with pluggable routing, live cross-shard queries, and globally consistent sliding windows (`Engine`, `EngineHandle`) |
 //! | [`psfa_store`] | beyond the paper | epoch-snapshot persistence: checksummed append-only segment log, crash recovery (`Engine::recover`), time-travel queries (`heavy_hitters_at`) |
+//! | [`psfa_obs`] | beyond the paper | lock-free observability: mergeable latency histograms, stall accounting, bounded event tracing, Prometheus text export |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -48,6 +49,7 @@
 pub use psfa_baselines as baselines;
 pub use psfa_engine as engine;
 pub use psfa_freq as freq;
+pub use psfa_obs as obs;
 pub use psfa_primitives as primitives;
 pub use psfa_sketch as sketch;
 pub use psfa_store as store;
@@ -64,12 +66,16 @@ pub mod prelude {
     };
     pub use psfa_engine::{
         Engine, EngineConfig, EngineHandle, EngineMetrics, EngineOperator, EngineReport,
-        IngestError, ShardedOperator, StoreMetrics, WindowMetrics,
+        IngestError, ObsConfig, ShardedOperator, StoreMetrics, WindowMetrics,
     };
     pub use psfa_freq::{
         GlobalWindow, HeavyHitter, InfiniteHeavyHitters, MgSummary, PaneWindow,
         ParallelFrequencyEstimator, SealedWindow, SlidingFreqBasic, SlidingFreqSpaceEfficient,
         SlidingFreqWorkEfficient, SlidingFrequencyEstimator, SlidingHeavyHitters,
+    };
+    pub use psfa_obs::{
+        AtomicLogHistogram, Clock, HistogramSnapshot, ManualClock, MonotonicClock, ObsCounter,
+        ObsReport, ObsSection, Percentiles, TraceEvent, TraceKind, TraceRing,
     };
     pub use psfa_primitives::{ArcCell, CompactedSegment, HistScratch, WorkMeter};
     pub use psfa_sketch::{AtomicCountMin, CountMinSketch, CountSketch, ParallelCountMin};

@@ -49,7 +49,7 @@ pub use generators::{
 };
 pub use metrics::ThroughputMeter;
 pub use pipeline::{MinibatchOperator, Pipeline, PipelineReport};
-pub use pool::BufferPool;
+pub use pool::{BufferPool, PoolCounters};
 pub use router::{HashRouter, Placement, Router, RoutingPolicy, SkewAwareRouter};
 pub use split::{partition_by_key, shard_of, SplitGenerator};
 pub use zipf::ZipfSampler;

@@ -36,7 +36,26 @@
 //! assert!(pool.checkout()[0].capacity() >= 3);
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// A relaxed snapshot of the pool's recycling effectiveness.
+///
+/// `misses` is the observability hook for the zero-alloc claim: after
+/// warm-up (the first `shards × lane_capacity` checkouts necessarily
+/// allocate), a steady-state miss means a fresh `Vec` allocation escaped
+/// the recycling loop — exactly the silent allocation the bench shim used
+/// to be the only way to see.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Checkout slots refilled from a return lane (recycled capacity).
+    pub hits: u64,
+    /// Checkout slots left empty (the router grows them — a fresh
+    /// allocation downstream). Includes unavoidable warm-up misses.
+    pub misses: u64,
+    /// Give-backs dropped because the lane was full or contended.
+    pub drops: u64,
+}
 
 /// Recycles routed sub-batch buffers between producers and shard workers
 /// (see the module docs).
@@ -48,6 +67,13 @@ pub struct BufferPool {
     containers: Mutex<Vec<Vec<Vec<u64>>>>,
     /// Maximum buffers retained per lane; give-backs beyond it are dropped.
     lane_capacity: usize,
+    /// Checkout slots refilled with recycled capacity (relaxed telemetry).
+    hits: AtomicU64,
+    /// Checkout slots handed out with no capacity (a fresh allocation will
+    /// happen downstream when the router grows the buffer).
+    misses: AtomicU64,
+    /// Give-backs dropped on lane contention or a full lane.
+    drops: AtomicU64,
 }
 
 impl BufferPool {
@@ -68,6 +94,9 @@ impl BufferPool {
             lanes: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
             containers: Mutex::new(Vec::new()),
             lane_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            drops: AtomicU64::new(0),
         }
     }
 
@@ -93,6 +122,13 @@ impl BufferPool {
                         *part = buf;
                     }
                 }
+            }
+            // Relaxed telemetry: a capacity-less slot is a (future) fresh
+            // allocation the recycling loop failed to prevent.
+            if part.capacity() == 0 {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.hits.fetch_add(1, Ordering::Relaxed);
             }
         }
         parts
@@ -128,13 +164,25 @@ impl BufferPool {
         if let Ok(mut lane) = self.lanes[shard].try_lock() {
             if lane.len() < self.lane_capacity {
                 lane.push(buffer);
+                return;
             }
         }
+        self.drops.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Buffers currently parked in `shard`'s return lane (tests, metrics).
     pub fn lane_depth(&self, shard: usize) -> usize {
         self.lanes[shard].try_lock().map_or(0, |lane| lane.len())
+    }
+
+    /// Snapshot of the hit/miss/drop counters (relaxed reads; exact for
+    /// operations that happened-before the call).
+    pub fn counters(&self) -> PoolCounters {
+        PoolCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -165,10 +213,37 @@ mod tests {
             pool.give_back(0, Vec::with_capacity(8));
         }
         assert_eq!(pool.lane_depth(0), 2);
-        // Capacity-less buffers are not worth parking.
+        assert_eq!(pool.counters().drops, 3);
+        // Capacity-less buffers are not worth parking (and not a "drop" —
+        // there was no capacity to lose).
         let pool = BufferPool::new(1, 2);
         pool.give_back(0, Vec::new());
         assert_eq!(pool.lane_depth(0), 0);
+        assert_eq!(pool.counters().drops, 0);
+    }
+
+    #[test]
+    fn counters_expose_the_recycling_loop() {
+        let pool = BufferPool::new(2, 4);
+        // Cold checkout: every slot is a (warm-up) miss.
+        let mut parts = pool.checkout();
+        assert_eq!(
+            pool.counters(),
+            PoolCounters {
+                hits: 0,
+                misses: 2,
+                drops: 0
+            }
+        );
+        parts[0].extend(0..64u64);
+        let sent = std::mem::take(&mut parts[0]);
+        pool.checkin(parts);
+        pool.give_back(0, sent);
+        // Warm checkout: shard 0 recycles, shard 1 still misses.
+        let parts = pool.checkout();
+        let counters = pool.counters();
+        assert_eq!((counters.hits, counters.misses), (1, 3));
+        drop(parts);
     }
 
     #[test]

@@ -114,6 +114,14 @@ pub trait Router: Send + Sync {
         Vec::new()
     }
 
+    /// Monotone count of hot-set changes (promotion events) so far; `0`
+    /// forever for static routers. Observability layers poll this cheaply
+    /// (one atomic load) to detect promotions without hooking the routing
+    /// path.
+    fn promotions(&self) -> u64 {
+        0
+    }
+
     /// Pre-promotes `keys` to the split (replicated) set, if the policy
     /// supports splitting. Used by crash recovery to restore a persisted hot
     /// set, so replicated-key placements — and therefore query-time summing —
@@ -445,6 +453,11 @@ impl Router for SkewAwareRouter {
 
     fn hot_keys(&self) -> Vec<u64> {
         (*self.hot_set()).clone()
+    }
+
+    fn promotions(&self) -> u64 {
+        // The promotion epoch is bumped exactly once per hot-set change.
+        self.promotion_epoch.load(Ordering::Acquire)
     }
 
     fn promote(&self, keys: &[u64]) {
