@@ -2,13 +2,18 @@
 //! trajectory.
 //!
 //! `reproduce --bench-json <path>` collects one record per measurement and
-//! writes them as a JSON array. Two record shapes exist:
+//! writes them as a JSON array. Three record shapes exist:
 //!
 //! * throughput — `{"experiment", "config", "items_per_sec"}` (every
 //!   committed `BENCH_<pr>.json` since PR 5);
 //! * latency percentiles — `{"experiment", "config", "metric", "p50_ns",
 //!   "p90_ns", "p99_ns", "p999_ns"}` (added with the observability layer:
-//!   E14 records enqueue-wait and per-kind query latencies).
+//!   E14 records enqueue-wait and per-kind query latencies);
+//! * request latency — `{"experiment", "config", "metric", "requests",
+//!   "busy", "p50_ns", "p99_ns", "p999_ns"}` (added with the serving front
+//!   end: E15 records open-loop, coordinated-omission-free request
+//!   latencies per request kind, plus how many requests ran and how many
+//!   were rejected with `Busy`).
 //!
 //! The writer is hand-rolled (no serde in the offline build); experiment,
 //! config and metric strings are plain ASCII table labels, escaped for the
@@ -50,6 +55,28 @@ pub enum Record {
         /// 99.9th percentile, ns.
         p999_ns: u64,
     },
+    /// One open-loop request-latency distribution from the serving front
+    /// end. Latency is measured from each request's *scheduled* send time,
+    /// so a stalled server inflates the percentiles instead of silently
+    /// thinning the sample (no coordinated omission).
+    RequestLatency {
+        /// Experiment id, e.g. `"E15"`.
+        experiment: String,
+        /// Configuration label, e.g. `"serve x4 loopback"`.
+        config: String,
+        /// Request kind, e.g. `"ingest"` or `"estimate"`.
+        metric: String,
+        /// Requests that completed successfully.
+        requests: u64,
+        /// Requests rejected with an explicit `Busy` (backpressure).
+        busy: u64,
+        /// Median, ns, from scheduled send time.
+        p50_ns: u64,
+        /// 99th percentile, ns.
+        p99_ns: u64,
+        /// 99.9th percentile, ns.
+        p999_ns: u64,
+    },
 }
 
 static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
@@ -84,6 +111,29 @@ pub fn record_latency(
         metric: metric.to_string(),
         p50_ns,
         p90_ns,
+        p99_ns,
+        p999_ns,
+    });
+}
+
+/// Appends one open-loop request-latency record to the in-process
+/// collection. `requests` counts completed requests, `busy` counts explicit
+/// backpressure rejections; percentiles are nanoseconds from the scheduled
+/// send time.
+pub fn record_request_latency(
+    experiment: &str,
+    config: &str,
+    metric: &str,
+    (requests, busy): (u64, u64),
+    (p50_ns, p99_ns, p999_ns): (u64, u64, u64),
+) {
+    push(Record::RequestLatency {
+        experiment: experiment.to_string(),
+        config: config.to_string(),
+        metric: metric.to_string(),
+        requests,
+        busy,
+        p50_ns,
         p99_ns,
         p999_ns,
     });
@@ -140,6 +190,24 @@ pub fn write_to(path: impl AsRef<Path>) -> std::io::Result<usize> {
                 escape(config),
                 escape(metric),
             )?,
+            Record::RequestLatency {
+                experiment,
+                config,
+                metric,
+                requests,
+                busy,
+                p50_ns,
+                p99_ns,
+                p999_ns,
+            } => writeln!(
+                out,
+                "  {{\"experiment\": \"{}\", \"config\": \"{}\", \"metric\": \"{}\", \
+                 \"requests\": {requests}, \"busy\": {busy}, \
+                 \"p50_ns\": {p50_ns}, \"p99_ns\": {p99_ns}, \"p999_ns\": {p999_ns}}}{comma}",
+                escape(experiment),
+                escape(config),
+                escape(metric),
+            )?,
         }
     }
     writeln!(out, "]")?;
@@ -147,9 +215,11 @@ pub fn write_to(path: impl AsRef<Path>) -> std::io::Result<usize> {
 }
 
 /// Validates a committed `BENCH_<pr>.json` file against the record schema:
-/// a JSON array, one object per line, each object either a throughput
-/// record (`experiment`, `config`, `items_per_sec`) or a latency record
-/// (`experiment`, `config`, `metric`, and the four `p*_ns` percentiles).
+/// a JSON array, one object per line, each object exactly one of a
+/// throughput record (`experiment`, `config`, `items_per_sec`), a latency
+/// record (`experiment`, `config`, `metric`, and the four `p*_ns`
+/// percentiles), or a request-latency record (`experiment`, `config`,
+/// `metric`, `requests`, `busy`, and the `p50/p99/p999_ns` percentiles).
 /// Returns the number of valid records, or a description of the first
 /// malformed line. Matches exactly what [`write_to`] emits — the point is
 /// to catch hand-edited or truncated committed files in CI, not to be a
@@ -195,9 +265,18 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<usize, String> {
             && ["p50_ns", "p90_ns", "p99_ns", "p999_ns"]
                 .iter()
                 .all(|k| has_num_key(k));
-        if throughput == latency {
+        let request_latency = has_str_key("metric")
+            && ["requests", "busy", "p50_ns", "p99_ns", "p999_ns"]
+                .iter()
+                .all(|k| has_num_key(k));
+        if [throughput, latency, request_latency]
+            .iter()
+            .filter(|&&shape| shape)
+            .count()
+            != 1
+        {
             return Err(bad(
-                "must be exactly one of a throughput or a latency record",
+                "must be exactly one of a throughput, latency, or request-latency record",
             ));
         }
         records += 1;
@@ -224,11 +303,18 @@ mod tests {
             "enqueue_wait",
             (64, 128, 512, 2048),
         );
+        record_request_latency(
+            "E15",
+            "serve x4 loopback",
+            "ingest",
+            (1000, 7),
+            (10, 90, 900),
+        );
         let dir = std::env::temp_dir().join(format!("psfa-bench-json-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("out.json");
         let n = write_to(&path).unwrap();
-        assert!(n >= 2);
+        assert!(n >= 3);
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("[\n"));
         assert!(text.contains("\"experiment\": \"E13\""));
@@ -236,6 +322,7 @@ mod tests {
         assert!(text.contains("\"items_per_sec\": 1234568"));
         assert!(text.contains("\"metric\": \"enqueue_wait\""));
         assert!(text.contains("\"p999_ns\": 2048"));
+        assert!(text.contains("\"requests\": 1000, \"busy\": 7"));
         // What the writer emits, the validator accepts.
         assert_eq!(validate_file(&path).unwrap(), n);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -278,10 +365,17 @@ mod tests {
         // Missing keys.
         let p = write("c.json", "[\n  {\"experiment\": \"E9\"}\n]\n");
         assert!(validate_file(p).is_err());
-        // Neither throughput nor latency.
+        // None of the three record shapes.
         let p = write(
             "d.json",
             "[\n  {\"experiment\": \"E14\", \"config\": \"x\", \"metric\": \"m\"}\n]\n",
+        );
+        assert!(validate_file(p).is_err());
+        // Request-latency record missing its busy counter.
+        let p = write(
+            "f.json",
+            "[\n  {\"experiment\": \"E15\", \"config\": \"x\", \"metric\": \"ingest\", \
+             \"requests\": 10, \"p50_ns\": 1, \"p99_ns\": 2, \"p999_ns\": 3}\n]\n",
         );
         assert!(validate_file(p).is_err());
         // Empty array.

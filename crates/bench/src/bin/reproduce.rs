@@ -1,9 +1,10 @@
 //! Regenerates every experiment in DESIGN.md §4 (E1–E8, F2) plus the engine
 //! serving experiment (E9), the skew-aware routing experiment (E10), the
 //! persistence-overhead experiment (E11), the global-sliding-window
-//! experiment (E12), the ingest-hot-path experiment (E13), and the
-//! observability-overhead experiment (E14), and prints the result tables
-//! recorded in EXPERIMENTS.md.
+//! experiment (E12), the ingest-hot-path experiment (E13), the
+//! observability-overhead experiment (E14), and the serving-front-end
+//! experiment (E15), and prints the result tables recorded in
+//! EXPERIMENTS.md.
 //!
 //! Usage:
 //! ```text
@@ -17,9 +18,11 @@
 //! full sweep finishes in seconds — for CI smoke runs and local iteration;
 //! recorded numbers should come from a full run. `--bench-json <path>`
 //! additionally writes the measurements as machine-readable records — one
-//! `{experiment, config, items_per_sec}` object per throughput measurement
-//! and one `{experiment, config, metric, p50_ns, …, p999_ns}` object per
-//! latency distribution (the committed `BENCH_<pr>.json` trajectory).
+//! `{experiment, config, items_per_sec}` object per throughput measurement,
+//! one `{experiment, config, metric, p50_ns, …, p999_ns}` object per
+//! latency distribution, and one `{experiment, config, metric, requests,
+//! busy, p50_ns, p99_ns, p999_ns}` object per open-loop request-latency
+//! distribution (the committed `BENCH_<pr>.json` trajectory).
 
 use std::collections::HashMap;
 
@@ -108,6 +111,9 @@ fn main() {
     }
     if want("e14") {
         e14_observability(quick);
+    }
+    if want("e15") {
+        e15_serving(quick);
     }
     if want("f2") {
         f2_snapshot_example();
@@ -1466,6 +1472,217 @@ fn e14_observability(quick: bool) {
     }
     engine.shutdown();
     println!();
+}
+
+/// E15 — the serving front end under open-loop load over loopback.
+///
+/// Part (a) runs three concurrent open-loop load generators — ingest,
+/// point-estimate queries, and heavy-hitter queries — against one server
+/// backed by a 4-shard engine. Latency is measured from each request's
+/// *scheduled* send time (no coordinated omission; see
+/// `psfa_bench::loadgen`), and the harvested p50/p99/p999 go into the
+/// bench-json trajectory as request-latency records. Asserts the runs are
+/// error-free, that query p99 stays bounded while ingest runs concurrently
+/// (queries read published snapshots and never block on ingest), and that
+/// every accepted ingest batch — and nothing else — reached the engine
+/// (`Busy` rejections are clean).
+///
+/// Part (b) overdrives a deliberately slow engine (one shard,
+/// `queue_capacity(1)`, a lifted operator that sleeps per batch) and
+/// asserts the backpressure contract: the server answers `Busy` instead of
+/// buffering, and its peak in-flight bytes stay within the documented
+/// `max_connections × MAX_FRAME_LEN × 2` bound.
+fn e15_serving(quick: bool) {
+    use psfa_bench::loadgen::{run_open_loop, OpenLoopConfig};
+    use std::sync::Arc;
+
+    println!("== E15: serving front end — open-loop request latency over loopback ==");
+    let phi = 0.01;
+    let eps = 0.001;
+    let batch_items = 512u64;
+    // Pre-generated ingest payloads, reused round-robin by request slot.
+    let payloads: Arc<Vec<Vec<u64>>> =
+        Arc::new(zipf_minibatches(100_000, 1.2, 64, batch_items as usize, 71));
+
+    // --- (a) request latency under concurrent ingest + queries ----------
+    let engine = Engine::spawn(
+        EngineConfig::with_shards(4)
+            .heavy_hitters(phi, eps)
+            .sliding_window(160_000),
+    );
+    let server = Server::spawn(engine.handle(), ServeConfig::default().max_connections(64))
+        .expect("E15: server spawn");
+    let addr = server.local_addr();
+
+    let ingest_config = OpenLoopConfig {
+        rate_per_sec: 2_000.0,
+        total_requests: scaled(8_000, quick).max(300),
+        initial_clients: 2,
+        max_clients: 8,
+        backlog_spawn_threshold: 32,
+    };
+    let query_config = OpenLoopConfig {
+        rate_per_sec: 1_000.0,
+        total_requests: scaled(4_000, quick).max(150),
+        initial_clients: 2,
+        max_clients: 8,
+        backlog_spawn_threshold: 32,
+    };
+    let runs = vec![
+        ("ingest", {
+            let payloads = Arc::clone(&payloads);
+            let config = ingest_config.clone();
+            std::thread::spawn(move || {
+                run_open_loop(addr, &config, move |i| {
+                    Request::IngestBatch(payloads[i % payloads.len()].clone())
+                })
+            })
+        }),
+        ("estimate", {
+            let config = query_config.clone();
+            std::thread::spawn(move || {
+                run_open_loop(addr, &config, |i| Request::Estimate(i as u64 % 64))
+            })
+        }),
+        ("heavy_hitters", {
+            let config = query_config.clone();
+            std::thread::spawn(move || run_open_loop(addr, &config, |_| Request::HeavyHitters))
+        }),
+    ];
+    println!(
+        "{}",
+        header(&["kind", "ok", "busy", "conns", "req/s", "p50 ns", "p99 ns", "p999 ns"])
+    );
+    // Generous: loopback queries are microseconds; the cap only has to
+    // catch queries *blocking* behind ingest, which would push p99 into
+    // whole scheduling quanta.
+    let query_p99_cap_ns = 250_000_000u64;
+    let mut ingest_completed = 0u64;
+    for (kind, join) in runs {
+        let report = join
+            .join()
+            .expect("E15: load generator thread panicked")
+            .unwrap_or_else(|e| panic!("E15: {kind} load generator failed: {e}"));
+        assert_eq!(
+            report.errors, 0,
+            "E15: {kind} load generator hit transport errors"
+        );
+        if kind == "ingest" {
+            ingest_completed = report.completed;
+        } else {
+            assert_eq!(report.busy, 0, "E15: query path must never answer Busy");
+            assert!(
+                report.latency.p99 <= query_p99_cap_ns,
+                "E15: {kind} p99 {} ns above the 250 ms bound under concurrent ingest",
+                report.latency.p99
+            );
+        }
+        bench_json::record_request_latency(
+            "E15",
+            "serve x4 loopback",
+            kind,
+            (report.completed, report.busy),
+            (report.latency.p50, report.latency.p99, report.latency.p999),
+        );
+        println!(
+            "{}",
+            row(&[
+                kind.into(),
+                report.completed.to_string(),
+                report.busy.to_string(),
+                report.clients.to_string(),
+                format!("{:.0}", report.requests_per_sec),
+                report.latency.p50.to_string(),
+                report.latency.p99.to_string(),
+                report.latency.p999.to_string(),
+            ])
+        );
+    }
+    engine.drain();
+    // Busy rejections are clean: exactly the acknowledged batches arrived.
+    let handle = engine.handle();
+    assert_eq!(
+        handle.total_items(),
+        ingest_completed * batch_items,
+        "E15: engine item count must match acknowledged ingest batches exactly"
+    );
+    let metrics = server.shutdown();
+    assert_eq!(metrics.frame_errors, 0, "E15: no protocol errors expected");
+    engine.shutdown();
+
+    // --- (b) explicit backpressure under an overdriven slow engine ------
+    let sleepy = ("sleepy".to_string(), |_shard: usize| {
+        ("sleepy".to_string(), |_minibatch: &[u64]| {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        })
+    });
+    let engine = Engine::builder(
+        EngineConfig::with_shards(1)
+            .queue_capacity(1)
+            .heavy_hitters(phi, eps),
+    )
+    .lift(sleepy)
+    .spawn();
+    let max_connections = 8usize;
+    let server = Server::spawn(
+        engine.handle(),
+        ServeConfig::default().max_connections(max_connections),
+    )
+    .expect("E15: backpressure server spawn");
+    let config = OpenLoopConfig {
+        rate_per_sec: 2_000.0,
+        total_requests: scaled(2_000, quick).max(300),
+        initial_clients: 2,
+        max_clients: 4,
+        backlog_spawn_threshold: 16,
+    };
+    let addr = server.local_addr();
+    let slow_payloads = Arc::clone(&payloads);
+    let report = run_open_loop(addr, &config, move |i| {
+        Request::IngestBatch(slow_payloads[i % slow_payloads.len()].clone())
+    })
+    .expect("E15: backpressure load generator");
+    assert_eq!(
+        report.errors, 0,
+        "E15: Busy must be a response, not an error"
+    );
+    assert!(
+        report.busy > 0,
+        "E15: overdriving a queue_capacity(1) engine must surface Busy"
+    );
+    bench_json::record_request_latency(
+        "E15",
+        "serve x1 queue=1 overdriven",
+        "ingest",
+        (report.completed, report.busy),
+        (report.latency.p50, report.latency.p99, report.latency.p999),
+    );
+    let metrics = server.shutdown();
+    assert_eq!(
+        metrics.busy_responses, report.busy,
+        "E15: every Busy the client saw came from the engine's admission check"
+    );
+    let inflight_cap = (max_connections * MAX_FRAME_LEN * 2) as u64;
+    assert!(
+        metrics.peak_inflight_bytes > 0 && metrics.peak_inflight_bytes <= inflight_cap,
+        "E15: peak in-flight bytes {} outside (0, {inflight_cap}]",
+        metrics.peak_inflight_bytes
+    );
+    engine.drain();
+    let final_report = engine.shutdown();
+    assert_eq!(
+        final_report.total_items(),
+        report.completed * batch_items,
+        "E15: rejected batches must leave no partial state behind"
+    );
+    println!(
+        "  backpressure: {} accepted, {} busy ({}% shed), peak in-flight {} B \u{2264} cap {} B\n",
+        report.completed,
+        report.busy,
+        report.busy * 100 / (report.completed + report.busy).max(1),
+        metrics.peak_inflight_bytes,
+        inflight_cap
+    );
 }
 
 /// F2 — the γ-snapshot worked example of Figure 2.

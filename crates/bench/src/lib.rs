@@ -13,6 +13,7 @@ use psfa::prelude::*;
 pub mod alloc_counter;
 pub mod bench_json;
 pub mod hotpath;
+pub mod loadgen;
 
 /// Number of threads rayon is using — recorded in experiment output because
 /// the depth/speedup claims are only observable with more than one core.

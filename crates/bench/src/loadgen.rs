@@ -1,0 +1,260 @@
+//! Open-loop load generator for the `psfa-serve` front end.
+//!
+//! Closed-loop benchmarks (send, wait, send) suffer from *coordinated
+//! omission*: when the server stalls, the client stops issuing requests, so
+//! the stall shows up once instead of once per request that should have been
+//! sent during it. This generator avoids that two ways:
+//!
+//! 1. **The schedule is fixed in advance.** Request `i` of a run at rate `r`
+//!    is due at `start + i/r`, independent of how the server is doing.
+//!    Latency is measured from the *scheduled* time, so queueing delay —
+//!    whether inside the client pool or inside the server — is part of every
+//!    affected sample rather than silently thinning the sample set.
+//! 2. **The client pool grows under backpressure.** A monitor watches how
+//!    far completions lag the schedule; when the backlog exceeds a
+//!    threshold, it spawns an additional client connection (up to a cap) so
+//!    a single slow in-flight request cannot serialize the whole run.
+//!
+//! Workers claim schedule slots from a shared atomic counter, sleep until
+//! the slot is due, send, and record `completion − scheduled` into a
+//! lock-free [`AtomicLogHistogram`]. `Busy` responses (explicit engine
+//! backpressure) are counted separately and excluded from the latency
+//! distribution: they measure admission control, not service time.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use psfa::prelude::*;
+
+/// Configuration for one open-loop run against a single request kind.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Target request rate, requests per second. Must be positive.
+    pub rate_per_sec: f64,
+    /// Total number of requests in the (pre-fixed) schedule.
+    pub total_requests: usize,
+    /// Client connections opened before the run starts.
+    pub initial_clients: usize,
+    /// Upper bound on client connections, including spawned ones.
+    pub max_clients: usize,
+    /// Spawn another client once completions lag the schedule by this many
+    /// requests.
+    pub backlog_spawn_threshold: usize,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        Self {
+            rate_per_sec: 5_000.0,
+            total_requests: 10_000,
+            initial_clients: 2,
+            max_clients: 16,
+            backlog_spawn_threshold: 32,
+        }
+    }
+}
+
+/// Outcome of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests that completed with a non-`Busy`, non-error response.
+    pub completed: u64,
+    /// Requests rejected with an explicit `Busy` response.
+    pub busy: u64,
+    /// Transport or protocol errors (a correct run has zero).
+    pub errors: u64,
+    /// Client connections used, including any spawned under backpressure.
+    pub clients: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Achieved throughput over completed + busy requests.
+    pub requests_per_sec: f64,
+    /// Latency from scheduled send time, successful requests only.
+    pub latency: Percentiles,
+}
+
+impl LoadReport {
+    /// Renders the report as one human-readable line.
+    pub fn summary_line(&self, label: &str) -> String {
+        format!(
+            "{label:>12}: {completed} ok, {busy} busy, {errors} err over {clients} conns \
+             @ {rate:.0} req/s — p50 {p50} p99 {p99} p999 {p999} (ns, from schedule)",
+            completed = self.completed,
+            busy = self.busy,
+            errors = self.errors,
+            clients = self.clients,
+            rate = self.requests_per_sec,
+            p50 = self.latency.p50,
+            p99 = self.latency.p99,
+            p999 = self.latency.p999,
+        )
+    }
+}
+
+struct Shared {
+    next_slot: AtomicUsize,
+    completed: AtomicU64,
+    busy: AtomicU64,
+    errors: AtomicU64,
+    stop: AtomicBool,
+    latency: AtomicLogHistogram,
+}
+
+/// Runs one open-loop schedule of `config.total_requests` requests against
+/// the server at `addr`, issuing `make_request(i)` for slot `i`. Blocks
+/// until the schedule is drained and every client has exited.
+///
+/// `Busy` responses count toward [`LoadReport::busy`]; any transport or
+/// protocol error counts toward [`LoadReport::errors`] and retires the
+/// client that hit it (the backlog monitor will replace it if the run is
+/// falling behind and the cap allows).
+pub fn run_open_loop(
+    addr: SocketAddr,
+    config: &OpenLoopConfig,
+    make_request: impl Fn(usize) -> Request + Send + Sync + 'static,
+) -> std::io::Result<LoadReport> {
+    assert!(config.rate_per_sec > 0.0, "rate must be positive");
+    assert!(config.initial_clients >= 1, "need at least one client");
+    assert!(
+        config.max_clients >= config.initial_clients,
+        "max_clients must admit the initial pool"
+    );
+    let shared = Arc::new(Shared {
+        next_slot: AtomicUsize::new(0),
+        completed: AtomicU64::new(0),
+        busy: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        latency: AtomicLogHistogram::new(),
+    });
+    let make_request: Arc<dyn Fn(usize) -> Request + Send + Sync> = Arc::new(make_request);
+    let interval = Duration::from_secs_f64(1.0 / config.rate_per_sec);
+    let total = config.total_requests;
+    let start = Instant::now();
+
+    let spawn_client = |id: usize| -> std::io::Result<std::thread::JoinHandle<()>> {
+        let shared = Arc::clone(&shared);
+        let make_request = Arc::clone(&make_request);
+        let mut client = Client::connect(addr)?;
+        Ok(std::thread::Builder::new()
+            .name(format!("psfa-loadgen-{id}"))
+            .spawn(move || worker(&mut client, &shared, &*make_request, start, interval, total))
+            .expect("spawn load generator client thread"))
+    };
+
+    let mut handles = Vec::with_capacity(config.max_clients);
+    for id in 0..config.initial_clients {
+        handles.push(spawn_client(id)?);
+    }
+
+    // Backlog monitor: spawn extra clients while the run lags the schedule.
+    while shared.next_slot.load(Ordering::Relaxed) < total {
+        std::thread::sleep(interval.max(Duration::from_millis(2)));
+        let due = (start.elapsed().as_secs_f64() * config.rate_per_sec) as usize;
+        let finished = (shared.completed.load(Ordering::Relaxed)
+            + shared.busy.load(Ordering::Relaxed)
+            + shared.errors.load(Ordering::Relaxed)) as usize;
+        let backlog = due.min(total).saturating_sub(finished);
+        if backlog > config.backlog_spawn_threshold && handles.len() < config.max_clients {
+            // The server may refuse at its connection cap; keep going with
+            // the pool we have.
+            if let Ok(h) = spawn_client(handles.len()) {
+                handles.push(h);
+            }
+        }
+    }
+    let clients = handles.len();
+    for h in handles {
+        h.join().expect("load generator client panicked");
+    }
+    shared.stop.store(true, Ordering::Relaxed);
+
+    let elapsed = start.elapsed();
+    let completed = shared.completed.load(Ordering::Relaxed);
+    let busy = shared.busy.load(Ordering::Relaxed);
+    let errors = shared.errors.load(Ordering::Relaxed);
+    Ok(LoadReport {
+        completed,
+        busy,
+        errors,
+        clients,
+        elapsed,
+        requests_per_sec: (completed + busy) as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency: shared.latency.percentiles(),
+    })
+}
+
+fn worker(
+    client: &mut Client,
+    shared: &Shared,
+    make_request: &(dyn Fn(usize) -> Request + Send + Sync),
+    start: Instant,
+    interval: Duration,
+    total: usize,
+) {
+    loop {
+        let slot = shared.next_slot.fetch_add(1, Ordering::Relaxed);
+        if slot >= total {
+            return;
+        }
+        let scheduled = start + interval.mul_f64(slot as f64);
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        let request = make_request(slot);
+        match client.call(&request) {
+            Ok(Response::Busy) => {
+                shared.busy.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Response::Error { .. }) | Err(_) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                // A broken connection cannot serve further slots; retire.
+                return;
+            }
+            Ok(_) => {
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                let latency = Instant::now().saturating_duration_since(scheduled);
+                shared.latency.record(latency.as_nanos() as u64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_loop_run_completes_the_schedule_and_measures_latency() {
+        let engine = Engine::spawn(EngineConfig::with_shards(2).heavy_hitters(0.05, 0.01));
+        let server = Server::spawn(engine.handle(), ServeConfig::default()).expect("server");
+        let addr = server.local_addr();
+        let config = OpenLoopConfig {
+            rate_per_sec: 2_000.0,
+            total_requests: 400,
+            initial_clients: 2,
+            max_clients: 4,
+            backlog_spawn_threshold: 64,
+        };
+        let report = run_open_loop(addr, &config, move |i| {
+            if i % 4 == 0 {
+                Request::Estimate(7)
+            } else {
+                Request::IngestBatch(vec![7; 32])
+            }
+        })
+        .expect("run");
+        assert_eq!(report.errors, 0, "loopback run must be error-free");
+        assert_eq!(report.completed + report.busy, 400);
+        assert!(report.latency.count > 0);
+        assert!(report.latency.p50 <= report.latency.p999);
+        assert!(report.clients >= 2 && report.clients <= 4);
+        assert!(report.summary_line("mixed").contains("p999"));
+        server.shutdown();
+        let report = engine.shutdown();
+        assert!(report.total_items() > 0);
+    }
+}

@@ -100,6 +100,40 @@ impl fmt::Display for IngestError {
 
 impl std::error::Error for IngestError {}
 
+/// Error returned by [`EngineHandle::try_ingest`]. Both variants are clean
+/// rejections: nothing was enqueued and the stream state is exactly as if
+/// the call never happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryIngestError {
+    /// At least one target shard's queue was at capacity. The caller
+    /// should shed, retry later, or fall back to the blocking
+    /// [`EngineHandle::ingest`].
+    Busy,
+    /// The engine is shut down.
+    Closed,
+}
+
+impl fmt::Display for TryIngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryIngestError::Busy => {
+                write!(
+                    f,
+                    "shard queues are full; minibatch rejected (nothing was enqueued)"
+                )
+            }
+            TryIngestError::Closed => {
+                write!(
+                    f,
+                    "engine is shut down; minibatch rejected (nothing was enqueued)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryIngestError {}
+
 /// Builder collecting lifted operators before the workers start.
 pub struct EngineBuilder {
     config: EngineConfig,
@@ -268,6 +302,7 @@ impl EngineBuilder {
             epsilon: config.epsilon,
             window: config.window,
             window_panes: config.window_panes,
+            queue_capacity: config.queue_capacity,
         };
         // The periodic reporter renders the full ObsReport table off a
         // cloned handle; it only exists when both observability and a
@@ -547,6 +582,9 @@ pub struct EngineHandle {
     epsilon: f64,
     window: Option<u64>,
     window_panes: usize,
+    /// Per-shard queue capacity in minibatches — the admission threshold
+    /// of [`EngineHandle::try_ingest`].
+    queue_capacity: usize,
 }
 
 impl EngineHandle {
@@ -634,6 +672,64 @@ impl EngineHandle {
             // The window clock ticks under the same guard as the sends, so
             // a boundary cut orders before or after the whole minibatch —
             // never between its per-shard parts.
+            if let Some(windows) = &self.window_fence {
+                windows.record(&guard, minibatch.len() as u64);
+            }
+            self.accepted_batches
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        self.cut_due_window_boundaries();
+        Ok(())
+    }
+
+    /// Non-blocking [`EngineHandle::ingest`]: routes the minibatch, then
+    /// *admits* it only if every target shard's queue has room, so a full
+    /// engine surfaces as [`TryIngestError::Busy`] instead of a stalled
+    /// caller — the backpressure primitive `psfa-serve` turns into `Busy`
+    /// responses.
+    ///
+    /// [`TryIngestError::Busy`] is always a **clean rejection**: the check
+    /// runs before any send, so nothing was enqueued. A graceful shutdown
+    /// rejects cleanly too; only a shard worker *dying* (panicking)
+    /// between this call's sends can leave the batch partially delivered —
+    /// the same caveat as [`EngineHandle::ingest`]. The admission check is
+    /// advisory under racing producers: a queue slot observed free can be
+    /// taken by a concurrent producer before the send lands, in which case
+    /// the send blocks for that one batch — a write stall bounded by the
+    /// race window, never unbounded buffering.
+    pub fn try_ingest(&self, minibatch: &[u64]) -> Result<(), TryIngestError> {
+        if minibatch.is_empty() {
+            return Ok(());
+        }
+        {
+            let Some(guard) = self.fence.enter() else {
+                return Err(TryIngestError::Closed);
+            };
+            let mut parts = self.pool.checkout();
+            self.router.partition_into(minibatch, &mut parts);
+            self.trace_hot_promotions();
+            // Admission: every target shard must have queue room *now*.
+            // Depth is derived from the monotone stat counters (processed
+            // read before enqueued, so it never under-reports room).
+            let full = parts.iter().enumerate().any(|(shard, part)| {
+                !part.is_empty()
+                    && self.shared[shard].stats.snapshot(shard).queue_depth
+                        >= self.queue_capacity as u64
+            });
+            if full {
+                self.pool.checkin(parts);
+                return Err(TryIngestError::Busy);
+            }
+            for (shard, slot) in parts.iter_mut().enumerate() {
+                if slot.is_empty() {
+                    continue;
+                }
+                if self.send_part(shard, std::mem::take(slot)).is_err() {
+                    self.pool.checkin(parts);
+                    return Err(TryIngestError::Closed);
+                }
+            }
+            self.pool.checkin(parts);
             if let Some(windows) = &self.window_fence {
                 windows.record(&guard, minibatch.len() as u64);
             }
@@ -760,32 +856,52 @@ impl EngineHandle {
     fn send_part(&self, shard: usize, part: Vec<u64>) -> Result<(), EngineClosed> {
         use std::sync::atomic::Ordering;
         let len = part.len() as u64;
-        match &self.obs {
+        // Reserve the counters *before* the send: the instant the batch is
+        // on the queue the worker may process it and bump
+        // `items_processed`, and `items_enqueued >= items_processed` must
+        // hold for every concurrent observer (the metrics invariant tests
+        // sample it mid-flight). A blocked producer transiently
+        // over-reports queue depth by its in-flight batch, which only
+        // makes `try_ingest` admission more conservative. Relaxed:
+        // monotone progress hints (see the ordering contract in
+        // `shard.rs`).
+        let stats = &self.shared[shard].stats;
+        stats.items_enqueued.fetch_add(len, Ordering::Relaxed);
+        stats.batches_enqueued.fetch_add(1, Ordering::Relaxed);
+        let sent = match &self.obs {
             None => self.senders[shard]
                 .send(ShardCommand::Batch(part))
-                .map_err(|_| EngineClosed)?,
+                .map_err(|_| EngineClosed),
             Some(obs) => {
                 // Backpressure accounting: an uncontended enqueue records a
                 // zero wait with no clock read; only the blocking path (the
                 // shard's queue was full) pays for timestamps.
                 match self.senders[shard].try_send(ShardCommand::Batch(part)) {
-                    Ok(()) => obs.enqueue_wait.record(0),
+                    Ok(()) => {
+                        obs.enqueue_wait.record(0);
+                        Ok(())
+                    }
                     Err(TrySendError::Full(cmd)) => {
                         let start = obs.now_ns();
-                        self.senders[shard].send(cmd).map_err(|_| EngineClosed)?;
-                        obs.enqueue_wait.record(obs.now_ns().saturating_sub(start));
+                        match self.senders[shard].send(cmd) {
+                            Ok(()) => {
+                                obs.enqueue_wait.record(obs.now_ns().saturating_sub(start));
+                                Ok(())
+                            }
+                            Err(_) => Err(EngineClosed),
+                        }
                     }
-                    Err(TrySendError::Disconnected(_)) => return Err(EngineClosed),
+                    Err(TrySendError::Disconnected(_)) => Err(EngineClosed),
                 }
             }
+        };
+        if sent.is_err() {
+            // The batch never reached the queue (the engine is shutting
+            // down): undo the reservation so no phantom depth survives.
+            stats.items_enqueued.fetch_sub(len, Ordering::Relaxed);
+            stats.batches_enqueued.fetch_sub(1, Ordering::Relaxed);
         }
-        // Counters only after a successful send, so a refused batch never
-        // leaves phantom queue depth behind. Relaxed: monotone progress
-        // hints (see the ordering contract in `shard.rs`).
-        let stats = &self.shared[shard].stats;
-        stats.items_enqueued.fetch_add(len, Ordering::Relaxed);
-        stats.batches_enqueued.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        sent
     }
 
     /// Non-blocking variant of [`EngineHandle::enqueue`]: returns the batch
@@ -805,6 +921,12 @@ impl EngineHandle {
                 return Err(TrySendError::Disconnected(part));
             };
             let len = part.len() as u64;
+            // Reserve before the send (see `send_part`): the worker may
+            // process the batch before a post-send increment would land,
+            // breaking `items_enqueued >= items_processed` for observers.
+            let stats = &self.shared[shard].stats;
+            stats.items_enqueued.fetch_add(len, Ordering::Relaxed);
+            stats.batches_enqueued.fetch_add(1, Ordering::Relaxed);
             match self.senders[shard].try_send(ShardCommand::Batch(part)) {
                 Ok(()) => {
                     if let Some(obs) = &self.obs {
@@ -812,20 +934,27 @@ impl EngineHandle {
                         // try_enqueue never waited.
                         obs.enqueue_wait.record(0);
                     }
-                    let stats = &self.shared[shard].stats;
-                    stats.items_enqueued.fetch_add(len, Ordering::Relaxed);
-                    stats.batches_enqueued.fetch_add(1, Ordering::Relaxed);
                     if let Some(windows) = &self.window_fence {
                         windows.record(&guard, len);
                     }
                     self.accepted_batches.fetch_add(1, Ordering::Relaxed);
                     Ok(())
                 }
-                Err(TrySendError::Full(ShardCommand::Batch(part))) => Err(TrySendError::Full(part)),
-                Err(TrySendError::Disconnected(ShardCommand::Batch(part))) => {
-                    Err(TrySendError::Disconnected(part))
+                Err(err) => {
+                    // Refused: undo the reservation so a shed batch leaves
+                    // no phantom queue depth behind.
+                    stats.items_enqueued.fetch_sub(len, Ordering::Relaxed);
+                    stats.batches_enqueued.fetch_sub(1, Ordering::Relaxed);
+                    match err {
+                        TrySendError::Full(ShardCommand::Batch(part)) => {
+                            Err(TrySendError::Full(part))
+                        }
+                        TrySendError::Disconnected(ShardCommand::Batch(part)) => {
+                            Err(TrySendError::Disconnected(part))
+                        }
+                        _ => unreachable!("try_send returns the command it was given"),
+                    }
                 }
-                Err(_) => unreachable!("try_send returns the command it was given"),
             }
         };
         if result.is_ok() {
@@ -1789,6 +1918,92 @@ mod tests {
             }
         }
         assert!(full_seen, "a capacity-1 queue must report Full under load");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn try_ingest_rejects_cleanly_when_full_and_when_closed() {
+        let engine = Engine::spawn(
+            EngineConfig::with_shards(1)
+                .queue_capacity(1)
+                .heavy_hitters(0.05, 0.01),
+        );
+        let handle = engine.handle();
+        let batch: Vec<u64> = vec![1; 50_000];
+        let mut accepted = 0u64;
+        let mut busy_seen = false;
+        for _ in 0..200 {
+            match handle.try_ingest(&batch) {
+                Ok(()) => accepted += 1,
+                Err(TryIngestError::Busy) => {
+                    busy_seen = true;
+                    break;
+                }
+                Err(TryIngestError::Closed) => panic!("engine closed unexpectedly"),
+            }
+        }
+        assert!(busy_seen, "a capacity-1 queue must report Busy under load");
+        engine.drain();
+        // Busy was a clean rejection: exactly the accepted batches landed.
+        assert_eq!(handle.total_items(), accepted * batch.len() as u64);
+        // Room again after the drain.
+        handle.try_ingest(&[9, 9, 9]).unwrap();
+        engine.shutdown();
+        assert_eq!(handle.try_ingest(&[1]), Err(TryIngestError::Closed));
+        assert_eq!(handle.try_ingest(&[]), Ok(()), "empty batch is a no-op");
+    }
+
+    #[test]
+    fn membership_publication_rate_limit_suppresses_uniform_churn() {
+        // A uniform stream of ever-fresh keys churns MG membership on every
+        // batch; with the interval at 64 the worker may publish for
+        // membership at most once per 64 epochs.
+        let engine = Engine::spawn(
+            EngineConfig::with_shards(1)
+                .heavy_hitters(0.1, 0.01)
+                .membership_publish_interval(64)
+                .observe(),
+        );
+        let handle = engine.handle();
+        let batches = 48u64;
+        for b in 0..batches {
+            let batch: Vec<u64> = (0..200).map(|i| b * 200 + i).collect();
+            handle.ingest(&batch).unwrap();
+        }
+        engine.drain();
+        let report = handle.metrics().obs.expect("obs report present");
+        let membership = report.counter("republish_membership").unwrap();
+        let suppressed = report.counter("republish_suppressed").unwrap();
+        assert!(
+            membership <= 1 + batches / 64,
+            "rate limit must cap membership publications, saw {membership}"
+        );
+        assert!(
+            suppressed > 0,
+            "uniform churn inside the interval must be counted as suppressed"
+        );
+        // The lazy paths still publish: after the drain the snapshot is
+        // exactly current despite the suppressed membership changes.
+        assert_eq!(handle.epochs(), vec![batches]);
+        assert_eq!(handle.total_items(), batches * 200);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn default_interval_preserves_immediate_membership_publication() {
+        let engine = Engine::spawn(
+            EngineConfig::with_shards(1)
+                .heavy_hitters(0.1, 0.01)
+                .observe(),
+        );
+        let handle = engine.handle();
+        // First batch: membership goes empty → nonempty, published at once
+        // (no suppression possible at the default interval of 1).
+        handle.ingest(&[7, 7, 7]).unwrap();
+        engine.drain();
+        let report = handle.metrics().obs.expect("obs report present");
+        assert!(report.counter("republish_membership").unwrap() >= 1);
+        assert_eq!(report.counter("republish_suppressed").unwrap(), 0);
         engine.shutdown();
     }
 }

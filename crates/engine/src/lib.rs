@@ -121,7 +121,9 @@ mod persist;
 mod shard;
 
 pub use config::EngineConfig;
-pub use engine::{Engine, EngineBuilder, EngineClosed, EngineHandle, EngineReport, IngestError};
+pub use engine::{
+    Engine, EngineBuilder, EngineClosed, EngineHandle, EngineReport, IngestError, TryIngestError,
+};
 pub use metrics::{EngineMetrics, ShardMetrics, StoreMetrics, WindowMetrics};
 pub use obs::ObsConfig;
 pub use operator::{EngineOperator, ShardedOperator};

@@ -42,6 +42,7 @@
 //! | [`psfa_engine`] | beyond the paper | sharded multi-threaded ingestion engine with pluggable routing, live cross-shard queries, and globally consistent sliding windows (`Engine`, `EngineHandle`) |
 //! | [`psfa_store`] | beyond the paper | epoch-snapshot persistence: checksummed append-only segment log, crash recovery (`Engine::recover`), time-travel queries (`heavy_hitters_at`) |
 //! | [`psfa_obs`] | beyond the paper | lock-free observability: mergeable latency histograms, stall accounting, bounded event tracing, Prometheus text export |
+//! | [`psfa_serve`] | beyond the paper | network serving front end: length-prefixed binary protocol over `std::net`, capped thread-per-connection server with explicit `Busy` backpressure, blocking client (`Server`, `Client`) |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -51,6 +52,7 @@ pub use psfa_engine as engine;
 pub use psfa_freq as freq;
 pub use psfa_obs as obs;
 pub use psfa_primitives as primitives;
+pub use psfa_serve as serve;
 pub use psfa_sketch as sketch;
 pub use psfa_store as store;
 pub use psfa_stream as stream;
@@ -66,7 +68,7 @@ pub mod prelude {
     };
     pub use psfa_engine::{
         Engine, EngineConfig, EngineHandle, EngineMetrics, EngineOperator, EngineReport,
-        IngestError, ObsConfig, ShardedOperator, StoreMetrics, WindowMetrics,
+        IngestError, ObsConfig, ShardedOperator, StoreMetrics, TryIngestError, WindowMetrics,
     };
     pub use psfa_freq::{
         GlobalWindow, HeavyHitter, InfiniteHeavyHitters, MgSummary, PaneWindow,
@@ -78,6 +80,10 @@ pub mod prelude {
         ObsReport, ObsSection, Percentiles, TraceEvent, TraceKind, TraceRing,
     };
     pub use psfa_primitives::{ArcCell, CompactedSegment, HistScratch, WorkMeter};
+    pub use psfa_serve::{
+        Client, ClientError, ErrorCode, FrameError, IngestOutcome, Request, Response, ServeConfig,
+        ServeMetrics, Server, MAX_FRAME_LEN,
+    };
     pub use psfa_sketch::{AtomicCountMin, CountMinSketch, CountSketch, ParallelCountMin};
     pub use psfa_store::{
         EpochRecord, EpochView, PersistenceConfig, ShardState, SnapshotStore, StoreError,

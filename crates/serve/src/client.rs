@@ -1,0 +1,183 @@
+//! A blocking protocol client: one TCP connection, one request in flight.
+//!
+//! The client is deliberately synchronous — the open-loop load generator
+//! in `psfa-bench` gets its concurrency from *connections*, not from
+//! multiplexing, matching the server's thread-per-connection model.
+
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use psfa_freq::HeavyHitter;
+
+use crate::protocol::{read_frame, write_frame, ErrorCode, FrameError, Request, Response};
+
+/// Client-side failure of one request.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failed; the connection is no longer usable.
+    Frame(FrameError),
+    /// The server answered with a typed [`Response::Error`].
+    Server {
+        /// The server's error code.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+    /// The server answered with a response kind the request cannot
+    /// produce (a protocol bug, not a transport fault).
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected response kind: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Frame(FrameError::Io(e))
+    }
+}
+
+/// Outcome of one ingest request: the explicit backpressure surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The batch was accepted; `items` were enqueued.
+    Accepted(u64),
+    /// The engine's queues were full; nothing was enqueued. Retry later
+    /// or spread load across more connections.
+    Busy,
+}
+
+/// A blocking connection to a [`crate::Server`].
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects (with Nagle disabled — requests are small and
+    /// latency-sensitive).
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Like [`Client::connect`] with a connect timeout.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request and reads its response. Generic entry point —
+    /// the typed wrappers below are usually more convenient.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode()).map_err(FrameError::Io)?;
+        let len = read_frame(&mut self.stream, &mut self.buf)?.ok_or_else(|| {
+            ClientError::Frame(FrameError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )))
+        })?;
+        Ok(Response::decode(&self.buf[..len]).map_err(FrameError::Codec)?)
+    }
+
+    /// Calls and unwraps a typed server error into [`ClientError::Server`].
+    fn call_ok(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.call(request)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            response => Ok(response),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call_ok(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected("expected Pong")),
+        }
+    }
+
+    /// Ingests one minibatch; [`IngestOutcome::Busy`] is the engine's
+    /// backpressure, not an error.
+    pub fn ingest(&mut self, items: &[u64]) -> Result<IngestOutcome, ClientError> {
+        match self.call_ok(&Request::IngestBatch(items.to_vec()))? {
+            Response::IngestAck { items } => Ok(IngestOutcome::Accepted(items)),
+            Response::Busy => Ok(IngestOutcome::Busy),
+            _ => Err(ClientError::Unexpected("expected IngestAck or Busy")),
+        }
+    }
+
+    /// One-sided point-frequency estimate (`f − ε·m ≤ f̂ ≤ f`).
+    pub fn estimate(&mut self, item: u64) -> Result<u64, ClientError> {
+        self.count(&Request::Estimate(item))
+    }
+
+    /// Count-Min overestimate (`f ≤ f̂ ≤ f + ε_cm·m`).
+    pub fn cm_estimate(&mut self, item: u64) -> Result<u64, ClientError> {
+        self.count(&Request::CmEstimate(item))
+    }
+
+    /// Point-frequency estimate over the global sliding window.
+    pub fn sliding_estimate(&mut self, item: u64) -> Result<u64, ClientError> {
+        self.count(&Request::SlidingEstimate(item))
+    }
+
+    fn count(&mut self, request: &Request) -> Result<u64, ClientError> {
+        match self.call_ok(request)? {
+            Response::Count(value) => Ok(value),
+            _ => Err(ClientError::Unexpected("expected Count")),
+        }
+    }
+
+    /// φ-heavy hitters of the whole stream, most frequent first.
+    pub fn heavy_hitters(&mut self) -> Result<Vec<HeavyHitter>, ClientError> {
+        self.hitters(&Request::HeavyHitters)
+    }
+
+    /// φ-heavy hitters of the global sliding window.
+    pub fn sliding_heavy_hitters(&mut self) -> Result<Vec<HeavyHitter>, ClientError> {
+        self.hitters(&Request::SlidingHeavyHitters)
+    }
+
+    fn hitters(&mut self, request: &Request) -> Result<Vec<HeavyHitter>, ClientError> {
+        match self.call_ok(request)? {
+            Response::HeavyHitters(entries) => Ok(entries),
+            _ => Err(ClientError::Unexpected("expected HeavyHitters")),
+        }
+    }
+
+    /// Engine metrics in Prometheus text format (empty without
+    /// observability configured on the engine).
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        match self.call_ok(&Request::Metrics)? {
+            Response::MetricsText(text) => Ok(text),
+            _ => Err(ClientError::Unexpected("expected MetricsText")),
+        }
+    }
+}

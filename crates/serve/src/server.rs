@@ -1,0 +1,423 @@
+//! The serving loop: a capped thread-per-connection TCP server.
+//!
+//! ## Threading model (and the trade-off)
+//!
+//! Two std-only designs were on the table: a nonblocking-socket poll
+//! reactor, or a **capped thread-per-connection pool** — this module
+//! implements the latter. Rationale: `std` has no portable readiness API
+//! (no epoll/kqueue without a crate, and the registry is unreachable), so
+//! a reactor would have to spin on `WouldBlock` across all sockets,
+//! burning a core to simulate readiness. Blocking threads get the kernel's
+//! scheduler for free, keep the per-connection state machine trivially
+//! sequential (read frame → engine call → write frame), and the
+//! *connection cap* bounds both thread count and memory exactly where a
+//! reactor would need its own accounting. The cost is ~8 KiB of stack per
+//! connection and no ability to serve tens of thousands of sockets — the
+//! right trade for a handful-of-clients aggregation service; a reactor
+//! only wins past the point where threads outnumber cores by hundreds.
+//!
+//! ## Backpressure contract
+//!
+//! * **Ingest**: [`Request::IngestBatch`] is admitted with
+//!   [`EngineHandle::try_ingest`]. Full shard queues ⇒ [`Response::Busy`]
+//!   and *nothing retained* — the server never buffers refused batches, so
+//!   its memory is bounded by `max_connections × MAX_FRAME_LEN` in-flight
+//!   request bytes (tracked in [`ServeMetrics::peak_inflight_bytes`]).
+//! * **Queries** answer from published epoch snapshots
+//!   ([`EngineHandle::estimate`] and friends) and never block on ingest.
+//! * **Connections** beyond the cap receive one
+//!   [`ErrorCode::ConnectionLimit`] error frame and are closed.
+//!
+//! Graceful [`Server::shutdown`] stops accepting, lets every in-flight
+//! request finish and its response flush, then joins all threads; batches
+//! already acked sit in the engine's queues and survive an
+//! `EngineHandle::drain`.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use psfa_engine::{EngineHandle, TryIngestError};
+
+use crate::protocol::{write_frame, ErrorCode, FrameError, Request, Response, MAX_FRAME_LEN};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind; port `0` picks an ephemeral port (read it back
+    /// with [`Server::local_addr`]).
+    pub addr: SocketAddr,
+    /// Connection cap: concurrent connections beyond this are refused
+    /// with an [`ErrorCode::ConnectionLimit`] error frame. Also bounds
+    /// server memory (`max_connections × MAX_FRAME_LEN` frame bytes).
+    pub max_connections: usize,
+    /// How often blocked reads wake up to check for shutdown.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
+            max_connections: 64,
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the bind address.
+    pub fn addr(mut self, addr: SocketAddr) -> Self {
+        self.addr = addr;
+        self
+    }
+
+    /// Sets the connection cap.
+    pub fn max_connections(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "the server needs at least one connection slot");
+        self.max_connections = cap;
+        self
+    }
+}
+
+/// Point-in-time counters of a running [`Server`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeMetrics {
+    /// Connections accepted into a handler thread.
+    pub connections_accepted: u64,
+    /// Connections refused at the cap.
+    pub connections_refused: u64,
+    /// Connections currently open.
+    pub active_connections: u64,
+    /// Request frames decoded and dispatched.
+    pub requests: u64,
+    /// [`Response::Busy`] replies sent (engine backpressure surfaced to
+    /// clients).
+    pub busy_responses: u64,
+    /// Frames that failed to read or decode (each closes its connection).
+    pub frame_errors: u64,
+    /// Items accepted into the engine via [`Request::IngestBatch`].
+    pub ingested_items: u64,
+    /// Request+response payload bytes currently held by handler threads.
+    pub inflight_bytes: u64,
+    /// High-water mark of `inflight_bytes` — the bound the backpressure
+    /// contract promises: at most `max_connections × MAX_FRAME_LEN × 2`
+    /// (one request and one response frame per connection).
+    pub peak_inflight_bytes: u64,
+}
+
+/// Counters shared by the accept loop and every handler thread.
+#[derive(Default)]
+struct ServerShared {
+    stop: AtomicBool,
+    connections_accepted: AtomicU64,
+    connections_refused: AtomicU64,
+    active_connections: AtomicUsize,
+    requests: AtomicU64,
+    busy_responses: AtomicU64,
+    frame_errors: AtomicU64,
+    ingested_items: AtomicU64,
+    inflight_bytes: AtomicU64,
+    peak_inflight_bytes: AtomicU64,
+}
+
+impl ServerShared {
+    fn add_inflight(&self, bytes: u64) {
+        let now = self.inflight_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_inflight_bytes.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn sub_inflight(&self, bytes: u64) {
+        self.inflight_bytes.fetch_sub(bytes, Ordering::Relaxed);
+    }
+}
+
+/// A running ingest+query server; dropping (or [`Server::shutdown`]) stops
+/// it gracefully.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and spawns the accept loop serving `handle`.
+    /// The engine outlives the server: shutting the server down does not
+    /// touch the engine.
+    pub fn spawn(handle: EngineHandle, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared::default());
+        let accept_shared = shared.clone();
+        let accept = std::thread::Builder::new()
+            .name("psfa-serve-accept".to_string())
+            .spawn(move || accept_loop(listener, handle, config, accept_shared))?;
+        Ok(Server {
+            local_addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the server's counters.
+    pub fn metrics(&self) -> ServeMetrics {
+        let s = &self.shared;
+        ServeMetrics {
+            connections_accepted: s.connections_accepted.load(Ordering::Relaxed),
+            connections_refused: s.connections_refused.load(Ordering::Relaxed),
+            active_connections: s.active_connections.load(Ordering::Relaxed) as u64,
+            requests: s.requests.load(Ordering::Relaxed),
+            busy_responses: s.busy_responses.load(Ordering::Relaxed),
+            frame_errors: s.frame_errors.load(Ordering::Relaxed),
+            ingested_items: s.ingested_items.load(Ordering::Relaxed),
+            inflight_bytes: s.inflight_bytes.load(Ordering::Relaxed),
+            peak_inflight_bytes: s.peak_inflight_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, finishes in-flight requests, joins every thread,
+    /// and returns the final counters. Idempotent with [`Drop`].
+    pub fn shutdown(mut self) -> ServeMetrics {
+        self.stop();
+        self.metrics()
+    }
+
+    fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // The accept loop sits in a blocking accept(); poke it awake with
+        // a throwaway connection (refused instantly once `stop` is seen).
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    handle: EngineHandle,
+    config: ServeConfig,
+    shared: Arc<ServerShared>,
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_id = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        handlers.retain(|h| !h.is_finished());
+        if shared.active_connections.load(Ordering::Acquire) >= config.max_connections {
+            shared.connections_refused.fetch_add(1, Ordering::Relaxed);
+            refuse(stream, config.max_connections);
+            continue;
+        }
+        shared.active_connections.fetch_add(1, Ordering::AcqRel);
+        shared.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        let conn_shared = shared.clone();
+        let conn_handle = handle.clone();
+        let poll = config.poll_interval;
+        next_id += 1;
+        let spawned = std::thread::Builder::new()
+            .name(format!("psfa-serve-conn-{next_id}"))
+            .spawn(move || {
+                serve_connection(stream, conn_handle, poll, &conn_shared);
+                conn_shared
+                    .active_connections
+                    .fetch_sub(1, Ordering::AcqRel);
+            });
+        match spawned {
+            Ok(h) => handlers.push(h),
+            Err(_) => {
+                shared.active_connections.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Turns a connection away at the cap: one error frame, then close.
+fn refuse(mut stream: TcpStream, cap: usize) {
+    let response = Response::Error {
+        code: ErrorCode::ConnectionLimit,
+        message: format!("server is at its {cap}-connection cap"),
+    };
+    let _ = write_frame(&mut stream, &response.encode());
+}
+
+/// One connection's request→response loop, until the peer closes, a frame
+/// fails, or the server shuts down.
+fn serve_connection(
+    mut stream: TcpStream,
+    handle: EngineHandle,
+    poll: Duration,
+    shared: &ServerShared,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(poll)).is_err() {
+        return;
+    }
+    let mut buf = Vec::new();
+    loop {
+        let len = match read_frame_polled(&mut stream, &mut buf, poll, shared) {
+            Ok(Some(len)) => len,
+            Ok(None) => return,
+            Err(_) => {
+                shared.frame_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        shared.add_inflight(len as u64);
+        let (response, close_after) = match Request::decode(&buf[..len]) {
+            Ok(request) => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                (dispatch(request, &handle, shared), false)
+            }
+            Err(e) => {
+                shared.frame_errors.fetch_add(1, Ordering::Relaxed);
+                (
+                    Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    },
+                    true,
+                )
+            }
+        };
+        let payload = response.encode();
+        shared.add_inflight(payload.len() as u64);
+        let written = write_frame(&mut stream, &payload);
+        shared.sub_inflight((len + payload.len()) as u64);
+        if written.is_err() || close_after {
+            return;
+        }
+    }
+}
+
+/// Executes one request against the engine. Queries go straight to the
+/// snapshot readers; ingest takes the non-blocking admission path so a
+/// full engine surfaces as [`Response::Busy`] instead of a stalled server
+/// thread.
+fn dispatch(request: Request, handle: &EngineHandle, shared: &ServerShared) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::IngestBatch(items) => match handle.try_ingest(&items) {
+            Ok(()) => {
+                shared
+                    .ingested_items
+                    .fetch_add(items.len() as u64, Ordering::Relaxed);
+                Response::IngestAck {
+                    items: items.len() as u64,
+                }
+            }
+            Err(TryIngestError::Busy) => {
+                shared.busy_responses.fetch_add(1, Ordering::Relaxed);
+                Response::Busy
+            }
+            Err(TryIngestError::Closed) => Response::Error {
+                code: ErrorCode::Shutdown,
+                message: "engine is shut down".to_string(),
+            },
+        },
+        Request::Estimate(item) => Response::Count(handle.estimate(item)),
+        Request::CmEstimate(item) => Response::Count(handle.cm_estimate(item)),
+        Request::HeavyHitters => Response::HeavyHitters(handle.heavy_hitters()),
+        Request::SlidingEstimate(item) => Response::Count(handle.sliding_estimate(item)),
+        Request::SlidingHeavyHitters => Response::HeavyHitters(handle.sliding_heavy_hitters()),
+        Request::Metrics => Response::MetricsText(handle.prometheus_text().unwrap_or_default()),
+    }
+}
+
+/// [`crate::protocol::read_frame`] over a socket with a read timeout, with
+/// partial-frame state kept across timeouts: timeouts between
+/// frames poll the stop flag (clean close when stopping); a timeout
+/// *inside* a frame keeps the partial bytes and retries, so slow writers
+/// are never corrupted by the poll. After a stop is observed mid-frame the
+/// peer gets a grace period to finish the frame, then the read fails.
+fn read_frame_polled(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    poll: Duration,
+    shared: &ServerShared,
+) -> Result<Option<usize>, FrameError> {
+    use std::io::Read;
+    let mut header = [0u8; 4];
+    let mut filled = 0usize;
+    let mut payload_len: Option<usize> = None;
+    let mut stop_deadline: Option<Instant> = None;
+    // Grace for a frame caught mid-flight by shutdown: ~25 poll ticks.
+    let grace = poll.saturating_mul(25).max(Duration::from_millis(100));
+    loop {
+        let mid_frame = filled > 0 || payload_len.is_some();
+        if shared.stop.load(Ordering::Acquire) {
+            if !mid_frame {
+                return Ok(None);
+            }
+            let deadline = *stop_deadline.get_or_insert_with(|| Instant::now() + grace);
+            if Instant::now() >= deadline {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "shutdown while a frame was in flight",
+                )));
+            }
+        }
+        let target: &mut [u8] = match payload_len {
+            None => &mut header[filled..],
+            Some(len) => &mut buf[filled..len],
+        };
+        if target.is_empty() {
+            // Zero-length payload frame: nothing more to read.
+            return Ok(Some(0));
+        }
+        match stream.read(target) {
+            Ok(0) if !mid_frame => return Ok(None),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame",
+                )))
+            }
+            Ok(n) => {
+                filled += n;
+                if payload_len.is_none() && filled == header.len() {
+                    let len = u32::from_le_bytes(header) as usize;
+                    if len > MAX_FRAME_LEN {
+                        return Err(FrameError::Oversize { len });
+                    }
+                    buf.resize(len, 0);
+                    payload_len = Some(len);
+                    filled = 0;
+                }
+                if let Some(len) = payload_len {
+                    if filled == len {
+                        return Ok(Some(len));
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+}

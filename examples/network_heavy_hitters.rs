@@ -1,67 +1,152 @@
 //! Network monitoring scenario: find elephant flows in a synthetic packet
-//! trace over a *sliding window*, the workload that motivates the paper
-//! (identifying heavy hitters in high-velocity network streams, cf. the
+//! trace — served over the network, the deployment shape that motivates the
+//! paper (identifying heavy hitters in high-velocity streams, cf. the
 //! Estan–Varghese and Cormode–Hadjieleftheriou references in Section 1).
 //!
-//! A synthetic trace with heavy-tailed flow sizes is processed in
-//! minibatches. The work-efficient sliding-window estimator (Theorem 5.4)
-//! tracks per-flow packet counts over the last `n` packets, and the exact
-//! (memory-hungry) tracker provides ground truth for comparison.
+//! A sharded engine runs behind the `psfa-serve` front end on loopback.
+//! One protocol client plays the packet-capture pipeline, streaming the
+//! trace in minibatches (and backing off when the server answers `Busy` —
+//! backpressure is explicit, never buffered); a second client plays the
+//! operator dashboard, polling heavy hitters and per-flow estimates over
+//! the wire while ingest runs. An exact in-process tracker provides ground
+//! truth: every truly heavy flow must be reported, and no estimate may
+//! exceed its true count (the paper's one-sided guarantee survives the
+//! network hop).
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example network_heavy_hitters
 //! ```
 
+use std::collections::HashMap;
+
 use psfa::prelude::*;
 
 fn main() {
-    let window: u64 = 200_000; // last 200k packets
-    let epsilon = 0.001;
-    let phi = 0.01; // a flow is an "elephant" if it holds ≥1% of the window
+    // Flow churn spreads traffic thin (the top flow holds ~0.4% of
+    // packets), so an "elephant" here is ≥0.2% of traffic.
+    let epsilon = 0.0005;
+    let phi = 0.002;
+    let window: u64 = 200_000;
     let batch_size = 10_000;
     let batches = 60;
 
-    let mut trace = PacketTraceGenerator::new(256, 7);
-    let mut sliding = SlidingHeavyHitters::new(phi, SlidingFreqWorkEfficient::new(epsilon, window));
-    let mut exact = ExactSlidingWindow::new(window);
+    // The engine and its serving front end. Queries read published epoch
+    // snapshots, so the dashboard never blocks the capture pipeline.
+    let engine = Engine::spawn(
+        EngineConfig::with_shards(4)
+            .heavy_hitters(phi, epsilon)
+            .sliding_window(window)
+            .observe(),
+    );
+    let server =
+        Server::spawn(engine.handle(), ServeConfig::default()).expect("spawn loopback server");
+    let addr = server.local_addr();
+    println!("psfa-serve listening on {addr}\n");
 
+    // The dashboard: a second connection polling while ingest runs.
+    let dashboard = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("dashboard connect");
+        let mut polls = 0u64;
+        loop {
+            match client.heavy_hitters() {
+                Ok(_) => polls += 1,
+                Err(_) => return polls, // server shut down
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            if polls > 10_000 {
+                return polls;
+            }
+        }
+    });
+
+    // The capture pipeline: stream the trace over the wire, retrying on
+    // explicit backpressure instead of queueing unboundedly client-side.
+    let mut capture = Client::connect(addr).expect("capture connect");
+    let mut trace = PacketTraceGenerator::new(256, 7);
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    let mut busy_retries = 0u64;
     for batch_idx in 0..batches {
         let minibatch = trace.next_minibatch(batch_size);
-        sliding.process_minibatch(&minibatch);
-        exact.process_minibatch(&minibatch);
+        for &flow in &minibatch {
+            *truth.entry(flow).or_insert(0) += 1;
+        }
+        loop {
+            match capture.ingest(&minibatch).expect("ingest over the wire") {
+                IngestOutcome::Accepted(items) => {
+                    assert_eq!(items, minibatch.len() as u64);
+                    break;
+                }
+                IngestOutcome::Busy => {
+                    busy_retries += 1;
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            }
+        }
 
         if (batch_idx + 1) % 20 == 0 {
-            println!("after {} packets:", (batch_idx + 1) * batch_size);
-            let reported = sliding.query();
-            let true_heavy = exact.heavy_hitters(phi);
+            let reported = capture.heavy_hitters().expect("query over the wire");
+            let sliding = capture
+                .sliding_heavy_hitters()
+                .expect("sliding query over the wire");
             println!(
-                "  {:>3} flows reported as elephants, {:>3} truly above φn",
+                "after {:>6} packets: {:>3} elephants (infinite), {:>3} in the last-{window} window",
+                (batch_idx + 1) * batch_size,
                 reported.len(),
-                true_heavy.len()
+                sliding.len(),
             );
-            for hh in reported.iter().take(5) {
-                println!(
-                    "    flow {:>8}  est {:>7}  exact {:>7}",
-                    hh.item,
-                    hh.estimate,
-                    exact.count(hh.item)
-                );
-            }
-            // Every true elephant must be reported (no false negatives).
-            for (flow, _) in &true_heavy {
-                assert!(
-                    reported.iter().any(|h| h.item == *flow),
-                    "missed elephant flow {flow}"
-                );
-            }
         }
     }
 
+    // Settle the stream, then verify the guarantees over the wire.
+    engine.drain();
+    let m: u64 = truth.values().sum();
+    let reported = capture.heavy_hitters().expect("final heavy hitters");
+    let true_heavy: Vec<u64> = truth
+        .iter()
+        .filter(|(_, &f)| f as f64 >= phi * m as f64)
+        .map(|(&flow, _)| flow)
+        .collect();
+    for flow in &true_heavy {
+        assert!(
+            reported.iter().any(|h| h.item == *flow),
+            "missed elephant flow {flow}"
+        );
+    }
     println!(
-        "\nsliding summary uses {} counters vs {} distinct flows in the window ({}x smaller)",
-        sliding.estimator().num_counters(),
-        exact.num_distinct(),
-        exact.num_distinct() / sliding.estimator().num_counters().max(1)
+        "\nfinal report ({} reported, {} truly above φm):",
+        reported.len(),
+        true_heavy.len()
     );
+    for hh in reported.iter().take(5) {
+        let exact = truth.get(&hh.item).copied().unwrap_or(0);
+        assert!(
+            hh.estimate <= exact,
+            "one-sided bound violated over the wire"
+        );
+        println!(
+            "    flow {:>8}  est {:>7}  exact {:>7}",
+            hh.item, hh.estimate, exact
+        );
+    }
+
+    // The same connection serves operational metrics.
+    let metrics_text = capture.metrics_text().expect("metrics over the wire");
+    let families = metrics_text
+        .lines()
+        .filter(|l| l.starts_with("# TYPE"))
+        .count();
+    println!("\nmetrics endpoint exports {families} instrument families");
+
+    let serve_metrics = server.shutdown();
+    let dashboard_polls = dashboard.join().expect("dashboard thread");
+    println!(
+        "served {} requests over {} connections ({busy_retries} busy retries, \
+         {} dashboard polls, peak in-flight {} B)",
+        serve_metrics.requests,
+        serve_metrics.connections_accepted,
+        dashboard_polls,
+        serve_metrics.peak_inflight_bytes,
+    );
+    engine.shutdown();
 }

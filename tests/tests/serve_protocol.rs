@@ -1,0 +1,175 @@
+//! Wire-protocol laws for the serving front end.
+//!
+//! The server and client each decode bytes produced by an untrusted peer,
+//! so the protocol layer gets the same treatment as the persistence codecs
+//! (see `store_roundtrip.rs`):
+//!
+//! 1. every request and response round-trips exactly through
+//!    `decode(encode(x)) == x`;
+//! 2. truncating an encoding at any point yields a typed [`CodecError`],
+//!    never a panic;
+//! 3. flipping any byte either fails typed or decodes to some other
+//!    structurally valid message — it never panics and never drives an
+//!    allocation from a corrupt length field;
+//! 4. the frame layer rejects oversized length prefixes *before*
+//!    allocating a receive buffer.
+
+use proptest::prelude::*;
+
+use psfa::primitives::CodecError;
+use psfa::serve::protocol::{read_frame, write_frame};
+use psfa::serve::{ErrorCode, FrameError, Request, Response, MAX_FRAME_LEN};
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        Just(Request::Ping),
+        prop::collection::vec(any::<u64>(), 0..600).prop_map(Request::IngestBatch),
+        any::<u64>().prop_map(Request::Estimate),
+        any::<u64>().prop_map(Request::CmEstimate),
+        Just(Request::HeavyHitters),
+        any::<u64>().prop_map(Request::SlidingEstimate),
+        Just(Request::SlidingHeavyHitters),
+        Just(Request::Metrics),
+    ]
+}
+
+/// Printable-ASCII strings up to `max` bytes (the vendored proptest has no
+/// regex string strategies).
+fn text_strategy(max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(0x20u8..0x7f, 0..max)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ASCII"))
+}
+
+fn error_code_strategy() -> impl Strategy<Value = ErrorCode> {
+    prop_oneof![
+        Just(ErrorCode::Shutdown),
+        Just(ErrorCode::ConnectionLimit),
+        Just(ErrorCode::BadRequest),
+    ]
+}
+
+fn response_strategy() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Pong),
+        any::<u64>().prop_map(|items| Response::IngestAck { items }),
+        Just(Response::Busy),
+        any::<u64>().prop_map(Response::Count),
+        prop::collection::vec((any::<u64>(), any::<u64>()), 0..80).prop_map(|pairs| {
+            Response::HeavyHitters(
+                pairs
+                    .into_iter()
+                    .map(|(item, estimate)| psfa::prelude::HeavyHitter { item, estimate })
+                    .collect(),
+            )
+        }),
+        text_strategy(200).prop_map(Response::MetricsText),
+        (error_code_strategy(), text_strategy(80))
+            .prop_map(|(code, message)| Response::Error { code, message }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn requests_round_trip(request in request_strategy()) {
+        let bytes = request.encode();
+        prop_assert!(bytes.len() <= MAX_FRAME_LEN);
+        prop_assert_eq!(Request::decode(&bytes).unwrap(), request);
+    }
+
+    #[test]
+    fn responses_round_trip(response in response_strategy()) {
+        let bytes = response.encode();
+        prop_assert!(bytes.len() <= MAX_FRAME_LEN);
+        prop_assert_eq!(Response::decode(&bytes).unwrap(), response);
+    }
+
+    #[test]
+    fn truncated_requests_fail_typed(request in request_strategy(), cut in 0usize..4096) {
+        let bytes = request.encode();
+        let cut = cut % bytes.len().max(1);
+        // Strictly shorter than a valid encoding: must be a typed error.
+        prop_assert!(Request::decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn truncated_responses_fail_typed(response in response_strategy(), cut in 0usize..8192) {
+        let bytes = response.encode();
+        let cut = cut % bytes.len().max(1);
+        prop_assert!(Response::decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn byte_flips_never_panic_requests(
+        request in request_strategy(),
+        pos in 0usize..4096,
+        flip in 1u32..256,
+    ) {
+        let mut bytes = request.encode();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip as u8;
+        // Either a typed CodecError or some other valid message; never a
+        // panic (proptest treats a panic here as a failure) and never an
+        // allocation driven by a corrupt count (decode validates lengths
+        // against the remaining bytes before allocating).
+        match Request::decode(&bytes) {
+            Ok(decoded) => prop_assert_eq!(decoded.encode().len(), bytes.len()),
+            Err(e) => {
+                let _: CodecError = e;
+            }
+        }
+    }
+
+    #[test]
+    fn byte_flips_never_panic_responses(
+        response in response_strategy(),
+        pos in 0usize..8192,
+        flip in 1u32..256,
+    ) {
+        let mut bytes = response.encode();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip as u8;
+        match Response::decode(&bytes) {
+            // A flipped byte may still decode (e.g. inside a text body);
+            // whatever comes out must itself round-trip.
+            Ok(decoded) => prop_assert_eq!(
+                Response::decode(&decoded.encode()).unwrap(),
+                decoded
+            ),
+            Err(e) => {
+                let _: CodecError = e;
+            }
+        }
+    }
+
+    #[test]
+    fn frame_length_corruption_cannot_over_allocate(
+        request in request_strategy(),
+        huge in (MAX_FRAME_LEN as u32 + 1)..u32::MAX,
+    ) {
+        let payload = request.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        // Corrupt the length prefix to claim a giant payload.
+        wire[..4].copy_from_slice(&huge.to_le_bytes());
+        let mut buf = Vec::new();
+        match read_frame(&mut wire.as_slice(), &mut buf) {
+            Err(FrameError::Oversize { len }) => prop_assert_eq!(len, huge as usize),
+            other => prop_assert!(false, "expected Oversize, got {:?}", other),
+        }
+        // The claimed length never reached an allocation.
+        prop_assert!(buf.capacity() <= payload.len().max(16));
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_frame_layer(request in request_strategy()) {
+        let payload = request.encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut buf = Vec::new();
+        let n = read_frame(&mut wire.as_slice(), &mut buf).unwrap().unwrap();
+        prop_assert_eq!(&buf[..n], &payload[..]);
+        prop_assert_eq!(Request::decode(&buf[..n]).unwrap(), request);
+    }
+}

@@ -1,0 +1,207 @@
+//! End-to-end smoke tests for the serving front end: a real loopback
+//! server, concurrent ingest and query clients, and the accuracy /
+//! backpressure / shutdown contracts the crate documents.
+//!
+//! * Answers served over the wire carry the same one-sided `ε·m` guarantee
+//!   as in-process queries: a concurrent-client run must match a
+//!   single-thread exact reference within `ε·m`.
+//! * A tiny-queue engine must shed load with explicit `Busy` responses, and
+//!   every `Busy` must be clean — the engine's final item count is exactly
+//!   the acknowledged batches.
+//! * Graceful shutdown answers in-flight requests, closes connections, and
+//!   leaves the engine fully usable.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use psfa::prelude::*;
+
+fn zipf_batches(batches: usize, batch_size: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut generator = ZipfGenerator::new(50_000, 1.2, seed);
+    (0..batches)
+        .map(|_| generator.next_minibatch(batch_size))
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_match_the_single_thread_reference() {
+    let phi = 0.01;
+    let eps = 0.001;
+    let batches = zipf_batches(24, 10_000, 99);
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    for b in &batches {
+        for &x in b {
+            *truth.entry(x).or_insert(0) += 1;
+        }
+    }
+    let m: u64 = truth.values().sum();
+
+    let engine = Engine::spawn(
+        EngineConfig::with_shards(4)
+            .heavy_hitters(phi, eps)
+            .observe(),
+    );
+    let server = Server::spawn(engine.handle(), ServeConfig::default()).expect("server");
+    let addr = server.local_addr();
+
+    // Query client hammers the read path while ingest clients run: queries
+    // read published snapshots and must never error or block the writers.
+    let stop = Arc::new(AtomicBool::new(false));
+    let querier = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("query client");
+            let mut rounds = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let est = client.estimate(7).expect("estimate over the wire");
+                let cm = client.cm_estimate(7).expect("cm estimate over the wire");
+                assert!(cm >= est, "count-min {cm} below MG snapshot estimate {est}");
+                let hh = client.heavy_hitters().expect("heavy hitters over the wire");
+                assert!(hh.windows(2).all(|w| w[0].estimate >= w[1].estimate));
+                client.ping().expect("ping");
+                rounds += 1;
+            }
+            rounds
+        })
+    };
+
+    // Three ingest clients split the stream between them.
+    let mut writers = Vec::new();
+    for chunk in batches.chunks(8) {
+        let chunk = chunk.to_vec();
+        writers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("ingest client");
+            for batch in &chunk {
+                match client.ingest(batch).expect("ingest over the wire") {
+                    IngestOutcome::Accepted(items) => assert_eq!(items, batch.len() as u64),
+                    IngestOutcome::Busy => panic!("default queues must absorb this stream"),
+                }
+            }
+        }));
+    }
+    for w in writers {
+        w.join().expect("ingest client panicked");
+    }
+    stop.store(true, Ordering::Release);
+    let query_rounds = querier.join().expect("query client panicked");
+    assert!(query_rounds > 0, "the query client never ran");
+
+    // Drain, then check wire answers against the exact reference: the
+    // one-sided ε·m bound, same as in-process queries.
+    engine.drain();
+    let mut client = Client::connect(addr).expect("verification client");
+    let slack = (eps * m as f64).ceil() as u64 + 1;
+    for (&item, &f) in &truth {
+        let est = client.estimate(item).expect("estimate");
+        assert!(est <= f, "estimate {est} above truth {f} for {item}");
+        assert!(
+            est + slack >= f,
+            "estimate {est} under truth {f} by more than ε·m for {item}"
+        );
+    }
+    let reported = client.heavy_hitters().expect("heavy hitters");
+    for (&item, &f) in &truth {
+        if f as f64 >= phi * m as f64 {
+            assert!(
+                reported.iter().any(|h| h.item == item),
+                "missed φ-heavy item {item} over the wire"
+            );
+        }
+    }
+    // The instrumented engine serves its Prometheus text over the wire.
+    let text = client.metrics_text().expect("metrics text");
+    assert!(
+        text.contains("psfa_"),
+        "metrics endpoint returned no instrument families"
+    );
+
+    let metrics = server.shutdown();
+    assert!(metrics.requests > 0);
+    assert_eq!(metrics.frame_errors, 0);
+    assert_eq!(metrics.active_connections, 0, "shutdown left connections");
+    let report = engine.shutdown();
+    assert_eq!(
+        report.total_items(),
+        m,
+        "the wire path lost or duplicated items"
+    );
+}
+
+#[test]
+fn tiny_queue_engine_sheds_load_with_busy() {
+    // One shard, capacity-1 queue, and a worker that sleeps per batch: the
+    // server must answer Busy rather than buffer.
+    let sleepy = ("sleepy".to_string(), |_shard: usize| {
+        ("sleepy".to_string(), |_minibatch: &[u64]| {
+            std::thread::sleep(std::time::Duration::from_millis(3))
+        })
+    });
+    let engine = Engine::builder(
+        EngineConfig::with_shards(1)
+            .queue_capacity(1)
+            .heavy_hitters(0.05, 0.01),
+    )
+    .lift(sleepy)
+    .spawn();
+    let server = Server::spawn(engine.handle(), ServeConfig::default()).expect("server");
+    let mut client = Client::connect(server.local_addr()).expect("client");
+
+    let batch: Vec<u64> = (0..2_000u64).collect();
+    let mut accepted = 0u64;
+    let mut busy = 0u64;
+    for _ in 0..200 {
+        match client.ingest(&batch).expect("ingest over the wire") {
+            IngestOutcome::Accepted(items) => {
+                assert_eq!(items, batch.len() as u64);
+                accepted += 1;
+            }
+            IngestOutcome::Busy => busy += 1,
+        }
+    }
+    assert!(busy > 0, "an overdriven capacity-1 queue must answer Busy");
+    assert!(accepted > 0, "some batches must still get through");
+
+    let metrics = server.shutdown();
+    assert_eq!(metrics.busy_responses, busy);
+    engine.drain();
+    let report = engine.shutdown();
+    // Busy is clean: exactly the acknowledged batches reached the engine.
+    assert_eq!(report.total_items(), accepted * batch.len() as u64);
+}
+
+#[test]
+fn graceful_shutdown_answers_inflight_and_leaves_the_engine_usable() {
+    let engine = Engine::spawn(EngineConfig::with_shards(2).heavy_hitters(0.05, 0.01));
+    let server = Server::spawn(engine.handle(), ServeConfig::default()).expect("server");
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).expect("client");
+    for batch in zipf_batches(6, 5_000, 5) {
+        match client.ingest(&batch).expect("ingest") {
+            IngestOutcome::Accepted(items) => assert_eq!(items, batch.len() as u64),
+            IngestOutcome::Busy => panic!("default queues must absorb this stream"),
+        }
+    }
+    // An idle second connection is open throughout the shutdown.
+    let mut idle = Client::connect(addr).expect("idle client");
+    idle.ping().expect("ping before shutdown");
+
+    // Shutdown blocks until every handler thread has exited; every request
+    // answered above was acknowledged before its connection closed.
+    let metrics = server.shutdown();
+    assert_eq!(metrics.active_connections, 0);
+    assert_eq!(metrics.frame_errors, 0);
+    assert!(metrics.ingested_items >= 30_000);
+
+    // The closed socket surfaces as a typed client error, not a hang.
+    assert!(idle.ping().is_err(), "the server socket must be closed");
+
+    // The engine is untouched by the front end going away: every
+    // acknowledged item is drained and queryable in-process.
+    engine.drain();
+    let handle = engine.handle();
+    assert_eq!(handle.total_items(), 30_000);
+    assert!(!handle.heavy_hitters().is_empty());
+    engine.shutdown();
+}

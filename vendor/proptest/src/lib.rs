@@ -4,7 +4,9 @@
 //! The build environment cannot reach crates.io, so the workspace vendors a
 //! small property-testing harness with `proptest`'s surface syntax: the
 //! [`proptest!`] macro, range and `any::<T>()` strategies,
-//! `prop::collection::vec`, and the `prop_assert!`/`prop_assert_eq!` macros.
+//! `prop::collection::vec`, [`Just`], tuple strategies, the
+//! [`Strategy::prop_map`] combinator, the [`prop_oneof!`] union macro, and
+//! the `prop_assert!`/`prop_assert_eq!` macros.
 //!
 //! Differences from the real crate: cases are generated from a fixed
 //! deterministic seed (reproducible across runs), and failing cases are
@@ -58,6 +60,107 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (`strategy.prop_map(Foo::Bar)`).
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// The constant strategy: always generates a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Boxes a strategy behind its value type — the building block of
+/// [`prop_oneof!`], where the arms have distinct concrete types.
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(strategy)
+}
+
+/// Uniform union over same-valued strategies; built by [`prop_oneof!`].
+pub struct OneOf<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// A union drawing uniformly among `arms` (must be non-empty).
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// Uniform choice among strategies producing the same value type
+/// (`prop_oneof![Just(A), any::<u64>().prop_map(B)]`). The real crate's
+/// per-arm weights are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::boxed($strategy)),+])
+    };
 }
 
 macro_rules! int_range_strategy {
@@ -188,8 +291,8 @@ pub mod prop {
 
 /// Everything the test files import via `use proptest::prelude::*`.
 pub mod prelude {
-    pub use super::{any, prop, Arbitrary, ProptestConfig, Strategy, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use super::{any, boxed, prop, Arbitrary, Just, OneOf, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
 }
 
 /// Asserts a condition inside a `proptest!` body, with optional format args.
@@ -295,6 +398,19 @@ mod tests {
         fn any_bool_takes_both_values(bits in prop::collection::vec(any::<bool>(), 64..65)) {
             let ones = bits.iter().filter(|&&b| b).count();
             prop_assert!(ones > 0 && ones < 64);
+        }
+
+        #[test]
+        fn oneof_map_just_and_tuples_compose(
+            v in prop_oneof![
+                Just(0u64),
+                (1u64..10).prop_map(|x| x * 100),
+                any::<u64>().prop_map(|x| x | 1),
+            ],
+            pair in (0u32..4, 10u32..14),
+        ) {
+            prop_assert!(v == 0 || (100..1000).contains(&v) || v % 2 == 1);
+            prop_assert!(pair.0 < 4 && (10..14).contains(&pair.1));
         }
     }
 
