@@ -230,6 +230,10 @@ impl EngineBuilder {
         let senders = Arc::new(senders);
         let fence = Arc::new(IngestFence::new());
         let accepted_batches = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        // Gate 0 is reserved as the "no lanes" sentinel used by legacy
+        // unit tests; real cuts allocate from 1.
+        let gates = Arc::new(std::sync::atomic::AtomicU64::new(1));
+        let locals = Arc::new(std::sync::Mutex::new(Vec::new()));
 
         // The window fence shares the ingest fence, so pane boundaries cut
         // shard-consistently; on recovery the logical clock resumes from
@@ -266,6 +270,8 @@ impl EngineBuilder {
                     store,
                     fence.clone(),
                     senders.clone(),
+                    shared.clone(),
+                    gates.clone(),
                     router.clone(),
                     config.phi,
                     config.epsilon,
@@ -297,12 +303,15 @@ impl EngineBuilder {
             window_fence,
             persister,
             accepted_batches,
+            gates,
+            locals,
             obs,
             phi: config.phi,
             epsilon: config.epsilon,
             window: config.window,
             window_panes: config.window_panes,
             queue_capacity: config.queue_capacity,
+            config: Arc::new(config.clone()),
         };
         // The periodic reporter renders the full ObsReport table off a
         // cloned handle; it only exists when both observability and a
@@ -554,37 +563,51 @@ impl Drop for Engine {
 /// accounting of [`psfa_freq::MgSummary::merge`] applied at query time).
 #[derive(Clone)]
 pub struct EngineHandle {
-    senders: Arc<Vec<SyncSender<ShardCommand>>>,
-    shared: Arc<Vec<Arc<ShardShared>>>,
-    router: Arc<dyn Router>,
+    pub(crate) senders: Arc<Vec<SyncSender<ShardCommand>>>,
+    pub(crate) shared: Arc<Vec<Arc<ShardShared>>>,
+    pub(crate) router: Arc<dyn Router>,
     /// Recycles routed sub-batch buffers between producers and workers, so
     /// steady-state ingestion allocates nothing (see [`BufferPool`]).
-    pool: Arc<BufferPool>,
+    pub(crate) pool: Arc<BufferPool>,
     /// Orders whole minibatches against snapshot cuts and shutdown:
     /// enqueues hold the fence's shared side across their sends, so a cut
     /// (or [`Engine::shutdown`]) serialises strictly between minibatches.
-    fence: Arc<IngestFence>,
+    pub(crate) fence: Arc<IngestFence>,
     /// The global window's logical item clock, when a window is
     /// configured: accepted items tick it (under the ingest guard), and
     /// the producer that observes a `slide` crossing cuts the boundary.
-    window_fence: Option<Arc<WindowFence>>,
+    pub(crate) window_fence: Option<Arc<WindowFence>>,
     /// Snapshot machinery, when persistence is configured.
-    persister: Option<Arc<Persister>>,
+    pub(crate) persister: Option<Arc<Persister>>,
     /// Minibatches accepted so far (one per successful `ingest` call, one
-    /// per accepted pre-routed `enqueue`/`try_enqueue`); the flusher's
-    /// `interval_batches` counts against this.
-    accepted_batches: Arc<std::sync::atomic::AtomicU64>,
+    /// per accepted pre-routed `enqueue`/`try_enqueue`, one per
+    /// [`crate::Producer::ingest`]); the flusher's `interval_batches`
+    /// counts against this.
+    pub(crate) accepted_batches: Arc<std::sync::atomic::AtomicU64>,
+    /// Engine-wide gate id allocator for cut-like commands (boundaries,
+    /// barriers, persistence cuts) — shared with the persister so gate ids
+    /// stay unique across all cut kinds. Ids are only compared for
+    /// equality (a lane mark against its command), so allocation is a
+    /// relaxed fetch-add inside the exclusive cut.
+    pub(crate) gates: Arc<std::sync::atomic::AtomicU64>,
+    /// Thread-local producer substreams ([`crate::Producer`] in
+    /// thread-local mode): each entry is a producer-private shard whose
+    /// summaries queries merge in at read time.
+    pub(crate) locals: Arc<std::sync::Mutex<Vec<Arc<ShardShared>>>>,
+    /// The engine configuration (producer construction needs the mode
+    /// flag and the accuracy parameters).
+    pub(crate) config: Arc<EngineConfig>,
     /// Observability recorders, when [`crate::ObsConfig`] is set. All
     /// recording is relaxed telemetry: it never adds ordering the data
     /// plane relies on (see the ordering contract in `shard.rs`).
-    obs: Option<Arc<EngineObs>>,
+    pub(crate) obs: Option<Arc<EngineObs>>,
     phi: f64,
     epsilon: f64,
     window: Option<u64>,
     window_panes: usize,
     /// Per-shard queue capacity in minibatches — the admission threshold
     /// of [`EngineHandle::try_ingest`].
-    queue_capacity: usize,
+    pub(crate) queue_capacity: usize,
 }
 
 impl EngineHandle {
@@ -671,14 +694,20 @@ impl EngineHandle {
             }
             // The window clock ticks under the same guard as the sends, so
             // a boundary cut orders before or after the whole minibatch —
-            // never between its per-shard parts.
-            if let Some(windows) = &self.window_fence {
-                windows.record(&guard, minibatch.len() as u64);
-            }
+            // never between its per-shard parts. The batched claim flags
+            // whether this batch crossed a boundary; only then does the
+            // producer pay for the poll (most batches skip it entirely).
+            let boundary_due = match &self.window_fence {
+                Some(windows) => windows.claim(&guard, minibatch.len() as u64).due,
+                None => false,
+            };
             self.accepted_batches
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            drop(guard);
+            if boundary_due {
+                self.cut_due_window_boundaries();
+            }
         }
-        self.cut_due_window_boundaries();
         Ok(())
     }
 
@@ -730,20 +759,26 @@ impl EngineHandle {
                 }
             }
             self.pool.checkin(parts);
-            if let Some(windows) = &self.window_fence {
-                windows.record(&guard, minibatch.len() as u64);
-            }
+            let boundary_due = match &self.window_fence {
+                Some(windows) => windows.claim(&guard, minibatch.len() as u64).due,
+                None => false,
+            };
             self.accepted_batches
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            drop(guard);
+            if boundary_due {
+                self.cut_due_window_boundaries();
+            }
         }
-        self.cut_due_window_boundaries();
         Ok(())
     }
 
     /// Cuts any window boundary the logical clock has crossed (two atomic
     /// loads when none is due). Must not be called while holding an ingest
-    /// guard — the cut takes the fence exclusively.
-    fn cut_due_window_boundaries(&self) {
+    /// guard — the cut takes the fence exclusively. `pub(crate)`: lane
+    /// producers ([`crate::Producer`]) cut the boundaries their claims
+    /// flagged as due.
+    pub(crate) fn cut_due_window_boundaries(&self) {
         let Some(windows) = &self.window_fence else {
             return;
         };
@@ -774,12 +809,19 @@ impl EngineHandle {
         }
     }
 
-    /// Enqueues one boundary marker on every shard's queue.
+    /// Enqueues one boundary marker on every shard's queue, stamping lane
+    /// marks first so lane traffic obeys the same cut. Runs inside the
+    /// window fence's exclusive cut ([`psfa_stream::WindowFence::poll_cut`]
+    /// holds the ingest fence exclusively around the seal closure), which
+    /// is what serialises these marks against every other gated send.
     fn send_boundary(&self, seq: u64) {
-        for sender in self.senders.iter() {
+        use std::sync::atomic::Ordering;
+        let gate = self.gates.fetch_add(1, Ordering::Relaxed);
+        for (sender, shared) in self.senders.iter().zip(self.shared.iter()) {
+            let fanin = shared.mark_lanes(gate);
             // A send error means that worker already exited; the
             // surviving shards still seal so queries stay aligned.
-            let _ = sender.send(ShardCommand::Boundary(seq));
+            let _ = sender.send(ShardCommand::Boundary { seq, gate, fanin });
         }
     }
 
@@ -787,7 +829,7 @@ impl EngineHandle {
     /// changed since the last emission. Racing producers deduplicate on the
     /// monotone promotion epoch: exactly one of them wins the `fetch_max`
     /// for any given epoch and emits the event.
-    fn trace_hot_promotions(&self) {
+    pub(crate) fn trace_hot_promotions(&self) {
         use std::sync::atomic::Ordering;
         let Some(obs) = &self.obs else {
             return;
@@ -816,13 +858,15 @@ impl EngineHandle {
         let Some(windows) = &self.window_fence else {
             return false;
         };
-        {
+        let boundary_due = {
             let Some(guard) = self.fence.enter() else {
                 return false;
             };
-            windows.record(&guard, items);
+            windows.claim(&guard, items).due
+        };
+        if boundary_due {
+            self.cut_due_window_boundaries();
         }
-        self.cut_due_window_boundaries();
         true
     }
 
@@ -842,13 +886,17 @@ impl EngineHandle {
             };
             let len = part.len() as u64;
             self.send_part(shard, part)?;
-            if let Some(windows) = &self.window_fence {
-                windows.record(&guard, len);
-            }
+            let boundary_due = match &self.window_fence {
+                Some(windows) => windows.claim(&guard, len).due,
+                None => false,
+            };
             self.accepted_batches
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            drop(guard);
+            if boundary_due {
+                self.cut_due_window_boundaries();
+            }
         }
-        self.cut_due_window_boundaries();
         Ok(())
     }
 
@@ -916,6 +964,7 @@ impl EngineHandle {
     /// drain a slot. The shed/retry path (`Err(Full)`) never blocks.
     pub fn try_enqueue(&self, shard: usize, part: Vec<u64>) -> Result<(), TrySendError<Vec<u64>>> {
         use std::sync::atomic::Ordering;
+        let mut boundary_due = false;
         let result = {
             let Some(guard) = self.fence.enter() else {
                 return Err(TrySendError::Disconnected(part));
@@ -935,7 +984,7 @@ impl EngineHandle {
                         obs.enqueue_wait.record(0);
                     }
                     if let Some(windows) = &self.window_fence {
-                        windows.record(&guard, len);
+                        boundary_due = windows.claim(&guard, len).due;
                     }
                     self.accepted_batches.fetch_add(1, Ordering::Relaxed);
                     Ok(())
@@ -957,21 +1006,41 @@ impl EngineHandle {
                 }
             }
         };
-        if result.is_ok() {
+        if boundary_due {
             self.cut_due_window_boundaries();
         }
         result
     }
 
-    /// Blocks until every minibatch enqueued before this call is processed.
+    /// Blocks until every minibatch enqueued — or accepted by a
+    /// [`crate::Producer`] — before this call is processed.
+    ///
+    /// The barrier is a gated cut like any other: marks are stamped into
+    /// every registered ingest lane and the commands are sent under the
+    /// exclusive fence, so the workers drain lane traffic up to the same
+    /// consistent cut before acknowledging. `cut_with` works on a closed
+    /// fence, so draining remains valid through (and after) shutdown.
     pub fn drain(&self) {
-        let mut acks = Vec::with_capacity(self.shards());
-        for sender in self.senders.iter() {
-            let (ack_tx, ack_rx) = sync_channel(1);
-            if sender.send(ShardCommand::Barrier(ack_tx)).is_ok() {
-                acks.push(ack_rx);
+        use std::sync::atomic::Ordering;
+        let acks = self.fence.cut_with(|_cut| {
+            let gate = self.gates.fetch_add(1, Ordering::Relaxed);
+            let mut acks = Vec::with_capacity(self.shards());
+            for (sender, shared) in self.senders.iter().zip(self.shared.iter()) {
+                let fanin = shared.mark_lanes(gate);
+                let (ack_tx, ack_rx) = sync_channel(1);
+                if sender
+                    .send(ShardCommand::Barrier {
+                        ack: ack_tx,
+                        gate,
+                        fanin,
+                    })
+                    .is_ok()
+                {
+                    acks.push(ack_rx);
+                }
             }
-        }
+            acks
+        });
         for ack in acks {
             // A receive error means the worker exited after draining its
             // queue — equivalent to an acknowledgement.
@@ -995,9 +1064,28 @@ impl EngineHandle {
         }
     }
 
-    /// Current snapshots of every shard (each at its own epoch).
+    /// Hands out a [`crate::Producer`]: a per-thread ingest endpoint that
+    /// bypasses the shared shard channels. In the default (lanes) mode the
+    /// producer owns one SPSC lane per shard and routes into them; with
+    /// [`EngineConfig::thread_local_ingest`] it instead accumulates a
+    /// private substream merged into queries at read time. One producer
+    /// per thread — the endpoints are deliberately `!Sync` single-owner
+    /// values; clone the handle and call this once per producer thread.
+    pub fn producer(&self) -> crate::Producer {
+        crate::Producer::new(self)
+    }
+
+    /// Current snapshots of every shard (each at its own epoch), followed
+    /// by the snapshots of any thread-local producer substreams. Summaries
+    /// are mergeable, so downstream accounting (`total_items`,
+    /// `heavy_hitters`, `epochs`) treats the substreams exactly like extra
+    /// shards: the summed one-sided error stays `Σ ε·m_s = ε·m`.
     pub fn snapshots(&self) -> Vec<Arc<ShardSnapshot>> {
-        self.shared.iter().map(|s| s.load_snapshot()).collect()
+        let mut snapshots: Vec<Arc<ShardSnapshot>> =
+            self.shared.iter().map(|s| s.load_snapshot()).collect();
+        let locals = self.locals.lock().expect("locals registry poisoned");
+        snapshots.extend(locals.iter().map(|s| s.load_snapshot()));
+        snapshots
     }
 
     /// Where `item`'s count mass may live under the configured routing:
@@ -1031,14 +1119,29 @@ impl EngineHandle {
     /// shard underestimates its substream by at most `ε·m_s`, so the sum
     /// underestimates by at most `ε·m` and never overestimates.
     pub fn estimate(&self, item: u64) -> u64 {
-        self.timed(QueryKind::Estimate, || match self.router.placement(item) {
-            Placement::Owner(shard) => self.shared[shard].load_snapshot().estimate(item),
-            Placement::Replicated => self
-                .shared
-                .iter()
-                .map(|s| s.load_snapshot().estimate(item))
-                .sum(),
+        self.timed(QueryKind::Estimate, || {
+            let sharded = match self.router.placement(item) {
+                Placement::Owner(shard) => self.shared[shard].load_snapshot().estimate(item),
+                Placement::Replicated => self
+                    .shared
+                    .iter()
+                    .map(|s| s.load_snapshot().estimate(item))
+                    .sum(),
+            };
+            // Thread-local substreams are unrouted: any key may appear in
+            // any producer's substream, so they are always summed in.
+            sharded + self.locals_estimate(item)
         })
+    }
+
+    /// Sum of `item`'s Misra–Gries estimates across the thread-local
+    /// producer substreams (`0` when none are registered — lanes mode).
+    fn locals_estimate(&self, item: u64) -> u64 {
+        let locals = self.locals.lock().expect("locals registry poisoned");
+        locals
+            .iter()
+            .map(|s| s.load_snapshot().estimate(item))
+            .sum()
     }
 
     /// The globally consistent sliding window at the latest boundary every
@@ -1114,10 +1217,14 @@ impl EngineHandle {
     pub fn cm_estimate(&self, item: u64) -> u64 {
         self.timed(QueryKind::CmEstimate, || {
             let query_shard = |shard: usize| self.shared[shard].count_min.query(item);
-            match self.router.placement(item) {
+            let sharded = match self.router.placement(item) {
                 Placement::Owner(shard) => query_shard(shard),
                 Placement::Replicated => (0..self.shards()).map(query_shard).sum(),
-            }
+            };
+            // Thread-local substreams are unrouted; always sum them in
+            // (each sketch overestimates one-sidedly, so the sum does too).
+            let locals = self.locals.lock().expect("locals registry poisoned");
+            sharded + locals.iter().map(|s| s.count_min.query(item)).sum::<u64>()
         })
     }
 
@@ -1163,6 +1270,10 @@ impl EngineHandle {
         let mut merged = self.shared[0].count_min.to_parallel();
         for shared in &self.shared[1..] {
             merged.merge(&shared.count_min.to_parallel());
+        }
+        let locals = self.locals.lock().expect("locals registry poisoned");
+        for local in locals.iter() {
+            merged.merge(&local.count_min.to_parallel());
         }
         merged
     }

@@ -118,6 +118,7 @@ mod metrics;
 mod obs;
 mod operator;
 mod persist;
+mod producer;
 mod shard;
 
 pub use config::EngineConfig;
@@ -127,6 +128,7 @@ pub use engine::{
 pub use metrics::{EngineMetrics, ShardMetrics, StoreMetrics, WindowMetrics};
 pub use obs::ObsConfig;
 pub use operator::{EngineOperator, ShardedOperator};
+pub use producer::Producer;
 pub use shard::{ShardFinal, ShardSnapshot};
 
 // Routing and window fencing live in `psfa_stream`; re-exported here

@@ -33,7 +33,7 @@ use psfa_stream::{IngestFence, Router, WindowFence};
 
 use crate::metrics::StoreMetrics;
 use crate::obs::EngineObs;
-use crate::shard::ShardCommand;
+use crate::shard::{ShardCommand, ShardShared};
 
 /// The window configuration a persisted epoch must capture: the geometry
 /// plus the live [`WindowFence`] whose clock is read from inside the
@@ -60,6 +60,13 @@ pub(crate) struct Persister {
     store: Mutex<SnapshotStore>,
     fence: Arc<IngestFence>,
     senders: Arc<Vec<SyncSender<ShardCommand>>>,
+    /// Per-shard shared state: the cut stamps lane marks into each shard's
+    /// registered ingest lanes so lane traffic obeys the same cut as
+    /// channel traffic (see the `shard` module docs).
+    shards_shared: Arc<Vec<Arc<ShardShared>>>,
+    /// Engine-wide gate id allocator, shared with the engine handles so
+    /// gate ids stay unique across *all* cut kinds.
+    gates: Arc<AtomicU64>,
     router: Arc<dyn Router>,
     phi: f64,
     epsilon: f64,
@@ -80,6 +87,8 @@ impl Persister {
         store: SnapshotStore,
         fence: Arc<IngestFence>,
         senders: Arc<Vec<SyncSender<ShardCommand>>>,
+        shards_shared: Arc<Vec<Arc<ShardShared>>>,
+        gates: Arc<AtomicU64>,
         router: Arc<dyn Router>,
         phi: f64,
         epsilon: f64,
@@ -93,6 +102,8 @@ impl Persister {
             store: Mutex::new(store),
             fence,
             senders,
+            shards_shared,
+            gates,
             router,
             phi,
             epsilon,
@@ -128,13 +139,23 @@ impl Persister {
         let (receivers, hot_keys, window) = self
             .fence
             .cut_with(|_cut| {
+                let gate = self.gates.fetch_add(1, Ordering::Relaxed);
                 let receivers = self
                     .senders
                     .iter()
-                    .map(|sender| {
+                    .zip(self.shards_shared.iter())
+                    .map(|(sender, shared)| {
+                        // Stamp the lane marks before sending the command:
+                        // gated sends serialise under this exclusive cut, so
+                        // per-lane mark order equals channel command order.
+                        let fanin = shared.mark_lanes(gate);
                         let (tx, rx) = sync_channel(1);
                         sender
-                            .send(ShardCommand::Persist(tx))
+                            .send(ShardCommand::Persist {
+                                reply: tx,
+                                gate,
+                                fanin,
+                            })
                             .map(|_| rx)
                             .map_err(|_| ())
                     })

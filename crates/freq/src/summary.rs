@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 
 use psfa_primitives::codec::{put_header, ByteReader, ByteWriter, CodecError};
-use psfa_primitives::{phi_cutoff, HistogramEntry};
+use psfa_primitives::{phi_cutoff_in_place, HistogramEntry};
 
 /// Type tag for encoded MG summaries (see `psfa_primitives::codec`).
 const TAG: u8 = 0x03;
@@ -33,6 +33,11 @@ pub struct MgSummary {
     /// [`MgSummary::augment`]; pure scratch, excluded from equality and
     /// cloning.
     scratch: Vec<u64>,
+    /// High-water mark of the map reservation target (`2·(S + p)` for the
+    /// widest batch seen). Monotone on purpose: `HashMap::capacity()` dips
+    /// as `retain` leaves tombstones behind, so re-deriving the guard from
+    /// it would re-reserve (and possibly reallocate) in steady state.
+    reserved: usize,
 }
 
 impl Clone for MgSummary {
@@ -44,6 +49,9 @@ impl Clone for MgSummary {
             capacity: self.capacity,
             entries: self.entries.clone(),
             scratch: Vec::new(),
+            // The cloned map is sized for its current entries, not the
+            // original's reservation, so the clone starts cold.
+            reserved: 0,
         }
     }
 }
@@ -67,6 +75,7 @@ impl MgSummary {
             capacity,
             entries: HashMap::with_capacity(capacity + 1),
             scratch: Vec::new(),
+            reserved: 0,
         }
     }
 
@@ -123,11 +132,29 @@ impl MgSummary {
     ///
     /// The combine–select–subtract steps mutate the counter map **in
     /// place** (the map is the combined set once the histogram is added;
-    /// `retain` keeps its table). With the value buffer for the cut-off
-    /// selection reused across calls, a steady-state augment whose
-    /// combined set fits the table performs no heap allocation — this is
-    /// the per-minibatch core of the engine's ingest hot path.
+    /// `retain` keeps its table). The map and the selection buffer are
+    /// pre-sized to the transient combined set `S + p` before combining,
+    /// so once they have grown to the largest batch seen, an augment
+    /// performs **zero** heap allocations — no mid-combine rehash even
+    /// when `p` spikes. This is the per-minibatch core of the engine's
+    /// ingest hot path (asserted by E13's counting-allocator audit).
     pub fn augment(&mut self, histogram: &[HistogramEntry]) -> u64 {
+        // Pre-size for the transient combined set: the map holds up to
+        // S + p entries between step 1 and step 3. The target is *twice*
+        // that so the hash table always has room to reclaim the tombstones
+        // `retain` leaves behind by rehashing in place inside its existing
+        // allocation — at `2·(S + p)` the live set never crosses the
+        // half-full threshold that would force a reallocating resize. The
+        // guard is the monotone `reserved` high-water mark, not
+        // `HashMap::capacity()` (which dips as tombstones accumulate), so
+        // after the widest batch has been seen once no augment ever
+        // reserves, rehashes mid-combine, or allocates again.
+        let combined = 2 * (self.capacity + histogram.len());
+        if combined > self.reserved {
+            self.reserved = combined;
+            self.entries
+                .reserve(combined.saturating_sub(self.entries.len()));
+        }
         // Step 1: combine counters (the map transiently holds up to
         // S + p entries).
         for e in histogram {
@@ -141,8 +168,9 @@ impl MgSummary {
 
         // Step 2: find the cut-off ϕ such that at most S counters exceed it.
         self.scratch.clear();
+        self.scratch.reserve(self.entries.len());
         self.scratch.extend(self.entries.values().copied());
-        let phi = phi_cutoff(&self.scratch, self.capacity);
+        let phi = phi_cutoff_in_place(&mut self.scratch, self.capacity);
 
         // Step 3: subtract ϕ and keep the strictly positive counters.
         if phi > 0 {
@@ -232,6 +260,7 @@ impl MgSummary {
             capacity: capacity as usize,
             entries,
             scratch: Vec::new(),
+            reserved: 0,
         })
     }
 
@@ -371,6 +400,37 @@ mod tests {
         before.sort_unstable();
         after.sort_unstable();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn augment_presizes_for_the_combined_set_and_stops_growing() {
+        // After the widest batch has been seen, the reservation target and
+        // the scratch buffer are fixed and the map stays within its warm
+        // allocation — the allocation-free steady state E13 audits with a
+        // counting allocator. `HashMap::capacity()` itself is not asserted
+        // exactly: it dips nondeterministically as `retain` leaves
+        // tombstones behind, which is precisely why the reservation guard
+        // is the monotone `reserved` mark.
+        let mut s = MgSummary::new(8);
+        let batch: Vec<(u64, u64)> = (0..50u64).map(|i| (i, 1 + i % 3)).collect();
+        s.augment(&hist(&batch));
+        assert_eq!(s.reserved, 2 * (8 + 50), "map not pre-sized for 2(S + p)");
+        let scratch_cap = s.scratch.capacity();
+        assert!(scratch_cap >= 50, "scratch not sized for the combined set");
+        for round in 1..50u64 {
+            // Fresh distinct items every round, same batch width.
+            let b: Vec<(u64, u64)> = (0..50u64).map(|i| (i * 31 + round * 1000, 2)).collect();
+            s.augment(&hist(&b));
+            assert_eq!(s.reserved, 2 * (8 + 50), "reservation target moved");
+            assert_eq!(s.scratch.capacity(), scratch_cap, "scratch regrew");
+            // Loose ceiling: a steady-state resize would double the table
+            // well past the reservation target.
+            assert!(s.entries.capacity() <= 2 * s.reserved, "map regrew");
+        }
+        // A wider batch raises the high-water mark exactly once.
+        let wide: Vec<(u64, u64)> = (0..100u64).map(|i| (i + 1_000_000, 1)).collect();
+        s.augment(&hist(&wide));
+        assert_eq!(s.reserved, 2 * (8 + 100));
     }
 
     #[test]

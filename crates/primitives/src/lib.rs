@@ -60,7 +60,7 @@ pub use instrument::WorkMeter;
 pub use intsort::{int_sort_by_key, int_sort_pairs};
 pub use pack::{pack, pack_indices, pack_map};
 pub use scan::{scan_exclusive, scan_exclusive_by, scan_inclusive, scan_inclusive_by};
-pub use select::{kth_smallest, phi_cutoff};
+pub use select::{kth_smallest, phi_cutoff, phi_cutoff_in_place};
 
 /// Default granularity below which primitives fall back to sequential code.
 ///

@@ -67,6 +67,23 @@ pub fn phi_cutoff(values: &[u64], s: usize) -> u64 {
     kth_smallest(values, values.len() - s - 1)
 }
 
+/// Allocation-free variant of [`phi_cutoff`] for callers that own a
+/// reusable scratch buffer: selects in place (reordering `values`) via
+/// introselect instead of copying into fresh partition vectors.
+///
+/// The parallel [`phi_cutoff`] pays `O(n)` transient allocations per call
+/// for its packed partitions — fine for the query path, but the per-batch
+/// Misra–Gries augment sits on the engine's ingest hot path, whose
+/// steady-state zero-allocation contract E13 audits with a counting
+/// allocator. Same result, same `O(n)` expected work, sequential depth.
+pub fn phi_cutoff_in_place(values: &mut [u64], s: usize) -> u64 {
+    if values.len() <= s {
+        return 0;
+    }
+    let k = values.len() - s - 1;
+    *values.select_nth_unstable(k).1
+}
+
 /// Median of three evenly spaced elements — a cheap, deterministic pivot that
 /// avoids quadratic behaviour on sorted inputs.
 fn median_of_three(values: &[u64]) -> u64 {

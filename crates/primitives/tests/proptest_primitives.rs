@@ -6,8 +6,8 @@ use std::collections::HashMap;
 
 use psfa_primitives::intsort::sort_indices_by_key;
 use psfa_primitives::{
-    build_hist, build_hist_hashmap, kth_smallest, pack, pack_indices, phi_cutoff, scan_exclusive,
-    scan_inclusive, CompactedSegment,
+    build_hist, build_hist_hashmap, kth_smallest, pack, pack_indices, phi_cutoff,
+    phi_cutoff_in_place, scan_exclusive, scan_inclusive, CompactedSegment,
 };
 
 proptest! {
@@ -94,6 +94,9 @@ proptest! {
             let touched = values.iter().filter(|&&v| v >= phi).count();
             prop_assert!(touched >= s);
         }
+        // The in-place hot-path variant selects the identical cut-off.
+        let mut scratch = values.clone();
+        prop_assert_eq!(phi_cutoff_in_place(&mut scratch, s), phi);
     }
 
     #[test]

@@ -68,7 +68,8 @@ pub mod prelude {
     };
     pub use psfa_engine::{
         Engine, EngineConfig, EngineHandle, EngineMetrics, EngineOperator, EngineReport,
-        IngestError, ObsConfig, ShardedOperator, StoreMetrics, TryIngestError, WindowMetrics,
+        IngestError, ObsConfig, Producer, ShardedOperator, StoreMetrics, TryIngestError,
+        WindowMetrics,
     };
     pub use psfa_freq::{
         GlobalWindow, HeavyHitter, InfiniteHeavyHitters, MgSummary, PaneWindow,

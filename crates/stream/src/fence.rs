@@ -149,6 +149,33 @@ pub struct WindowFenceState {
     pub boundaries: u64,
 }
 
+/// One producer's batched claim of logical stream positions
+/// (see [`WindowFence::claim`]): the half-open range
+/// `[first, first + items)` plus the boundary-crossing hint.
+///
+/// Claims made under the fence partition the stream exactly: over any set
+/// of claims totalling `n` items, the ranges tile `0..n` with no gap or
+/// overlap, regardless of interleaving (the fetch-add hands out each
+/// position exactly once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchClaim {
+    /// First logical position claimed (0-based).
+    pub first: u64,
+    /// Number of positions claimed.
+    pub items: u64,
+    /// True when the claimant must call [`WindowFence::poll_cut`] after
+    /// releasing its guard: a boundary at or below `first + items` may not
+    /// have been sealed yet. False guarantees no boundary is stranded.
+    pub due: bool,
+}
+
+impl BatchClaim {
+    /// One past the last position claimed (`first + items`).
+    pub fn end(&self) -> u64 {
+        self.first + self.items
+    }
+}
+
 /// A logical item clock that cuts shard-consistent *window boundaries*
 /// every `slide` items, built on an [`IngestFence`] (see the module docs).
 ///
@@ -235,8 +262,38 @@ impl WindowFence {
     /// passing it in is the proof — so that a concurrent cut orders either
     /// strictly before both the enqueues and the clock advance, or
     /// strictly after both.
-    pub fn record(&self, _proof: &IngestGuard<'_>, items: u64) {
-        self.ticket.fetch_add(items, Ordering::AcqRel);
+    pub fn record(&self, proof: &IngestGuard<'_>, items: u64) {
+        let _ = self.claim(proof, items);
+    }
+
+    /// Claims `items` consecutive logical positions in **one** fetch-add —
+    /// the batched-ticket fast path. Returns the claimed range and whether
+    /// the claimant *may* have crossed a pane boundary and must call
+    /// [`WindowFence::poll_cut`] after dropping its guard.
+    ///
+    /// Compared with [`WindowFence::record`] + an unconditional poll, a
+    /// non-crossing producer touches the shared ticket cache line exactly
+    /// once (the fetch-add it must pay anyway) plus one load of the
+    /// read-mostly `next_boundary` line — it never re-reads the contended
+    /// ticket line the way `poll_cut`'s fast path does. With many producers
+    /// claiming concurrently that re-read is the serialising traffic.
+    ///
+    /// Correctness of the `due` hint: `due` is computed as
+    /// `first + items ≥ next_boundary`, with `next_boundary` loaded *after*
+    /// the fetch-add. If it returns `false`, then at load time every
+    /// boundary at or below `first + items` had already been sealed
+    /// (`next_boundary` only advances past a boundary after sealing it
+    /// under the exclusive cut), so skipping the poll never strands a
+    /// boundary. If it returns `true` the poll may still find nothing to
+    /// cut — a racing claimant got there first — which `poll_cut` resolves
+    /// under the exclusive side, cutting each boundary exactly once. The
+    /// comparison uses the claim's *end* position, so a boundary left
+    /// pending by [`WindowFence::resume`] (ticket already past
+    /// `next_boundary`) is also reported due.
+    pub fn claim(&self, _proof: &IngestGuard<'_>, items: u64) -> BatchClaim {
+        let first = self.ticket.fetch_add(items, Ordering::AcqRel);
+        let due = first + items >= self.next_boundary.load(Ordering::Acquire);
+        BatchClaim { first, items, due }
     }
 
     /// Cuts every boundary the clock has crossed, invoking `seal` with each
@@ -393,6 +450,82 @@ mod tests {
         // no matter how the producers raced.
         assert_eq!(cuts.load(Ordering::SeqCst), 500);
         assert_eq!(windows.boundaries(), 500);
+    }
+
+    #[test]
+    fn batched_claims_partition_the_stream_and_flag_crossings() {
+        let fence = Arc::new(IngestFence::new());
+        let windows = WindowFence::new(fence.clone(), 100);
+        let guard = fence.enter().unwrap();
+        let a = windows.claim(&guard, 60);
+        assert_eq!((a.first, a.end(), a.due), (0, 60, false));
+        let b = windows.claim(&guard, 60);
+        // Crosses position 100: the claimant must poll.
+        assert_eq!((b.first, b.end(), b.due), (60, 120, true));
+        drop(guard);
+        assert_eq!(windows.poll_cut(|_| {}), 1);
+        // After the seal, a non-crossing claim is not due.
+        let guard = fence.enter().unwrap();
+        let c = windows.claim(&guard, 10);
+        assert_eq!((c.first, c.due), (120, false));
+        // A claim that lands exactly on a boundary is due.
+        let d = windows.claim(&guard, 70);
+        assert_eq!((d.end(), d.due), (200, true));
+        drop(guard);
+        assert_eq!(windows.poll_cut(|_| {}), 1);
+    }
+
+    #[test]
+    fn skipping_not_due_claims_never_strands_a_boundary() {
+        // Producers poll ONLY when their claim says due; every boundary
+        // must still be sealed exactly once.
+        let fence = Arc::new(IngestFence::new());
+        let windows = Arc::new(WindowFence::new(fence.clone(), 64));
+        let cuts = Arc::new(AtomicU64::new(0));
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let fence = fence.clone();
+            let windows = windows.clone();
+            let cuts = cuts.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    let items = 1 + (p * 500 + i) % 31; // uneven batches
+                    let guard = fence.enter().expect("open");
+                    let claim = windows.claim(&guard, items);
+                    drop(guard);
+                    if claim.due {
+                        windows.poll_cut(|_| {
+                            cuts.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                }
+            }));
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        let total = windows.ticket();
+        assert_eq!(windows.boundaries(), total / 64);
+        assert_eq!(cuts.load(Ordering::SeqCst), total / 64);
+    }
+
+    #[test]
+    fn resumed_fence_reports_pending_boundary_due() {
+        // A crossing recorded but not polled before the snapshot: after
+        // resume, the very next claim (even of 1 item) must say due.
+        let state = WindowFenceState {
+            ticket: 130,
+            boundaries: 1, // boundary 2 at position 100 is pending
+        };
+        let fence = Arc::new(IngestFence::new());
+        let resumed = WindowFence::resume(fence.clone(), 50, state);
+        let guard = fence.enter().unwrap();
+        let claim = resumed.claim(&guard, 1);
+        assert!(claim.due, "pending pre-resume boundary must be reported");
+        drop(guard);
+        let mut seqs = Vec::new();
+        resumed.poll_cut(|s| seqs.push(s));
+        assert_eq!(seqs, vec![2]);
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //!   stream, the ordering primitive under snapshot persistence, plus the
 //!   [`WindowFence`] logical item clock that turns cuts into window-aligned
 //!   barriers for cross-shard sliding windows.
+//! * [`lane`] — per-producer → per-shard SPSC ingest lanes with
+//!   in-position cut marks, the contention-free multi-producer front end
+//!   over the fence's ordering guarantees.
 //! * [`metrics`] — throughput/latency accounting.
 
 #![warn(missing_docs)]
@@ -35,6 +38,7 @@
 
 pub mod fence;
 pub mod generators;
+pub mod lane;
 pub mod metrics;
 pub mod pipeline;
 pub mod pool;
@@ -42,11 +46,12 @@ pub mod router;
 pub mod split;
 pub mod zipf;
 
-pub use fence::{IngestFence, IngestGuard, WindowFence, WindowFenceState};
+pub use fence::{BatchClaim, IngestFence, IngestGuard, WindowFence, WindowFenceState};
 pub use generators::{
     AdversarialChurnGenerator, BinaryStreamGenerator, BurstyGenerator, PacketTraceGenerator,
     StreamGenerator, UniformGenerator, ZipfGenerator,
 };
+pub use lane::{IngestLane, LaneMark};
 pub use metrics::ThroughputMeter;
 pub use pipeline::{MinibatchOperator, Pipeline, PipelineReport};
 pub use pool::{BufferPool, PoolCounters};

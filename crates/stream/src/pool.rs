@@ -149,6 +149,34 @@ impl BufferPool {
         }
     }
 
+    /// Takes one recycled buffer from `shard`'s return lane, or `None`
+    /// when the lane is empty or momentarily contended. This is the
+    /// per-producer scratch refill path: a producer that owns its parts
+    /// container outright (instead of checking containers in and out)
+    /// replaces each slot it sent to a worker with a buffer the worker
+    /// previously gave back — the same capacity loop as
+    /// [`BufferPool::checkout`], without sharing the container stack
+    /// across producers. Counts a hit or miss like a checkout slot.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn take(&self, shard: usize) -> Option<Vec<u64>> {
+        let recycled = self.lanes[shard]
+            .try_lock()
+            .ok()
+            .and_then(|mut lane| lane.pop());
+        match recycled {
+            Some(buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(buf)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
     /// Returns one finished sub-batch buffer to `shard`'s lane (worker
     /// side). The buffer's contents are discarded; its capacity is what
     /// circulates. Never blocks — on contention or a full lane the buffer
@@ -244,6 +272,18 @@ mod tests {
         let counters = pool.counters();
         assert_eq!((counters.hits, counters.misses), (1, 3));
         drop(parts);
+    }
+
+    #[test]
+    fn take_refills_producer_owned_scratch() {
+        let pool = BufferPool::new(2, 4);
+        assert_eq!(pool.take(0), None); // cold lane: a miss
+        pool.give_back(0, Vec::with_capacity(64));
+        let buf = pool.take(0).expect("lane buffer was reused");
+        assert!(buf.capacity() >= 64);
+        assert_eq!(pool.lane_depth(0), 0);
+        let counters = pool.counters();
+        assert_eq!((counters.hits, counters.misses), (1, 1));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Concurrent stress test of the lock-free ingest hot path: query threads
 //! hammer `estimate` / `cm_estimate` / `heavy_hitters` / the sliding
-//! window *while* producers ingest, guarding the PR 5 lock-free snapshot
+//! window *while* four producers ingest through their own per-shard SPSC
+//! lanes (`EngineHandle::producer`), guarding the lock-free snapshot
 //! publication and relaxed-atomic Count-Min against torn reads:
 //!
 //! * per-shard snapshot **epochs are monotone** across reads, and every
@@ -129,17 +130,24 @@ fn concurrent_queries_during_ingest_never_tear() {
         }));
     }
 
-    // --- two producers + one mid-stress snapshot ------------------------
+    // --- four lane producers + one mid-stress snapshot ------------------
+    // Each producer owns a set of per-shard SPSC lanes (`handle.producer()`),
+    // so this also stresses the gated-cut protocol: the snapshot below must
+    // drain every lane exactly to its mark before cutting.
     let mid = batches.len() / 2;
     let (first_half, second_half) = batches.split_at(mid);
     let ingest_all = |chunk: &[Vec<u64>]| {
         std::thread::scope(|scope| {
-            for producer in 0..2usize {
-                let handle = handle.clone();
+            for k in 0..4usize {
+                let mut producer = handle.producer();
                 scope.spawn(move || {
-                    for batch in chunk.iter().skip(producer).step_by(2) {
-                        handle.ingest(batch).expect("engine closed");
+                    assert_eq!(producer.mode(), "lanes");
+                    for batch in chunk.iter().skip(k).step_by(4) {
+                        producer.ingest(batch).expect("engine closed");
                     }
+                    // Dropping the producer closes its lanes; the pushes are
+                    // already visible, so the cut below covers all of them
+                    // without an explicit flush.
                 });
             }
         });

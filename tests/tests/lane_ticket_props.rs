@@ -1,0 +1,219 @@
+//! Property tests for the multi-producer ingest building blocks: the
+//! batched window-fence tickets ([`WindowFence::claim`]) and the SPSC
+//! ingest lanes ([`IngestLane`]).
+//!
+//! The tentpole claims two ordering theorems and this file checks both on
+//! arbitrary inputs:
+//!
+//! 1. **Tickets tile the stream.** Any interleaving of per-producer
+//!    position claims partitions `0..n` exactly — no gap, no overlap —
+//!    and window boundaries are sealed exactly once each, with 1-based
+//!    consecutive sequence numbers, at multiples of the slide. The `due`
+//!    hint is sound: when a claim reports `due = false`, skipping the
+//!    poll strands nothing.
+//! 2. **Lanes are FIFO with in-position marks.** A lane never reorders
+//!    or loses batches, refuses to hand out a batch past a due mark, and
+//!    yields marks exactly when every pre-mark batch has been consumed —
+//!    matching a simple queue-plus-positions reference model on any
+//!    operation sequence.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+
+use psfa::stream::{BatchClaim, IngestFence, IngestLane, LaneMark, WindowFence};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Concurrent producers claim arbitrary batch sizes; the claims must
+    /// tile `0..n` exactly and every crossed boundary must be sealed
+    /// exactly once, in order, no matter how the threads interleave.
+    #[test]
+    fn concurrent_claims_tile_the_stream(
+        per_producer in prop::collection::vec(
+            prop::collection::vec(1u64..64, 1..32),
+            1..5,
+        ),
+        slide in 1u64..97,
+    ) {
+        let fence = Arc::new(IngestFence::new());
+        let window = Arc::new(WindowFence::new(fence.clone(), slide));
+        let sealed = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let n: u64 = per_producer.iter().flatten().sum();
+
+        let mut per_thread: Vec<Vec<BatchClaim>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for sizes in &per_producer {
+                let fence = &fence;
+                let window = &window;
+                let sealed = &sealed;
+                handles.push(scope.spawn(move || {
+                    let mut claims = Vec::with_capacity(sizes.len());
+                    for &items in sizes {
+                        let guard = fence.enter().expect("fence closed");
+                        let claim = window.claim(&guard, items);
+                        drop(guard);
+                        if claim.due {
+                            window.poll_cut(|seq| {
+                                sealed.lock().expect("seal log poisoned").push(seq);
+                            });
+                        }
+                        claims.push(claim);
+                    }
+                    claims
+                }));
+            }
+            per_thread = handles
+                .into_iter()
+                .map(|h| h.join().expect("producer panicked"))
+                .collect();
+        });
+
+        // Each producer's claims come back in program order, so their
+        // positions are strictly increasing.
+        for claims in &per_thread {
+            for w in claims.windows(2) {
+                prop_assert!(w[0].end() <= w[1].first, "per-producer claims overlap");
+            }
+        }
+
+        // All claims together tile 0..n with no gap or overlap.
+        let mut all: Vec<BatchClaim> = per_thread.into_iter().flatten().collect();
+        all.sort_by_key(|c| c.first);
+        let mut expect = 0u64;
+        for claim in &all {
+            prop_assert_eq!(claim.first, expect, "gap or overlap in the tiling");
+            expect = claim.end();
+        }
+        prop_assert_eq!(expect, n, "claims do not cover the stream");
+        prop_assert_eq!(window.ticket(), n);
+
+        // Every crossed boundary was sealed exactly once, in order: the
+        // sequence numbers are consecutive from 1, and the count matches
+        // the number of slide multiples the clock crossed.
+        let sealed = sealed.lock().expect("seal log poisoned");
+        let want: Vec<u64> = (1..=n / slide).collect();
+        prop_assert_eq!(&*sealed, &want, "boundaries sealed out of order or twice");
+        prop_assert_eq!(window.boundaries(), n / slide);
+    }
+
+    /// The `due` hint is sound and complete on a single producer: when it
+    /// says `false`, the poll finds nothing; either way, the boundary
+    /// count always equals the slide multiples crossed so far.
+    #[test]
+    fn due_hint_never_strands_a_boundary(
+        sizes in prop::collection::vec(1u64..200, 0..200),
+        slide in 1u64..64,
+    ) {
+        let fence = Arc::new(IngestFence::new());
+        let window = WindowFence::new(fence.clone(), slide);
+        let mut sealed = Vec::new();
+        let mut accepted = 0u64;
+        for &items in &sizes {
+            let guard = fence.enter().expect("fence closed");
+            let claim = window.claim(&guard, items);
+            drop(guard);
+            prop_assert_eq!(claim.first, accepted);
+            accepted += items;
+            prop_assert_eq!(claim.end(), accepted);
+            let cut = window.poll_cut(|seq| sealed.push(seq));
+            if !claim.due {
+                prop_assert_eq!(cut, 0, "due = false but a boundary was pending");
+            }
+            prop_assert_eq!(window.boundaries(), accepted / slide);
+        }
+        let want: Vec<u64> = (1..=accepted / slide).collect();
+        prop_assert_eq!(sealed, want);
+        prop_assert_eq!(window.ticket(), accepted);
+    }
+
+    /// An [`IngestLane`] matches a queue-plus-mark-positions reference
+    /// model on any sequence of push / mark / pop operations: FIFO order,
+    /// exact backpressure at capacity, marks due exactly when every
+    /// earlier batch is consumed, and no batch ever served past a due
+    /// mark.
+    #[test]
+    fn lane_matches_reference_model(
+        capacity in 1usize..8,
+        ops in prop::collection::vec(0u8..4, 1..300),
+    ) {
+        let lane = IngestLane::new(capacity);
+        let mut batches: VecDeque<u64> = VecDeque::new();
+        let mut marks: VecDeque<(u64, u64)> = VecDeque::new();
+        let mut next_batch = 0u64;
+        let mut next_gate = 1u64;
+        let mut pushed = 0u64;
+        let mut popped = 0u64;
+        for &op in &ops {
+            match op {
+                0 => {
+                    let result = lane.try_push(vec![next_batch]);
+                    if pushed - popped < capacity as u64 {
+                        prop_assert!(result.is_ok(), "push refused below capacity");
+                        batches.push_back(next_batch);
+                        pushed += 1;
+                        next_batch += 1;
+                    } else {
+                        prop_assert_eq!(
+                            result.expect_err("push accepted at capacity"),
+                            vec![next_batch],
+                        );
+                    }
+                }
+                1 => {
+                    lane.push_mark(next_gate);
+                    marks.push_back((pushed, next_gate));
+                    next_gate += 1;
+                }
+                2 => {
+                    let fenced = marks.front().is_some_and(|&(at, _)| at <= popped);
+                    let got = lane.pop_batch();
+                    if fenced || batches.is_empty() {
+                        prop_assert_eq!(got, None, "batch served past a due mark");
+                    } else {
+                        let want = batches.pop_front().expect("model under-ran");
+                        prop_assert_eq!(got, Some(vec![want]));
+                        popped += 1;
+                    }
+                }
+                _ => {
+                    let due = marks.front().is_some_and(|&(at, _)| at <= popped);
+                    let got = lane.pop_mark_if_due();
+                    if due {
+                        let (at, gate) = marks.pop_front().expect("model under-ran");
+                        prop_assert_eq!(got, Some(LaneMark { at, gate }));
+                    } else {
+                        prop_assert_eq!(got, None, "mark yielded early");
+                    }
+                }
+            }
+            prop_assert_eq!(lane.pushed(), pushed);
+            prop_assert_eq!(lane.popped(), popped);
+            prop_assert_eq!(lane.len(), pushed - popped);
+        }
+
+        // Drain what is left: everything comes out, in order, with each
+        // mark in its exact position.
+        loop {
+            let mut progressed = false;
+            if let Some(mark) = lane.pop_mark_if_due() {
+                let (at, gate) = marks.pop_front().expect("unexpected mark");
+                prop_assert_eq!(mark, LaneMark { at, gate });
+                progressed = true;
+            }
+            if let Some(batch) = lane.pop_batch() {
+                let want = batches.pop_front().expect("unexpected batch");
+                prop_assert_eq!(batch, vec![want]);
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        prop_assert!(batches.is_empty(), "lane lost batches");
+        prop_assert!(marks.is_empty(), "lane lost marks");
+    }
+}
