@@ -43,9 +43,9 @@ fn bench_engine_vs_pipeline(c: &mut Criterion) {
                     for batch in &batches {
                         handle.ingest(batch).unwrap();
                     }
-                    engine.drain();
+                    engine.drain().unwrap();
                     let reported = handle.heavy_hitters().len();
-                    engine.shutdown();
+                    engine.shutdown().unwrap();
                     reported
                 })
             },

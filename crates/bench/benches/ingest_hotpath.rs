@@ -70,9 +70,9 @@ fn bench_engine_ingest(c: &mut Criterion) {
                     for batch in batches {
                         handle.ingest(batch).expect("engine closed");
                     }
-                    engine.drain();
+                    engine.drain().unwrap();
                     let total = handle.total_items();
-                    engine.shutdown();
+                    engine.shutdown().unwrap();
                     total
                 })
             },

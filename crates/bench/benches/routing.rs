@@ -154,9 +154,9 @@ fn bench_engine_routing(c: &mut Criterion) {
                     for batch in &batches {
                         handle.ingest(batch).unwrap();
                     }
-                    engine.drain();
+                    engine.drain().unwrap();
                     let hot = handle.metrics().hot_keys.len();
-                    engine.shutdown();
+                    engine.shutdown().unwrap();
                     hot
                 })
             },

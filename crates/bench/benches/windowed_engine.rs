@@ -29,9 +29,9 @@ fn bench_windowed_engine(c: &mut Criterion) {
         for batch in &batches {
             handle.ingest(batch).unwrap();
         }
-        engine.drain();
+        engine.drain().unwrap();
         let sealed = handle.global_window().map_or(0, |w| w.items());
-        engine.shutdown();
+        engine.shutdown().unwrap();
         sealed
     };
 

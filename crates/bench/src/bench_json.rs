@@ -13,7 +13,13 @@
 //!   "busy", "p50_ns", "p99_ns", "p999_ns"}` (added with the serving front
 //!   end: E15 records open-loop, coordinated-omission-free request
 //!   latencies per request kind, plus how many requests ran and how many
-//!   were rejected with `Busy`).
+//!   were rejected with `Busy`);
+//! * availability — `{"experiment", "config", "faults_injected",
+//!   "faults_recovered", "queries_total", "queries_degraded",
+//!   "unavail_p50_ns", "unavail_p99_ns", "unavail_max_ns"}` (added with
+//!   fault injection: E17 kills workers mid-stream and records the
+//!   per-fault unavailability window — quarantine to restart — plus how
+//!   many queries answered degraded while it was open).
 //!
 //! The writer is hand-rolled (no serde in the offline build); experiment,
 //! config and metric strings are plain ASCII table labels, escaped for the
@@ -77,6 +83,29 @@ pub enum Record {
         /// 99.9th percentile, ns.
         p999_ns: u64,
     },
+    /// One fault-injection availability measurement: the distribution of
+    /// per-fault unavailability windows (first degraded observation to
+    /// recovery) under concurrent ingest + query load.
+    Availability {
+        /// Experiment id, e.g. `"E17"`.
+        experiment: String,
+        /// Configuration label, e.g. `"engine x4, 2 worker kills"`.
+        config: String,
+        /// Faults the plan injected.
+        faults_injected: u64,
+        /// Faults the supervisor recovered (restarted workers).
+        faults_recovered: u64,
+        /// Queries issued while the faults were firing.
+        queries_total: u64,
+        /// Queries answered with a `Degraded` annotation.
+        queries_degraded: u64,
+        /// Median per-fault unavailability window, ns.
+        unavail_p50_ns: u64,
+        /// 99th-percentile unavailability window, ns.
+        unavail_p99_ns: u64,
+        /// Worst unavailability window, ns.
+        unavail_max_ns: u64,
+    },
 }
 
 static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
@@ -136,6 +165,30 @@ pub fn record_request_latency(
         p50_ns,
         p99_ns,
         p999_ns,
+    });
+}
+
+/// Appends one availability record from a fault-injection run. The first
+/// pair counts faults (injected, recovered), the second counts queries
+/// (total, degraded); the triple is the per-fault unavailability-window
+/// distribution in nanoseconds (p50, p99, max).
+pub fn record_availability(
+    experiment: &str,
+    config: &str,
+    (faults_injected, faults_recovered): (u64, u64),
+    (queries_total, queries_degraded): (u64, u64),
+    (unavail_p50_ns, unavail_p99_ns, unavail_max_ns): (u64, u64, u64),
+) {
+    push(Record::Availability {
+        experiment: experiment.to_string(),
+        config: config.to_string(),
+        faults_injected,
+        faults_recovered,
+        queries_total,
+        queries_degraded,
+        unavail_p50_ns,
+        unavail_p99_ns,
+        unavail_max_ns,
     });
 }
 
@@ -208,6 +261,26 @@ pub fn write_to(path: impl AsRef<Path>) -> std::io::Result<usize> {
                 escape(config),
                 escape(metric),
             )?,
+            Record::Availability {
+                experiment,
+                config,
+                faults_injected,
+                faults_recovered,
+                queries_total,
+                queries_degraded,
+                unavail_p50_ns,
+                unavail_p99_ns,
+                unavail_max_ns,
+            } => writeln!(
+                out,
+                "  {{\"experiment\": \"{}\", \"config\": \"{}\", \
+                 \"faults_injected\": {faults_injected}, \"faults_recovered\": {faults_recovered}, \
+                 \"queries_total\": {queries_total}, \"queries_degraded\": {queries_degraded}, \
+                 \"unavail_p50_ns\": {unavail_p50_ns}, \"unavail_p99_ns\": {unavail_p99_ns}, \
+                 \"unavail_max_ns\": {unavail_max_ns}}}{comma}",
+                escape(experiment),
+                escape(config),
+            )?,
         }
     }
     writeln!(out, "]")?;
@@ -218,8 +291,10 @@ pub fn write_to(path: impl AsRef<Path>) -> std::io::Result<usize> {
 /// a JSON array, one object per line, each object exactly one of a
 /// throughput record (`experiment`, `config`, `items_per_sec`), a latency
 /// record (`experiment`, `config`, `metric`, and the four `p*_ns`
-/// percentiles), or a request-latency record (`experiment`, `config`,
-/// `metric`, `requests`, `busy`, and the `p50/p99/p999_ns` percentiles).
+/// percentiles), a request-latency record (`experiment`, `config`,
+/// `metric`, `requests`, `busy`, and the `p50/p99/p999_ns` percentiles),
+/// or an availability record (`experiment`, `config`, the four fault/query
+/// counters, and the three `unavail_*_ns` percentiles).
 /// Returns the number of valid records, or a description of the first
 /// malformed line. Matches exactly what [`write_to`] emits — the point is
 /// to catch hand-edited or truncated committed files in CI, not to be a
@@ -269,14 +344,26 @@ pub fn validate_file(path: impl AsRef<Path>) -> Result<usize, String> {
             && ["requests", "busy", "p50_ns", "p99_ns", "p999_ns"]
                 .iter()
                 .all(|k| has_num_key(k));
-        if [throughput, latency, request_latency]
+        let availability = [
+            "faults_injected",
+            "faults_recovered",
+            "queries_total",
+            "queries_degraded",
+            "unavail_p50_ns",
+            "unavail_p99_ns",
+            "unavail_max_ns",
+        ]
+        .iter()
+        .all(|k| has_num_key(k));
+        if [throughput, latency, request_latency, availability]
             .iter()
             .filter(|&&shape| shape)
             .count()
             != 1
         {
             return Err(bad(
-                "must be exactly one of a throughput, latency, or request-latency record",
+                "must be exactly one of a throughput, latency, request-latency, \
+                 or availability record",
             ));
         }
         records += 1;
@@ -310,6 +397,13 @@ mod tests {
             (1000, 7),
             (10, 90, 900),
         );
+        record_availability(
+            "E17",
+            "engine x4, 2 worker kills",
+            (2, 2),
+            (5000, 41),
+            (1_500_000, 2_100_000, 2_100_000),
+        );
         let dir = std::env::temp_dir().join(format!("psfa-bench-json-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("out.json");
@@ -323,6 +417,8 @@ mod tests {
         assert!(text.contains("\"metric\": \"enqueue_wait\""));
         assert!(text.contains("\"p999_ns\": 2048"));
         assert!(text.contains("\"requests\": 1000, \"busy\": 7"));
+        assert!(text.contains("\"faults_injected\": 2, \"faults_recovered\": 2"));
+        assert!(text.contains("\"unavail_max_ns\": 2100000"));
         // What the writer emits, the validator accepts.
         assert_eq!(validate_file(&path).unwrap(), n);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -376,6 +472,14 @@ mod tests {
             "f.json",
             "[\n  {\"experiment\": \"E15\", \"config\": \"x\", \"metric\": \"ingest\", \
              \"requests\": 10, \"p50_ns\": 1, \"p99_ns\": 2, \"p999_ns\": 3}\n]\n",
+        );
+        assert!(validate_file(p).is_err());
+        // Availability record missing one of its unavailability percentiles.
+        let p = write(
+            "g.json",
+            "[\n  {\"experiment\": \"E17\", \"config\": \"x\", \"faults_injected\": 2, \
+             \"faults_recovered\": 2, \"queries_total\": 10, \"queries_degraded\": 1, \
+             \"unavail_p50_ns\": 5, \"unavail_max_ns\": 9}\n]\n",
         );
         assert!(validate_file(p).is_err());
         // Empty array.

@@ -20,9 +20,11 @@
 //! additionally writes the measurements as machine-readable records — one
 //! `{experiment, config, items_per_sec}` object per throughput measurement,
 //! one `{experiment, config, metric, p50_ns, …, p999_ns}` object per
-//! latency distribution, and one `{experiment, config, metric, requests,
+//! latency distribution, one `{experiment, config, metric, requests,
 //! busy, p50_ns, p99_ns, p999_ns}` object per open-loop request-latency
-//! distribution (the committed `BENCH_<pr>.json` trajectory).
+//! distribution, and one `{experiment, config, faults_*, queries_*,
+//! unavail_*_ns}` object per fault-injection availability run (the
+//! committed `BENCH_<pr>.json` trajectory).
 
 use std::collections::HashMap;
 
@@ -117,6 +119,9 @@ fn main() {
     }
     if want("e16") {
         e16_multi_producer(quick);
+    }
+    if want("e17") {
+        e17_fault_tolerance(quick);
     }
     if want("f2") {
         f2_snapshot_example();
@@ -706,14 +711,14 @@ fn e9_engine(quick: bool) {
             for b in &batches {
                 handle.ingest(b).expect("engine closed");
             }
-            engine.drain();
+            engine.drain().unwrap();
         });
         let max_err = truth
             .iter()
             .map(|(&item, &f)| f.saturating_sub(handle.estimate(item)) as f64)
             .fold(0.0f64, f64::max);
         let hh = handle.heavy_hitters().len();
-        engine.shutdown();
+        engine.shutdown().unwrap();
         bench_json::record("E9", &format!("engine x{shards}"), m as f64 / secs);
         println!(
             "{}",
@@ -768,7 +773,7 @@ fn e10_skew_routing(quick: bool) {
                 for b in &batches {
                     handle.ingest(b).expect("engine closed");
                 }
-                engine.drain();
+                engine.drain().unwrap();
             });
             let metrics = handle.metrics();
             let imbalance = metrics.load_imbalance().expect("items were processed");
@@ -790,7 +795,7 @@ fn e10_skew_routing(quick: bool) {
                 policy.name(),
                 eps * m as f64
             );
-            engine.shutdown();
+            engine.shutdown().unwrap();
             imbalances.push(imbalance);
             println!(
                 "{}",
@@ -869,9 +874,9 @@ fn e11_persistence(quick: bool) {
                     for b in &batches {
                         handle.ingest(b).expect("engine closed");
                     }
-                    engine.drain();
+                    engine.drain().unwrap();
                 });
-                engine.shutdown(); // final snapshot (untimed)
+                engine.shutdown().unwrap(); // final snapshot (untimed)
                 let store = handle.metrics().store;
                 (m as f64 / secs, store, dir)
             };
@@ -990,7 +995,7 @@ fn e12_global_window(quick: bool) {
         if (i + 1) % 2 != 0 || !checkpoints.contains(&boundary) {
             continue;
         }
-        engine.drain();
+        engine.drain().unwrap();
         let aligned = handle
             .global_window()
             .expect("aligned window at a boundary");
@@ -1037,7 +1042,7 @@ fn e12_global_window(quick: bool) {
         !handle.metrics().hot_keys.is_empty(),
         "E12: Zipf(1.5) must promote hot keys under skew routing"
     );
-    engine.shutdown();
+    engine.shutdown().unwrap();
 
     // --- ingest overhead of the window ---------------------------------
     println!(
@@ -1058,10 +1063,10 @@ fn e12_global_window(quick: bool) {
             for b in &batches {
                 handle.ingest(b).expect("engine closed");
             }
-            engine.drain();
+            engine.drain().unwrap();
         });
         let boundaries = handle.metrics().window.map_or(0, |w| w.boundaries);
-        engine.shutdown();
+        engine.shutdown().unwrap();
         (m as f64 / secs, boundaries)
     };
     // Best of three runs damps scheduler noise (the window's measured
@@ -1251,9 +1256,9 @@ fn e13_hot_path(quick: bool) {
             for b in &batches {
                 handle.ingest(b).expect("engine closed");
             }
-            engine.drain();
+            engine.drain().unwrap();
         });
-        engine.shutdown();
+        engine.shutdown().unwrap();
         bench_json::record("E13", &format!("engine x{shards}"), m as f64 / secs);
         println!(
             "{}",
@@ -1310,7 +1315,7 @@ fn e13_hot_path(quick: bool) {
         for b in &batches {
             handle.ingest(b).expect("engine closed");
         }
-        engine.drain();
+        engine.drain().unwrap();
     });
     stop.store(true, std::sync::atomic::Ordering::Release);
     let query_rounds: u64 = queriers.into_iter().map(|q| q.join().unwrap()).sum();
@@ -1352,7 +1357,7 @@ fn e13_hot_path(quick: bool) {
             "E13: window estimate {est} under {f} by more than ε·n_W"
         );
     }
-    engine.shutdown();
+    engine.shutdown().unwrap();
     println!(
         "{}",
         row(&[
@@ -1396,9 +1401,9 @@ fn e14_observability(quick: bool) {
             for b in &batches {
                 handle.ingest(b).expect("engine closed");
             }
-            engine.drain();
+            engine.drain().unwrap();
         });
-        engine.shutdown();
+        engine.shutdown().unwrap();
         m as f64 / secs
     };
     // Best-of-N interleaved runs damp scheduler noise.
@@ -1447,7 +1452,7 @@ fn e14_observability(quick: bool) {
         let _ = handle.heavy_hitters();
         let _ = handle.sliding_estimate(probe);
     }
-    engine.drain();
+    engine.drain().unwrap();
     let report = handle.metrics().obs.expect("observability is on");
     println!(
         "{}",
@@ -1484,7 +1489,7 @@ fn e14_observability(quick: bool) {
             ])
         );
     }
-    engine.shutdown();
+    engine.shutdown().unwrap();
     println!();
 }
 
@@ -1612,7 +1617,7 @@ fn e15_serving(quick: bool) {
             ])
         );
     }
-    engine.drain();
+    engine.drain().unwrap();
     // Busy rejections are clean: exactly the acknowledged batches arrived.
     let handle = engine.handle();
     assert_eq!(
@@ -1622,7 +1627,7 @@ fn e15_serving(quick: bool) {
     );
     let metrics = server.shutdown();
     assert_eq!(metrics.frame_errors, 0, "E15: no protocol errors expected");
-    engine.shutdown();
+    engine.shutdown().unwrap();
 
     // --- (b) explicit backpressure under an overdriven slow engine ------
     let sleepy = ("sleepy".to_string(), |_shard: usize| {
@@ -1682,8 +1687,8 @@ fn e15_serving(quick: bool) {
         "E15: peak in-flight bytes {} outside (0, {inflight_cap}]",
         metrics.peak_inflight_bytes
     );
-    engine.drain();
-    let final_report = engine.shutdown();
+    engine.drain().unwrap();
+    let final_report = engine.shutdown().unwrap();
     assert_eq!(
         final_report.total_items(),
         report.completed * batch_items,
@@ -1767,14 +1772,14 @@ fn e16_multi_producer(quick: bool) {
                     });
                 }
             });
-            engine.drain();
+            engine.drain().unwrap();
         });
         assert_eq!(
             handle.total_items(),
             m,
             "E16: every accepted item must be counted exactly once"
         );
-        engine.shutdown();
+        engine.shutdown().unwrap();
         m as f64 / secs
     };
 
@@ -1799,7 +1804,7 @@ fn e16_multi_producer(quick: bool) {
             worst = worst.max(secs);
         }
         assert_eq!(handle.total_items(), m, "E16: thread-local conservation");
-        engine.shutdown();
+        engine.shutdown().unwrap();
         m as f64 / worst
     };
 
@@ -1881,6 +1886,186 @@ fn e16_multi_producer(quick: bool) {
         "E16: the winning ingest mode ({winner_name}) must scale at least 1.7x from \
          1 to 4 shards on the {basis} basis (measured {ratio:.2}x)"
     );
+}
+
+/// E17 — fault tolerance: two injected worker kills under concurrent
+/// ingest + query load. The engine must keep answering (zero aborted
+/// queries), recover both workers from their last published snapshots,
+/// honour the documented one-sided bound against an exact reference of
+/// the offered stream, and trace a measurable unavailability window per
+/// fault (quarantine → restart), committed as an availability record.
+fn e17_fault_tolerance(quick: bool) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    println!("== E17: fault tolerance — two injected worker kills under ingest+query load ==");
+    let shards = 4;
+    let phi = 0.01;
+    let eps = 0.001;
+    let batches = zipf_minibatches(100_000, 1.2, scaled(64, quick).max(16), 10_000, 91);
+    let total_batches = batches.len() as u64;
+    let m: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let mut exact: HashMap<u64, u64> = HashMap::new();
+    for b in &batches {
+        for &x in b {
+            *exact.entry(x).or_insert(0) += 1;
+        }
+    }
+
+    // Two kills at one-third and two-thirds of the stream (per-shard
+    // batch ordinals; every minibatch lands parts on all four shards),
+    // each followed by a 25 ms supervisor backoff so the quarantine
+    // window is wide enough for the query thread to observe.
+    let kills = [
+        (1usize, (total_batches / 3).max(2)),
+        (2usize, (2 * total_batches / 3).max(4)),
+    ];
+    let plan = FaultPlan::new()
+        .with_worker_panic(kills[0].0, kills[0].1)
+        .with_worker_panic(kills[1].0, kills[1].1)
+        .with_restart_delay(std::time::Duration::from_millis(25));
+    let engine = Engine::spawn(
+        EngineConfig::with_shards(shards)
+            .heavy_hitters(phi, eps)
+            .observe()
+            .fault_injection(plan),
+    );
+    let handle = engine.handle();
+
+    // Concurrent query load: every answer must come back — degraded or
+    // not — while the workers die and restart underneath it.
+    let stop = AtomicBool::new(false);
+    let (queries_total, queries_degraded, secs) = std::thread::scope(|scope| {
+        let qh = engine.handle();
+        let stop_ref = &stop;
+        let query = scope.spawn(move || {
+            let mut total = 0u64;
+            let mut degraded = 0u64;
+            while !stop_ref.load(Ordering::Acquire) {
+                let heavy = qh.heavy_hitters_checked();
+                let point = qh.estimate_checked(1);
+                total += 2;
+                degraded += u64::from(heavy.degraded.is_some());
+                degraded += u64::from(point.degraded.is_some());
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            (total, degraded)
+        });
+        let (_, secs) = timed(|| {
+            for b in &batches {
+                handle
+                    .ingest(b)
+                    .expect("the engine must keep accepting while workers restart");
+            }
+            handle
+                .drain()
+                .expect("both kills must be recovered, not fatal");
+        });
+        stop.store(true, Ordering::Release);
+        let (total, degraded) = query.join().expect("zero aborted queries");
+        (total, degraded, secs)
+    });
+
+    // Unavailability windows: ShardQuarantined → WorkerRestart trace
+    // pairs, one per fault, measured on the supervisor's own clock.
+    let events = handle.trace_events();
+    let mut windows_ns: Vec<u64> = Vec::new();
+    for q in events
+        .iter()
+        .filter(|e| e.kind == TraceKind::ShardQuarantined)
+    {
+        if let Some(r) = events.iter().find(|e| {
+            e.kind == TraceKind::WorkerRestart && e.shard == q.shard && e.at_ns >= q.at_ns
+        }) {
+            windows_ns.push(r.at_ns - q.at_ns);
+        }
+    }
+    windows_ns.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        if windows_ns.is_empty() {
+            return 0;
+        }
+        let idx = ((windows_ns.len() as f64 * q).ceil() as usize).clamp(1, windows_ns.len());
+        windows_ns[idx - 1]
+    };
+
+    let metrics = handle.metrics();
+    let restarts = metrics.worker_restarts();
+    let m_eff = handle.total_items();
+    let lost = m - m_eff;
+
+    // The documented post-recovery contract: estimates never exceed the
+    // exact offered count (loss only shrinks counts, never invents them),
+    // and any item heavier than φ·m_eff + lost must still be reported.
+    let answer = handle.heavy_hitters_checked();
+    for hh in &answer.value {
+        let truth = exact.get(&hh.item).copied().unwrap_or(0);
+        assert!(
+            hh.estimate <= truth,
+            "E17: one-sided bound violated for {} ({} > {truth})",
+            hh.item,
+            hh.estimate
+        );
+    }
+    let coverage_floor = (phi * m_eff as f64).ceil() as u64 + lost + 1;
+    for (&item, &truth) in &exact {
+        if truth >= coverage_floor {
+            assert!(
+                answer.value.iter().any(|hh| hh.item == item),
+                "E17: item {item} (count {truth} ≥ floor {coverage_floor}) missing after recovery"
+            );
+        }
+    }
+
+    println!("{}", header(&["metric", "value"]));
+    for (k, v) in [
+        ("faults injected", kills.len().to_string()),
+        ("workers restarted", restarts.to_string()),
+        ("items offered", m.to_string()),
+        ("items lost to restarts", lost.to_string()),
+        ("queries under fire", queries_total.to_string()),
+        ("degraded answers", queries_degraded.to_string()),
+        (
+            "unavailability p50",
+            format!("{:.2} ms", pct(0.50) as f64 / 1e6),
+        ),
+        (
+            "unavailability max",
+            format!("{:.2} ms", pct(1.0) as f64 / 1e6),
+        ),
+        (
+            "ingest throughput",
+            format!("{:.2} Mitems/s", m as f64 / secs / 1e6),
+        ),
+    ] {
+        println!("{}", row(&[k.into(), v]));
+    }
+
+    assert_eq!(
+        restarts,
+        kills.len() as u64,
+        "E17: every kill must be recovered"
+    );
+    assert!(
+        metrics.quarantined_shards().is_empty(),
+        "E17: no shard may stay quarantined after the run"
+    );
+    assert_eq!(
+        windows_ns.len(),
+        kills.len(),
+        "E17: every fault must trace its unavailability window"
+    );
+
+    bench_json::record_availability(
+        "E17",
+        &format!("engine x{shards}, {} worker kills", kills.len()),
+        (kills.len() as u64, restarts),
+        (queries_total, queries_degraded),
+        (pct(0.50), pct(0.99), pct(1.0)),
+    );
+    engine
+        .shutdown()
+        .expect("E17: recovered engine must shut down cleanly");
+    println!();
 }
 
 /// F2 — the γ-snapshot worked example of Figure 2.

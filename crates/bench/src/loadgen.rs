@@ -254,7 +254,7 @@ mod tests {
         assert!(report.clients >= 2 && report.clients <= 4);
         assert!(report.summary_line("mixed").contains("p999"));
         server.shutdown();
-        let report = engine.shutdown();
+        let report = engine.shutdown().unwrap();
         assert!(report.total_items() > 0);
     }
 }

@@ -1,7 +1,9 @@
 //! Engine configuration.
 
 use std::path::Path;
+use std::sync::Arc;
 
+use psfa_primitives::FaultPlan;
 use psfa_store::PersistenceConfig;
 use psfa_stream::RoutingPolicy;
 
@@ -82,6 +84,18 @@ pub struct EngineConfig {
     /// features that need a global stream order: incompatible with the
     /// sliding window and with persistence (`validate` rejects both).
     pub thread_local_ingest: bool,
+    /// Deterministic fault injection (see [`psfa_primitives::fault`]).
+    /// `None` (the default) compiles every fault site down to a single
+    /// `Option` branch — the same zero-cost-when-off pattern as
+    /// [`EngineConfig::observability`]. Set it (tests, chaos experiments)
+    /// to schedule worker panics, store write errors, and lane stalls.
+    pub fault: Option<Arc<FaultPlan>>,
+    /// How many times the supervisor restarts one shard's panicked worker
+    /// before declaring the shard **dead** (permanently quarantined: its
+    /// queries answer from the last published snapshot forever and
+    /// [`crate::Engine::shutdown`] reports it in the typed error). Counted
+    /// per shard over the engine's lifetime.
+    pub worker_restart_limit: u64,
 }
 
 impl Default for EngineConfig {
@@ -104,6 +118,8 @@ impl Default for EngineConfig {
             persistence: None,
             observability: None,
             thread_local_ingest: false,
+            fault: None,
+            worker_restart_limit: 8,
         }
     }
 }
@@ -200,6 +216,20 @@ impl EngineConfig {
     /// [`EngineConfig::thread_local_ingest`]).
     pub fn thread_local_ingest(mut self) -> Self {
         self.thread_local_ingest = true;
+        self
+    }
+
+    /// Arms deterministic fault injection with the given plan (see
+    /// [`EngineConfig::fault`]).
+    pub fn fault_injection(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(Arc::new(plan));
+        self
+    }
+
+    /// Caps per-shard worker restarts (see
+    /// [`EngineConfig::worker_restart_limit`]).
+    pub fn worker_restart_limit(mut self, restarts: u64) -> Self {
+        self.worker_restart_limit = restarts;
         self
     }
 

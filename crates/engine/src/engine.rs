@@ -18,7 +18,7 @@ use psfa_stream::{
 };
 
 use crate::config::EngineConfig;
-use crate::metrics::{EngineMetrics, WindowMetrics};
+use crate::metrics::{EngineMetrics, ShardHealth, WindowMetrics};
 use crate::obs::{EngineObs, QueryKind, Reporter};
 use crate::operator::ShardedOperator;
 use crate::persist::{Flusher, PersistWindow, Persister};
@@ -134,6 +134,62 @@ impl fmt::Display for TryIngestError {
 
 impl std::error::Error for TryIngestError {}
 
+/// Error returned by [`Engine::shutdown`] and [`EngineHandle::drain`] when
+/// one or more shard workers died permanently (exhausted their restart
+/// budget after repeated panics) instead of completing the operation.
+///
+/// The engine never panics the *caller* for a worker death: supervised
+/// workers are restarted from their last published snapshot (see
+/// `shard.rs`), and only a shard that keeps dying past
+/// [`EngineConfig::worker_restart_limit`] is marked dead. Queries keep
+/// answering from dead shards' last snapshots (see
+/// [`EngineHandle::heavy_hitters_checked`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShutdownError {
+    /// Shards whose workers died permanently, ascending.
+    pub dead_shards: Vec<usize>,
+}
+
+impl fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shard worker(s) {:?} died permanently (restart budget exhausted)",
+            self.dead_shards
+        )
+    }
+}
+
+impl std::error::Error for ShutdownError {}
+
+/// Staleness annotation attached to a query answer when some shards are
+/// quarantined or dead: those shards contributed their last *published*
+/// snapshot instead of live state.
+///
+/// The answer itself remains one-sided — snapshot estimates never exceed
+/// true frequencies — but it may additionally miss the unpublished tail of
+/// the stale shards' substreams (bounded by `epoch_lag` batches each).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degraded {
+    /// Shards answering from their last published snapshot, ascending.
+    pub stale_shards: Vec<usize>,
+    /// Largest number of processed-but-unpublished batches any stale shard
+    /// had at its last observed progress point — the answer's staleness in
+    /// batches.
+    pub epoch_lag: u64,
+}
+
+/// A query answer plus an optional [`Degraded`] annotation — the
+/// non-breaking fault-aware wrapper returned by the `*_checked` query
+/// variants. `degraded` is `None` when every shard was live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Answered<T> {
+    /// The merged answer (same semantics as the unchecked query).
+    pub value: T,
+    /// Present when some shards answered from stale snapshots.
+    pub degraded: Option<Degraded>,
+}
+
 /// Builder collecting lifted operators before the workers start.
 pub struct EngineBuilder {
     config: EngineConfig,
@@ -220,9 +276,23 @@ impl EngineBuilder {
                 recovered_shard(shard),
                 obs.clone(),
             );
+            let supervisor_config = config.clone();
+            let supervisor_shared = shared[shard].clone();
+            let supervisor_pool = pool.clone();
+            let supervisor_obs = obs.clone();
             let join = std::thread::Builder::new()
                 .name(format!("psfa-shard-{shard}"))
-                .spawn(move || worker.run(rx))
+                .spawn(move || {
+                    supervise(
+                        shard,
+                        supervisor_config,
+                        supervisor_shared,
+                        supervisor_pool,
+                        supervisor_obs,
+                        worker,
+                        rx,
+                    )
+                })
                 .expect("failed to spawn shard worker thread");
             senders.push(tx);
             workers.push(join);
@@ -283,6 +353,7 @@ impl EngineBuilder {
                             .expect("window fence exists when a window is configured"),
                     }),
                     obs.clone(),
+                    config.fault.clone(),
                 ));
                 flusher = Some(Flusher::spawn(
                     persister.clone(),
@@ -335,6 +406,75 @@ impl EngineBuilder {
             flusher,
             reporter,
         })
+    }
+}
+
+/// The shard worker supervisor: runs the worker under `catch_unwind` and
+/// restarts it from the shard's last published snapshot after a panic.
+///
+/// The supervisor — not the worker — owns the command `Receiver`, so a
+/// panic never disconnects the channel: producers keep their backpressure
+/// semantics (`Busy`, blocking sends) instead of seeing `Closed`, queued
+/// commands and lane batches survive the restart, and the reborn worker
+/// resumes the same queue. The shard's health is published through
+/// [`crate::ShardHealth`] in the shared stats: `Quarantined` while down
+/// (queries annotate answers via the `*_checked` variants), back to `Live`
+/// after the reseed, and `Dead` once the restart budget
+/// ([`EngineConfig::worker_restart_limit`]) is exhausted — at which point
+/// the original panic is resumed so [`Engine::shutdown`] reports the shard
+/// in a typed [`ShutdownError`] instead of aborting.
+fn supervise(
+    shard: usize,
+    config: EngineConfig,
+    shared: Arc<ShardShared>,
+    pool: Arc<BufferPool>,
+    obs: Option<Arc<EngineObs>>,
+    first: ShardWorker,
+    queue: std::sync::mpsc::Receiver<ShardCommand>,
+) -> ShardFinal {
+    use std::sync::atomic::Ordering;
+    let mut worker = first;
+    loop {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.run(&queue)));
+        let payload = match outcome {
+            Ok(fin) => return fin,
+            Err(payload) => payload,
+        };
+        shared.stats.set_health(ShardHealth::Quarantined);
+        let restarts = shared.stats.restarts.load(Ordering::Relaxed);
+        let published_epoch = shared.snapshot.get().epoch;
+        if let Some(obs) = &obs {
+            obs.trace.push(
+                obs.now_ns(),
+                TraceKind::ShardQuarantined,
+                shard as u32,
+                restarts,
+                published_epoch,
+            );
+        }
+        if restarts >= config.worker_restart_limit {
+            shared.stats.set_health(ShardHealth::Dead);
+            // Joining this thread now observes the original panic; the
+            // engine surfaces it as a typed `ShutdownError`.
+            std::panic::resume_unwind(payload);
+        }
+        // Test hook: hold the quarantine open so degraded queries are
+        // reliably observable (no-op without a fault plan).
+        if let Some(delay) = config.fault.as_ref().and_then(|f| f.restart_delay()) {
+            std::thread::sleep(delay);
+        }
+        worker = ShardWorker::reseed(shard, &config, shared.clone(), pool.clone(), obs.clone());
+        shared.stats.restarts.fetch_add(1, Ordering::Relaxed);
+        shared.stats.set_health(ShardHealth::Live);
+        if let Some(obs) = &obs {
+            obs.trace.push(
+                obs.now_ns(),
+                TraceKind::WorkerRestart,
+                shard as u32,
+                restarts + 1,
+                published_epoch,
+            );
+        }
     }
 }
 
@@ -461,9 +601,11 @@ impl Engine {
     }
 
     /// Blocks until every minibatch enqueued *before this call* has been
-    /// processed by its shard.
-    pub fn drain(&self) {
-        self.handle.drain();
+    /// processed by its shard. Returns a typed [`ShutdownError`] naming
+    /// any permanently dead shards whose barriers could not be
+    /// acknowledged (see [`EngineHandle::drain`]).
+    pub fn drain(&self) -> Result<(), ShutdownError> {
+        self.handle.drain()
     }
 
     /// Drains, stops every worker, and returns the final per-shard state.
@@ -473,7 +615,12 @@ impl Engine {
     /// with a clean-rejection [`IngestError`] — including calls racing this
     /// shutdown: every `ingest` that returned `Ok` is guaranteed to be
     /// processed.
-    pub fn shutdown(mut self) -> EngineReport {
+    ///
+    /// A shard whose worker died permanently (exhausted its restart budget
+    /// after repeated panics) is reported in a typed [`ShutdownError`]
+    /// instead of propagating the panic to the caller; its last published
+    /// snapshot remains queryable through outstanding handles.
+    pub fn shutdown(mut self) -> Result<EngineReport, ShutdownError> {
         // Stop the reporter first: it queries through the handle, and there
         // is no point rendering tables against a draining engine.
         if let Some(mut reporter) = self.reporter.take() {
@@ -495,13 +642,23 @@ impl Engine {
             // proceeds to join either way.
             let _ = sender.send(ShardCommand::Shutdown);
         }
-        let shards: Vec<ShardFinal> = std::mem::take(&mut self.workers)
-            .into_iter()
-            .map(|w| w.join().expect("shard worker panicked"))
-            .collect();
-        EngineReport {
-            epsilon: self.handle.epsilon,
-            shards,
+        let mut shards = Vec::with_capacity(self.workers.len());
+        let mut dead_shards = Vec::new();
+        for (shard, worker) in std::mem::take(&mut self.workers).into_iter().enumerate() {
+            match worker.join() {
+                Ok(fin) => shards.push(fin),
+                // The supervisor resumed the panic after exhausting the
+                // restart budget: report the shard, never re-panic here.
+                Err(_) => dead_shards.push(shard),
+            }
+        }
+        if dead_shards.is_empty() {
+            Ok(EngineReport {
+                epsilon: self.handle.epsilon,
+                shards,
+            })
+        } else {
+            Err(ShutdownError { dead_shards })
         }
     }
 
@@ -1020,12 +1177,19 @@ impl EngineHandle {
     /// exclusive fence, so the workers drain lane traffic up to the same
     /// consistent cut before acknowledging. `cut_with` works on a closed
     /// fence, so draining remains valid through (and after) shutdown.
-    pub fn drain(&self) {
+    ///
+    /// A shard whose worker died permanently (marked [`ShardHealth::Dead`]
+    /// after exhausting its restart budget) cannot acknowledge the
+    /// barrier; such shards are reported in a typed [`ShutdownError`].
+    /// Workers that exited through a *graceful* shutdown still count as
+    /// drained — their queues were emptied before they left.
+    pub fn drain(&self) -> Result<(), ShutdownError> {
         use std::sync::atomic::Ordering;
         let acks = self.fence.cut_with(|_cut| {
             let gate = self.gates.fetch_add(1, Ordering::Relaxed);
             let mut acks = Vec::with_capacity(self.shards());
-            for (sender, shared) in self.senders.iter().zip(self.shared.iter()) {
+            for (shard, (sender, shared)) in self.senders.iter().zip(self.shared.iter()).enumerate()
+            {
                 let fanin = shared.mark_lanes(gate);
                 let (ack_tx, ack_rx) = sync_channel(1);
                 if sender
@@ -1036,15 +1200,31 @@ impl EngineHandle {
                     })
                     .is_ok()
                 {
-                    acks.push(ack_rx);
+                    acks.push((shard, ack_rx));
                 }
             }
             acks
         });
-        for ack in acks {
-            // A receive error means the worker exited after draining its
-            // queue — equivalent to an acknowledgement.
-            let _ = ack.recv();
+        let mut dead_shards = Vec::new();
+        for (shard, ack) in acks {
+            // A receive error means the worker exited: after a graceful
+            // shutdown its queue was drained first (ack-equivalent), but a
+            // permanently dead shard never processed the barrier.
+            if ack.recv().is_err() && self.shared[shard].stats.health() == ShardHealth::Dead {
+                dead_shards.push(shard);
+            }
+        }
+        // Shards whose channel was already disconnected at send time.
+        for (shard, shared) in self.shared.iter().enumerate() {
+            if shared.stats.health() == ShardHealth::Dead && !dead_shards.contains(&shard) {
+                dead_shards.push(shard);
+            }
+        }
+        dead_shards.sort_unstable();
+        if dead_shards.is_empty() {
+            Ok(())
+        } else {
+            Err(ShutdownError { dead_shards })
         }
     }
 
@@ -1083,9 +1263,83 @@ impl EngineHandle {
     pub fn snapshots(&self) -> Vec<Arc<ShardSnapshot>> {
         let mut snapshots: Vec<Arc<ShardSnapshot>> =
             self.shared.iter().map(|s| s.load_snapshot()).collect();
-        let locals = self.locals.lock().expect("locals registry poisoned");
+        let locals = self.locals();
         snapshots.extend(locals.iter().map(|s| s.load_snapshot()));
         snapshots
+    }
+
+    /// Locks the thread-local substream registry, recovering from poison.
+    /// Recovery is safe: the registry is an append-only `Vec` of fully
+    /// constructed `Arc`s, so a thread that panicked while holding the
+    /// lock cannot have left it torn — the push either completed or never
+    /// happened.
+    pub(crate) fn locals(&self) -> std::sync::MutexGuard<'_, Vec<Arc<ShardShared>>> {
+        self.locals
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Current staleness annotation: `Some` when any shard is quarantined
+    /// or dead (its contribution to merged answers is its last published
+    /// snapshot), `None` when every shard is live. The `*_checked` query
+    /// variants attach this to their answers.
+    pub fn degradation(&self) -> Option<Degraded> {
+        use std::sync::atomic::Ordering;
+        let mut stale_shards = Vec::new();
+        let mut epoch_lag = 0u64;
+        for (shard, shared) in self.shared.iter().enumerate() {
+            if shared.stats.health().is_stale() {
+                stale_shards.push(shard);
+                let published = shared.snapshot.get().epoch;
+                let live = shared.live_epoch.load(Ordering::Relaxed);
+                epoch_lag = epoch_lag.max(live.saturating_sub(published));
+            }
+        }
+        if stale_shards.is_empty() {
+            None
+        } else {
+            Some(Degraded {
+                stale_shards,
+                epoch_lag,
+            })
+        }
+    }
+
+    /// [`EngineHandle::heavy_hitters`] with a staleness annotation:
+    /// quarantined or dead shards contribute their last published snapshot
+    /// (still one-sided — snapshot estimates never exceed true
+    /// frequencies), and the wrapper reports which shards were stale and
+    /// by how many batches. The plain query keeps its signature; use this
+    /// variant when the caller needs to distinguish full-fidelity answers
+    /// from degraded-but-bounded ones.
+    pub fn heavy_hitters_checked(&self) -> Answered<Vec<HeavyHitter>> {
+        let value = self.heavy_hitters();
+        Answered {
+            value,
+            degraded: self.degradation(),
+        }
+    }
+
+    /// [`EngineHandle::estimate`] with a staleness annotation (see
+    /// [`EngineHandle::heavy_hitters_checked`]).
+    pub fn estimate_checked(&self, item: u64) -> Answered<u64> {
+        let value = self.estimate(item);
+        Answered {
+            value,
+            degraded: self.degradation(),
+        }
+    }
+
+    /// [`EngineHandle::cm_estimate`] with a staleness annotation (see
+    /// [`EngineHandle::heavy_hitters_checked`]). Count-Min sketches live
+    /// outside the workers and keep every add up to the panic, so a stale
+    /// shard's overestimate bound is unaffected.
+    pub fn cm_estimate_checked(&self, item: u64) -> Answered<u64> {
+        let value = self.cm_estimate(item);
+        Answered {
+            value,
+            degraded: self.degradation(),
+        }
     }
 
     /// Where `item`'s count mass may live under the configured routing:
@@ -1137,7 +1391,7 @@ impl EngineHandle {
     /// Sum of `item`'s Misra–Gries estimates across the thread-local
     /// producer substreams (`0` when none are registered — lanes mode).
     fn locals_estimate(&self, item: u64) -> u64 {
-        let locals = self.locals.lock().expect("locals registry poisoned");
+        let locals = self.locals();
         locals
             .iter()
             .map(|s| s.load_snapshot().estimate(item))
@@ -1223,7 +1477,7 @@ impl EngineHandle {
             };
             // Thread-local substreams are unrouted; always sum them in
             // (each sketch overestimates one-sidedly, so the sum does too).
-            let locals = self.locals.lock().expect("locals registry poisoned");
+            let locals = self.locals();
             sharded + locals.iter().map(|s| s.count_min.query(item)).sum::<u64>()
         })
     }
@@ -1271,7 +1525,7 @@ impl EngineHandle {
         for shared in &self.shared[1..] {
             merged.merge(&shared.count_min.to_parallel());
         }
-        let locals = self.locals.lock().expect("locals registry poisoned");
+        let locals = self.locals();
         for local in locals.iter() {
             merged.merge(&local.count_min.to_parallel());
         }
@@ -1454,7 +1708,7 @@ mod tests {
             total += batch.len() as u64;
             handle.ingest(&batch).unwrap();
         }
-        engine.drain();
+        engine.drain().unwrap();
         assert_eq!(handle.total_items(), total);
         assert_eq!(handle.metrics().items_processed(), total);
         assert_eq!(handle.metrics().queue_depth(), 0);
@@ -1485,7 +1739,7 @@ mod tests {
             }
         }
 
-        let report = engine.shutdown();
+        let report = engine.shutdown().unwrap();
         assert_eq!(report.total_items(), total);
         // After shutdown the handle still answers queries but refuses
         // ingestion — cleanly, with nothing enqueued.
@@ -1506,15 +1760,15 @@ mod tests {
         let engine = Engine::spawn(config());
         let handle = engine.handle();
         handle.ingest(&(0..1000u64).collect::<Vec<_>>()).unwrap();
-        engine.drain();
+        engine.drain().unwrap();
         let before = handle.epochs();
         handle.ingest(&(0..1000u64).collect::<Vec<_>>()).unwrap();
-        engine.drain();
+        engine.drain().unwrap();
         let after = handle.epochs();
         for (b, a) in before.iter().zip(&after) {
             assert!(a > b, "epochs must advance: {before:?} -> {after:?}");
         }
-        engine.shutdown();
+        engine.shutdown().unwrap();
     }
 
     #[test]
@@ -1523,7 +1777,7 @@ mod tests {
         let handle = engine.handle();
         let batch: Vec<u64> = (0..10_000u64).flat_map(|k| [k, k]).collect();
         handle.ingest(&batch).unwrap();
-        engine.drain();
+        engine.drain().unwrap();
         // Every key lives on exactly one shard; summing shard stream lengths
         // must equal the batch length exactly.
         assert_eq!(handle.total_items(), batch.len() as u64);
@@ -1532,7 +1786,7 @@ mod tests {
             m.shards.iter().all(|s| s.items_processed > 0),
             "all shards used"
         );
-        engine.shutdown();
+        engine.shutdown().unwrap();
     }
 
     #[test]
@@ -1541,13 +1795,13 @@ mod tests {
         let handle = engine.handle();
         let batch: Vec<u64> = (0..5_000u64).map(|i| i % 100).collect();
         handle.ingest(&batch).unwrap();
-        engine.drain();
+        engine.drain().unwrap();
         let merged = handle.merged_count_min();
         assert_eq!(merged.total(), batch.len() as u64);
         for item in 0..100u64 {
             assert!(merged.query(item) >= 50);
         }
-        engine.shutdown();
+        engine.shutdown().unwrap();
     }
 
     #[test]
@@ -1559,13 +1813,13 @@ mod tests {
         assert_eq!(handle.window_slide(), Some(1_250));
         // Before the first boundary there is no aligned window yet.
         handle.ingest(&vec![42u64; 1_000]).unwrap();
-        engine.drain();
+        engine.drain().unwrap();
         assert!(handle.global_window().is_none());
         assert_eq!(handle.sliding_estimate(42), 0);
         // Crossing the slide cuts a boundary on every shard; the aligned
         // window now covers the whole sealed pane.
         handle.ingest(&vec![42u64; 500]).unwrap();
-        engine.drain();
+        engine.drain().unwrap();
         let window = handle.global_window().expect("boundary 1 sealed");
         assert_eq!(window.seq(), 1);
         assert_eq!(window.items(), 1_500);
@@ -1576,7 +1830,7 @@ mod tests {
         let metrics = handle.metrics();
         let wm = metrics.window.expect("window metrics present");
         assert_eq!((wm.boundaries, wm.max_shard_lag), (1, 0));
-        engine.shutdown();
+        engine.shutdown().unwrap();
     }
 
     #[test]
@@ -1584,20 +1838,20 @@ mod tests {
         let engine = Engine::spawn(config().sliding_window(8_000).window_panes(4));
         let handle = engine.handle();
         handle.ingest(&vec![9u64; 1_000]).unwrap();
-        engine.drain();
+        engine.drain().unwrap();
         assert!(handle.global_window().is_none());
         // An external clock pushes the window forward during a quiet spell:
         // the open pane (the 1000 items) seals at the forced boundary.
         assert!(handle.advance_window_clock(1_000));
-        engine.drain();
+        engine.drain().unwrap();
         assert_eq!(handle.sliding_estimate(9), 1_000);
         // Three more boundaries slide the pane out of the 4-pane window.
         for _ in 0..4 {
             assert!(handle.advance_window_clock(2_000));
         }
-        engine.drain();
+        engine.drain().unwrap();
         assert_eq!(handle.sliding_estimate(9), 0);
-        engine.shutdown();
+        engine.shutdown().unwrap();
         assert!(!handle.advance_window_clock(1), "closed engine refuses");
     }
 
@@ -1635,7 +1889,7 @@ mod tests {
             if round % 2 == 0 {
                 std::thread::yield_now();
             }
-            let report = engine.shutdown();
+            let report = engine.shutdown().unwrap();
             let accepted: u64 = producers.into_iter().map(|p| p.join().unwrap()).sum();
             assert_eq!(
                 report.total_items(),
@@ -1650,7 +1904,7 @@ mod tests {
         let engine = Engine::spawn(config());
         let handle = engine.handle();
         handle.ingest(&[1, 2, 3, 4]).unwrap();
-        let report = engine.shutdown();
+        let report = engine.shutdown().unwrap();
         assert_eq!(report.total_items(), 4);
         // Post-shutdown attempts are refused and must not move counters.
         assert_eq!(
@@ -1688,11 +1942,11 @@ mod tests {
             for _ in 0..20 {
                 handle.ingest(&batch).unwrap();
             }
-            engine.drain();
+            engine.drain().unwrap();
             let metrics = handle.metrics();
             let est = handle.estimate(hot);
             let hh = handle.heavy_hitters();
-            engine.shutdown();
+            engine.shutdown().unwrap();
             (metrics, est, hh)
         };
 
@@ -1743,7 +1997,7 @@ mod tests {
         for _ in 0..12 {
             handle.ingest(&generator.next_minibatch(1_500)).unwrap();
         }
-        engine.drain();
+        engine.drain().unwrap();
         let m_snap = handle.total_items();
         let live_hh = handle.heavy_hitters();
         let live_est: Vec<u64> = (0..50).map(|k| handle.estimate(k)).collect();
@@ -1756,7 +2010,7 @@ mod tests {
         for _ in 0..5 {
             handle.ingest(&generator.next_minibatch(1_500)).unwrap();
         }
-        engine.drain();
+        engine.drain().unwrap();
         assert!(handle.total_items() > m_snap);
         engine.kill();
 
@@ -1775,7 +2029,7 @@ mod tests {
         assert_eq!(handle2.heavy_hitters_at(1).unwrap(), live_hh);
         // The recovered engine keeps going and persists epoch 2.
         handle2.ingest(&generator.next_minibatch(1_000)).unwrap();
-        recovered.drain();
+        recovered.drain().unwrap();
         assert_eq!(handle2.snapshot_now().unwrap(), 2);
         assert_eq!(handle2.persisted_epochs().unwrap(), vec![1, 2]);
         // Epoch 1's answer is unchanged by later epochs.
@@ -1784,7 +2038,7 @@ mod tests {
         let store = metrics.store.expect("store metrics present");
         assert_eq!(store.last_epoch, 2);
         assert!(store.bytes_written > 0);
-        recovered.shutdown();
+        recovered.shutdown().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1795,12 +2049,12 @@ mod tests {
         let engine = Engine::spawn(config.clone());
         let handle = engine.handle();
         handle.ingest(&(0..3_000u64).collect::<Vec<_>>()).unwrap();
-        let report = engine.shutdown();
+        let report = engine.shutdown().unwrap();
         assert_eq!(report.total_items(), 3_000);
         // No explicit snapshot was taken, but shutdown flushed one.
         let recovered = Engine::recover(&dir, config).unwrap();
         assert_eq!(recovered.handle().total_items(), 3_000);
-        recovered.shutdown();
+        recovered.shutdown().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1817,7 +2071,7 @@ mod tests {
         for _ in 0..10 {
             handle.ingest(&(0..500u64).collect::<Vec<_>>()).unwrap();
         }
-        engine.drain();
+        engine.drain().unwrap();
         // Give the flusher a few polls to notice the interval.
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         loop {
@@ -1832,7 +2086,7 @@ mod tests {
             }
             std::thread::sleep(std::time::Duration::from_millis(2));
         }
-        engine.shutdown();
+        engine.shutdown().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1880,7 +2134,7 @@ mod tests {
         for _ in 0..10 {
             handle.ingest(&batch).unwrap();
         }
-        engine.drain();
+        engine.drain().unwrap();
         assert!(!handle.metrics().hot_keys.is_empty());
         handle.snapshot_now().unwrap();
         engine.kill();
@@ -1893,7 +2147,7 @@ mod tests {
         // The matching (skew-aware) config still recovers.
         let recovered = Engine::recover(&dir, config).unwrap();
         assert_eq!(recovered.handle().placement(42), Placement::Replicated);
-        recovered.shutdown();
+        recovered.shutdown().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1907,7 +2161,7 @@ mod tests {
             handle.persisted_epochs(),
             Err(StoreError::Disabled)
         ));
-        engine.shutdown();
+        engine.shutdown().unwrap();
     }
 
     #[test]
@@ -1916,7 +2170,7 @@ mod tests {
         let engine = Engine::spawn(config().persistence(manual_persistence(&dir)));
         let handle = engine.handle();
         handle.ingest(&[1, 2, 3]).unwrap();
-        engine.shutdown();
+        engine.shutdown().unwrap();
         assert!(matches!(handle.snapshot_now(), Err(StoreError::Closed)));
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -1936,7 +2190,7 @@ mod tests {
         for _ in 0..8 {
             handle.ingest(&generator.next_minibatch(1_500)).unwrap();
         }
-        engine.drain();
+        engine.drain().unwrap();
         let _ = handle.estimate(1);
         let _ = handle.cm_estimate(1);
         let _ = handle.heavy_hitters();
@@ -1988,7 +2242,7 @@ mod tests {
         assert!(text.contains("enqueue_wait"));
         assert!(text.contains("quantile=\"0.99\""));
 
-        engine.shutdown();
+        engine.shutdown().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1998,11 +2252,11 @@ mod tests {
         let handle = engine.handle();
         assert!(!handle.observability_enabled());
         handle.ingest(&[1, 2, 3]).unwrap();
-        engine.drain();
+        engine.drain().unwrap();
         assert!(handle.metrics().obs.is_none());
         assert!(handle.trace_events().is_empty());
         assert!(handle.prometheus_text().is_none());
-        engine.shutdown();
+        engine.shutdown().unwrap();
     }
 
     #[test]
@@ -2029,7 +2283,7 @@ mod tests {
             }
         }
         assert!(full_seen, "a capacity-1 queue must report Full under load");
-        engine.shutdown();
+        engine.shutdown().unwrap();
     }
 
     #[test]
@@ -2054,12 +2308,12 @@ mod tests {
             }
         }
         assert!(busy_seen, "a capacity-1 queue must report Busy under load");
-        engine.drain();
+        engine.drain().unwrap();
         // Busy was a clean rejection: exactly the accepted batches landed.
         assert_eq!(handle.total_items(), accepted * batch.len() as u64);
         // Room again after the drain.
         handle.try_ingest(&[9, 9, 9]).unwrap();
-        engine.shutdown();
+        engine.shutdown().unwrap();
         assert_eq!(handle.try_ingest(&[1]), Err(TryIngestError::Closed));
         assert_eq!(handle.try_ingest(&[]), Ok(()), "empty batch is a no-op");
     }
@@ -2081,7 +2335,7 @@ mod tests {
             let batch: Vec<u64> = (0..200).map(|i| b * 200 + i).collect();
             handle.ingest(&batch).unwrap();
         }
-        engine.drain();
+        engine.drain().unwrap();
         let report = handle.metrics().obs.expect("obs report present");
         let membership = report.counter("republish_membership").unwrap();
         let suppressed = report.counter("republish_suppressed").unwrap();
@@ -2097,7 +2351,7 @@ mod tests {
         // exactly current despite the suppressed membership changes.
         assert_eq!(handle.epochs(), vec![batches]);
         assert_eq!(handle.total_items(), batches * 200);
-        engine.shutdown();
+        engine.shutdown().unwrap();
     }
 
     #[test]
@@ -2111,10 +2365,10 @@ mod tests {
         // First batch: membership goes empty → nonempty, published at once
         // (no suppression possible at the default interval of 1).
         handle.ingest(&[7, 7, 7]).unwrap();
-        engine.drain();
+        engine.drain().unwrap();
         let report = handle.metrics().obs.expect("obs report present");
         assert!(report.counter("republish_membership").unwrap() >= 1);
         assert_eq!(report.counter("republish_suppressed").unwrap(), 0);
-        engine.shutdown();
+        engine.shutdown().unwrap();
     }
 }

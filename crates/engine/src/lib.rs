@@ -88,13 +88,13 @@
 //! for _ in 0..4 {
 //!     handle.ingest(&vec![7u64; 1_000]).unwrap(); // 2 boundaries @ slide 2000
 //! }
-//! engine.drain();
+//! engine.drain().unwrap();
 //! let window = handle.global_window().expect("aligned at boundary 2");
 //! assert_eq!((window.seq(), window.items()), (2, 4_000));
 //! assert_eq!(handle.sliding_estimate(7), 4_000);
 //! let heavy = handle.sliding_heavy_hitters();
 //! assert_eq!(heavy[0].item, 7);
-//! engine.shutdown();
+//! engine.shutdown().unwrap();
 //! ```
 //!
 //! ## Consistency
@@ -123,9 +123,10 @@ mod shard;
 
 pub use config::EngineConfig;
 pub use engine::{
-    Engine, EngineBuilder, EngineClosed, EngineHandle, EngineReport, IngestError, TryIngestError,
+    Answered, Degraded, Engine, EngineBuilder, EngineClosed, EngineHandle, EngineReport,
+    IngestError, ShutdownError, TryIngestError,
 };
-pub use metrics::{EngineMetrics, ShardMetrics, StoreMetrics, WindowMetrics};
+pub use metrics::{EngineMetrics, ShardHealth, ShardMetrics, StoreMetrics, WindowMetrics};
 pub use obs::ObsConfig;
 pub use operator::{EngineOperator, ShardedOperator};
 pub use producer::Producer;
@@ -135,6 +136,9 @@ pub use shard::{ShardFinal, ShardSnapshot};
 // because the engine's config and query semantics are expressed in terms
 // of them. The windowed query types come from `psfa_freq::windowed`.
 pub use psfa_freq::{GlobalWindow, SealedWindow};
+// Fault injection lives in `psfa-primitives`; re-exported so
+// `EngineConfig::fault_injection` can be used without a direct dependency.
+pub use psfa_primitives::FaultPlan;
 pub use psfa_stream::{
     HashRouter, IngestFence, Placement, Router, RoutingPolicy, SkewAwareRouter, WindowFence,
 };

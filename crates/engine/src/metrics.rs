@@ -17,6 +17,47 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use psfa_obs::ObsReport;
 use psfa_stream::PoolCounters;
 
+/// Supervision state of one shard's worker, surfaced in
+/// [`ShardMetrics::health`] and consulted by the degraded-query path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardHealth {
+    /// The worker is running normally.
+    #[default]
+    Live,
+    /// The worker panicked; the supervisor is restarting it. Queries
+    /// answer from the shard's last published snapshot meanwhile.
+    Quarantined,
+    /// The worker exhausted its restart budget
+    /// ([`crate::EngineConfig::worker_restart_limit`]); the shard answers
+    /// from its last published snapshot permanently and is reported in
+    /// the typed shutdown/drain errors.
+    Dead,
+}
+
+impl ShardHealth {
+    pub(crate) fn code(self) -> u64 {
+        match self {
+            ShardHealth::Live => 0,
+            ShardHealth::Quarantined => 1,
+            ShardHealth::Dead => 2,
+        }
+    }
+
+    pub(crate) fn from_code(code: u64) -> Self {
+        match code {
+            1 => ShardHealth::Quarantined,
+            2 => ShardHealth::Dead,
+            _ => ShardHealth::Live,
+        }
+    }
+
+    /// `true` unless the worker is live (queries over this shard answer
+    /// from its last published snapshot).
+    pub fn is_stale(self) -> bool {
+        self != ShardHealth::Live
+    }
+}
+
 /// Live atomic counters of one shard (shared between producers, the shard
 /// worker, and query handles).
 #[derive(Debug, Default)]
@@ -28,6 +69,12 @@ pub(crate) struct ShardStats {
     /// Newest window boundary this shard has sealed (`0` before the first
     /// or without a window).
     pub window_seq: AtomicU64,
+    /// [`ShardHealth`] code, written by the supervisor (`Release`) and
+    /// read by queries/metrics (`Acquire`), so observing `Quarantined`
+    /// happens-after the panicked worker stopped touching shard state.
+    pub health: AtomicU64,
+    /// Worker restarts performed by the supervisor for this shard.
+    pub restarts: AtomicU64,
 }
 
 impl ShardStats {
@@ -46,7 +93,17 @@ impl ShardStats {
             batches_processed,
             queue_depth: batches_enqueued.saturating_sub(batches_processed),
             window_seq,
+            health: ShardHealth::from_code(self.health.load(Ordering::Acquire)),
+            restarts: self.restarts.load(Ordering::Acquire),
         }
+    }
+
+    pub(crate) fn health(&self) -> ShardHealth {
+        ShardHealth::from_code(self.health.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn set_health(&self, health: ShardHealth) {
+        self.health.store(health.code(), Ordering::Release);
     }
 }
 
@@ -68,6 +125,10 @@ pub struct ShardMetrics {
     /// Newest window boundary this shard has sealed (`0` before the first
     /// boundary or without a window).
     pub window_seq: u64,
+    /// Supervision state of the shard's worker.
+    pub health: ShardHealth,
+    /// Times the supervisor has restarted this shard's worker.
+    pub restarts: u64,
 }
 
 /// Point-in-time metrics of the global sliding window's fence (present
@@ -147,6 +208,23 @@ impl EngineMetrics {
         self.shards.iter().map(|s| s.queue_depth).sum()
     }
 
+    /// Shards whose workers are not live (quarantined or dead), in shard
+    /// order. Queries over these shards answer from their last published
+    /// snapshot (see the `Degraded` annotation on the `*_checked`
+    /// queries).
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .filter(|s| s.health.is_stale())
+            .map(|s| s.shard)
+            .collect()
+    }
+
+    /// Total worker restarts performed by the shard supervisors.
+    pub fn worker_restarts(&self) -> u64 {
+        self.shards.iter().map(|s| s.restarts).sum()
+    }
+
     /// Total abstract work units charged across shards (wraps with the
     /// underlying meters; see `psfa_primitives::WorkMeter`).
     pub fn total_work_units(&self) -> u64 {
@@ -203,6 +281,13 @@ impl EngineMetrics {
             self.load_imbalance()
                 .map_or_else(|| "n/a".to_string(), |x| format!("{x:.3}")),
         ));
+        let stale = self.quarantined_shards();
+        if !stale.is_empty() || self.worker_restarts() > 0 {
+            out.push_str(&format!(
+                "supervision: {} worker restarts | stale shards {stale:?}\n",
+                self.worker_restarts(),
+            ));
+        }
         if let Some(window) = &self.window {
             out.push_str(&format!(
                 "window: slide {} x {} panes | {} boundaries cut | max shard lag {}\n",
@@ -260,6 +345,8 @@ mod tests {
                 batches_processed: 9,
                 queue_depth: 1,
                 window_seq: 4,
+                health: ShardHealth::Live,
+                restarts: 0,
             },
             ShardMetrics {
                 shard: 1,
@@ -269,6 +356,8 @@ mod tests {
                 batches_processed: 3,
                 queue_depth: 2,
                 window_seq: 3,
+                health: ShardHealth::Quarantined,
+                restarts: 1,
             },
         ];
         let m = EngineMetrics {
@@ -307,6 +396,9 @@ mod tests {
         assert!(table.contains("slide 25 x 4 panes"));
         assert!(table.contains("3 misses"));
         assert!(table.contains("work units 300"));
+        assert_eq!(m.quarantined_shards(), vec![1]);
+        assert_eq!(m.worker_restarts(), 1);
+        assert!(table.contains("stale shards [1]"));
     }
 
     #[test]

@@ -43,7 +43,7 @@ use crate::engine::EngineHandle;
 ///     .spawn();
 /// let handle = engine.handle();
 /// handle.ingest(&[1, 2, 3, 4]).unwrap();
-/// let report = engine.shutdown();
+/// let report = engine.shutdown().unwrap();
 /// assert_eq!(report.shards[0].lifted[0].0, "sliding");
 /// ```
 pub trait ShardedOperator {
@@ -134,7 +134,7 @@ mod tests {
             .spawn();
         // One instance per shard, each with its own shard index.
         assert_eq!(built.load(Ordering::Relaxed), 0x01_01_01);
-        let report = engine.shutdown();
+        let report = engine.shutdown().unwrap();
         for (shard, fin) in report.shards.iter().enumerate() {
             assert_eq!(fin.lifted[0].0, "probe");
             assert_eq!(fin.lifted[0].1.name(), format!("probe-{shard}"));
@@ -149,10 +149,10 @@ mod tests {
         let mut generator = ZipfGenerator::new(5_000, 1.2, 9);
         let report = pipeline.run(&mut generator, 10, 1_000);
         assert_eq!(report.items_drawn, 10_000);
-        engine.drain();
+        engine.drain().unwrap();
         let handle = engine.handle();
         assert_eq!(handle.total_items(), 10_000);
         assert!(!handle.heavy_hitters().is_empty());
-        engine.shutdown();
+        engine.shutdown().unwrap();
     }
 }

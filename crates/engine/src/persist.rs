@@ -28,6 +28,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use psfa_obs::{TraceKind, NO_SHARD};
+use psfa_primitives::FaultPlan;
 use psfa_store::{EpochRecord, ShardState, SnapshotStore, StoreError, WindowState};
 use psfa_stream::{IngestFence, Router, WindowFence};
 
@@ -79,6 +80,9 @@ pub(crate) struct Persister {
     /// Observability recorders, when enabled: cut (fence-exclusive) and
     /// append (encode + fsync) durations, persist/flush trace events.
     obs: Option<Arc<EngineObs>>,
+    /// Fault-injection plan, when enabled: scheduled store write errors
+    /// surface through [`Persister::snapshot_once`] as `StoreError::Io`.
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl Persister {
@@ -94,6 +98,7 @@ impl Persister {
         epsilon: f64,
         window: Option<PersistWindow>,
         obs: Option<Arc<EngineObs>>,
+        fault: Option<Arc<FaultPlan>>,
     ) -> Self {
         let last_epoch = store.latest_epoch().unwrap_or(0);
         let segments = store.segments() as u64;
@@ -114,6 +119,7 @@ impl Persister {
             segments: AtomicU64::new(segments),
             flush_failures: AtomicU64::new(0),
             obs,
+            fault,
         }
     }
 
@@ -127,7 +133,14 @@ impl Persister {
         // never be appended under an earlier epoch number. The *store*
         // lock is taken only around the append below, so historical
         // queries never stall behind a cut waiting on shard queues.
-        let _cut = self.cut_lock.lock().expect("snapshot cut lock poisoned");
+        // Poison recovery is safe: the cut lock guards no data (`()`),
+        // only mutual exclusion, and a cut that panicked mid-flight left
+        // at most an unanswered Persist reply channel behind — the next
+        // cut allocates fresh gates and channels.
+        let _cut = self
+            .cut_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
 
         // Phase 1 — the cut: enqueue a Persist marker on every shard while
         // holding the fence exclusively (see the module docs for why this
@@ -193,7 +206,14 @@ impl Persister {
             shards.push(rx.recv().map_err(|_| StoreError::Closed)?);
         }
 
-        let mut store = self.store.lock().expect("snapshot store lock poisoned");
+        // Poison recovery is safe: the log format is checksummed and
+        // validated on every read, and a failed append leaves the store
+        // at a record boundary — a panic under this lock cannot corrupt
+        // what later cuts or historical queries observe.
+        let mut store = self
+            .store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let record = EpochRecord {
             epoch: store.next_epoch(),
             phi: self.phi,
@@ -203,6 +223,14 @@ impl Persister {
             shards,
         };
         let append_start = self.obs.as_ref().map(|obs| obs.now_ns());
+        // Fault injection (tests only): a scheduled write error surfaces
+        // exactly like a failing volume — typed, counted by the caller,
+        // and never wedging the fence (it was released after phase 1).
+        if let Some(fault) = &self.fault {
+            if let Some(err) = fault.store_write_error() {
+                return Err(StoreError::Io(err));
+            }
+        }
         let bytes = store.append(&record)?;
         store.compact()?;
         let segments = store.segments() as u64;
@@ -222,17 +250,27 @@ impl Persister {
         Ok(record.epoch)
     }
 
+    /// Counts one failed flush and emits a [`TraceKind::FlushFailed`]
+    /// event, so injected (or real) write errors are observable without
+    /// ever wedging the fence — the flusher skips the interval and
+    /// retries on the next one.
     pub(crate) fn note_flush_failure(&self) {
         let failures = self.flush_failures.fetch_add(1, Ordering::AcqRel) + 1;
         if let Some(obs) = &self.obs {
             obs.trace
-                .push(obs.now_ns(), TraceKind::Flush, NO_SHARD, failures, 0);
+                .push(obs.now_ns(), TraceKind::FlushFailed, NO_SHARD, failures, 0);
         }
     }
 
-    /// Runs `f` with the store locked (historical queries).
+    /// Runs `f` with the store locked (historical queries). Poison
+    /// recovery is safe for the same reason as in `snapshot_once`: the
+    /// log is validated on read, so a panicking holder cannot corrupt
+    /// what `f` observes.
     pub(crate) fn with_store<R>(&self, f: impl FnOnce(&SnapshotStore) -> R) -> R {
-        f(&self.store.lock().expect("snapshot store lock poisoned"))
+        f(&self
+            .store
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 
     /// Point-in-time store metrics.

@@ -179,6 +179,16 @@ impl LaneProducer {
             let stats = &self.handle.shared[shard].stats;
             stats.items_enqueued.fetch_add(len, Ordering::Relaxed);
             stats.batches_enqueued.fetch_add(1, Ordering::Relaxed);
+            // Fault injection (tests only; one `Option` branch when
+            // unset): a scheduled stall before the push simulates a slow
+            // or wedged producer without changing what is delivered.
+            if let Some(fault) = &self.handle.config.fault {
+                if let Some(stall) =
+                    fault.lane_stall(shard, stats.batches_enqueued.load(Ordering::Relaxed))
+                {
+                    std::thread::sleep(stall);
+                }
+            }
             // Swap the routed buffer out and refill the slot from the
             // pool's return lane, keeping the recycling loop closed.
             let batch = std::mem::replace(part, self.handle.pool.take(shard).unwrap_or_default());
@@ -251,7 +261,10 @@ impl LaneProducer {
                 std::thread::yield_now();
             }
         }
-        self.handle.drain();
+        // A dead shard cannot acknowledge the barrier; the flush barrier
+        // is best-effort for what remains (callers that need the typed
+        // dead-shard report use `EngineHandle::drain` directly).
+        let _ = self.handle.drain();
     }
 }
 
@@ -291,7 +304,10 @@ struct LocalProducer {
 impl LocalProducer {
     fn new(handle: &EngineHandle) -> Self {
         let handle = handle.clone();
-        let mut locals = handle.locals.lock().expect("locals registry poisoned");
+        // Poison recovery (via `EngineHandle::locals`) is safe: the
+        // registry is append-only and every pushed `Arc` was fully
+        // constructed first.
+        let mut locals = handle.locals();
         let index = handle.shards() + locals.len();
         let shared = Arc::new(ShardShared::new(index, &handle.config, None));
         locals.push(shared.clone());

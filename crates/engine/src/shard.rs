@@ -109,7 +109,9 @@ use std::time::Duration;
 
 use psfa_freq::{InfiniteHeavyHitters, PaneWindow, SealedWindow};
 use psfa_obs::TraceKind;
-use psfa_primitives::{build_hist_into, ArcCell, HistScratch, HistogramEntry, WorkMeter};
+use psfa_primitives::{
+    build_hist_into, ArcCell, FaultPlan, HistScratch, HistogramEntry, WorkMeter,
+};
 use psfa_sketch::AtomicCountMin;
 use psfa_store::ShardState;
 use psfa_stream::{BufferPool, IngestLane, MinibatchOperator};
@@ -336,7 +338,15 @@ impl ShardShared {
     /// cutter either marks the new lane (and counts it in `fanin`) or
     /// misses it entirely — never a marked-but-uncounted lane.
     pub(crate) fn register_lane(&self, lane: Arc<IngestLane>) {
-        let mut lanes = self.lanes.lock().expect("lane registry poisoned");
+        // Poison recovery is safe here: the registry is an append-only
+        // `Vec` of `Arc`s, so a panic mid-update cannot leave it in a
+        // torn state — the push either happened or it did not, and the
+        // generation bump below re-establishes the only cross-field
+        // invariant (generation moves after every visible registration).
+        let mut lanes = self
+            .lanes
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         lanes.push(lane);
         self.lane_generation.fetch_add(1, Ordering::Release);
     }
@@ -347,7 +357,13 @@ impl ShardShared {
     /// exclusively — that is what makes "current push position" a
     /// consistent cut across producers.
     pub(crate) fn mark_lanes(&self, gate: u64) -> usize {
-        let lanes = self.lanes.lock().expect("lane registry poisoned");
+        // Poison recovery is safe: marking only reads the append-only
+        // registry, and a poisoned lock still guards a structurally
+        // valid `Vec` (see `register_lane`).
+        let lanes = self
+            .lanes
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for lane in lanes.iter() {
             lane.push_mark(gate);
         }
@@ -362,7 +378,12 @@ impl ShardShared {
 
     /// Clones the current lane registry (worker refresh path).
     pub(crate) fn lanes_snapshot(&self) -> Vec<Arc<IngestLane>> {
-        self.lanes.lock().expect("lane registry poisoned").clone()
+        // Poison recovery is safe: cloning the append-only registry only
+        // reads `Arc`s that were fully constructed before being pushed.
+        self.lanes
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// The latest published snapshot. If the worker has processed batches
@@ -438,6 +459,9 @@ pub(crate) struct ShardWorker {
     lanes_gen: u64,
     /// Observability recorders, when enabled (see the `obs` module).
     obs: Option<Arc<EngineObs>>,
+    /// Fault-injection plan, when enabled (see `psfa_primitives::fault`).
+    /// One `Option` branch per batch when unset.
+    fault: Option<Arc<FaultPlan>>,
     /// Clock reading at the last snapshot publication (staleness base;
     /// `0` until the worker starts with observability enabled).
     last_publish_ns: u64,
@@ -504,14 +528,96 @@ impl ShardWorker {
             lanes: Vec::new(),
             lanes_gen: 0,
             obs,
+            fault: config.fault.clone(),
             last_publish_ns: 0,
             last_publish_epoch: epoch,
         }
     }
 
+    /// Rebuilds a worker from the shard's last *published* snapshot — the
+    /// supervisor's reseed path after a worker panic. What survives and
+    /// what is lost is precise:
+    ///
+    /// * **Survives**: everything up to the snapshot's epoch — the MG
+    ///   entries (rebuilt one-sided via
+    ///   [`InfiniteHeavyHitters::from_entries`]), the sealed window
+    ///   history, and the shard's Count-Min sketch (it lives in
+    ///   [`ShardShared`] and was never torn down). Queued channel commands
+    ///   and lane batches also survive: the supervisor keeps the receiver
+    ///   and the lanes are registered in [`ShardShared`].
+    /// * **Lost**: the effects of minibatches processed *after* the last
+    ///   publication (at most `membership_publish_interval` batches plus
+    ///   the in-flight one), the open (unsealed) window pane, and any
+    ///   lifted operators' state (they are owned by the panicked worker
+    ///   and cannot be reconstructed — the restarted shard runs without
+    ///   them).
+    ///
+    /// The Count-Min sketch retains the post-snapshot adds, so its
+    /// one-sided *over*estimate is unaffected; `live_epoch` rolls back to
+    /// the snapshot's epoch so the lazy-publication protocol resumes
+    /// consistently. The boundary fence numbering continues via
+    /// [`PaneWindow::resume_after`].
+    pub(crate) fn reseed(
+        shard: usize,
+        config: &EngineConfig,
+        shared: Arc<ShardShared>,
+        pool: Arc<BufferPool>,
+        obs: Option<Arc<EngineObs>>,
+    ) -> Self {
+        let snapshot = shared.snapshot.get();
+        let heavy_hitters = InfiniteHeavyHitters::from_entries(
+            config.phi,
+            config.epsilon,
+            &snapshot.hh_entries,
+            snapshot.stream_len,
+        )
+        .with_meter(shared.work.clone());
+        let window = config.window.map(|_| {
+            PaneWindow::resume_after(
+                config.epsilon,
+                config.window_panes,
+                snapshot.latest_window_seq(),
+            )
+        });
+        let window_history: VecDeque<Arc<SealedWindow>> =
+            snapshot.windows.iter().cloned().collect();
+        let published_entries = snapshot.hh_entries.len();
+        // Roll the progress counter back to the snapshot: post-snapshot
+        // batches are the documented restart loss, and leaving the old
+        // value would make queries wait for a refresh that counts epochs
+        // the reborn worker never saw.
+        shared.live_epoch.store(snapshot.epoch, Ordering::Relaxed);
+        Self {
+            shard,
+            epoch: snapshot.epoch,
+            items: snapshot.stream_len,
+            heavy_hitters,
+            window,
+            window_history,
+            hist_seed: 0x5eed_0000 ^ shard as u64,
+            hist_scratch: HistScratch::new(),
+            hist: Vec::new(),
+            pool,
+            published_entries,
+            dirty: false,
+            membership_interval: config.membership_publish_interval,
+            last_any_publish_epoch: snapshot.epoch,
+            lifted: Vec::new(),
+            shared,
+            lanes: Vec::new(),
+            lanes_gen: 0,
+            obs,
+            fault: config.fault.clone(),
+            last_publish_ns: 0,
+            last_publish_epoch: snapshot.epoch,
+        }
+    }
+
     /// Runs until [`ShardCommand::Shutdown`] (or every sender is dropped)
-    /// and returns the final operator state.
-    pub(crate) fn run(mut self, queue: Receiver<ShardCommand>) -> ShardFinal {
+    /// and returns the final operator state. Takes the receiver by
+    /// reference so a supervisor can keep the channel alive across a
+    /// panic and hand the same queue to a reseeded worker.
+    pub(crate) fn run(mut self, queue: &Receiver<ShardCommand>) -> ShardFinal {
         if let Some(obs) = self.obs.clone() {
             let now = obs.now_ns();
             self.last_publish_ns = now;
@@ -760,6 +866,19 @@ impl ShardWorker {
     /// buffers, no stale reader): **zero** heap allocations and **zero**
     /// lock acquisitions.
     fn ingest(&mut self, minibatch: Vec<u64>) {
+        // Fault injection (tests only; one `Option` branch when unset):
+        // a scheduled panic fires before any state mutates, so the loss
+        // after recovery is exactly the documented set — this batch plus
+        // the unpublished tail.
+        if let Some(fault) = &self.fault {
+            if fault.worker_panic_due(self.shard, self.epoch + 1) {
+                panic!(
+                    "injected worker panic (fault plan): shard {} at batch {}",
+                    self.shard,
+                    self.epoch + 1
+                );
+            }
+        }
         // Telemetry stays relaxed and off the common path: with
         // observability disabled this reads no clock at all; enabled, it
         // costs two clock reads and one relaxed RMW per *batch*.
@@ -912,7 +1031,7 @@ mod tests {
         .unwrap();
         tx.send(ShardCommand::Batch(vec![9; 10])).unwrap();
         tx.send(ShardCommand::Shutdown).unwrap();
-        let fin = worker.run(rx);
+        let fin = worker.run(&rx);
         assert_eq!(fin.items, 113);
         let snap = shared.load_snapshot();
         assert_eq!(snap.epoch, 3);
@@ -957,7 +1076,7 @@ mod tests {
             fanin: 0,
         })
         .unwrap();
-        let handle = std::thread::spawn(move || worker.run(rx));
+        let handle = std::thread::spawn(move || worker.run(&rx));
         ack_rx.recv().expect("barrier must be acknowledged");
         assert_eq!(shared.load_snapshot().stream_len, 50);
         drop(tx); // closing the queue ends the worker too
@@ -980,7 +1099,7 @@ mod tests {
             None,
         );
         let (tx, rx) = sync_channel(16);
-        let handle = std::thread::spawn(move || worker.run(rx));
+        let handle = std::thread::spawn(move || worker.run(&rx));
         // First batch: membership changes (empty → {7}), published at once.
         // Keep the queue saturated enough that the worker cannot go idle
         // between our sends... simpler: send everything, then drain via
@@ -1014,7 +1133,7 @@ mod tests {
         tx.send(ShardCommand::Batch(Vec::with_capacity(64)))
             .unwrap();
         tx.send(ShardCommand::Shutdown).unwrap();
-        worker.run(rx);
+        worker.run(&rx);
         assert_eq!(pool.lane_depth(0), 1, "worker must recycle the buffer");
         assert!(pool.checkout()[0].capacity() >= 64);
     }
@@ -1037,7 +1156,7 @@ mod tests {
         tx.send(ShardCommand::Batch(vec![1, 2, 3])).unwrap();
         tx.send(ShardCommand::Batch(vec![4; 10])).unwrap();
         drop(tx);
-        let fin = worker.run(rx);
+        let fin = worker.run(&rx);
         assert_eq!(count.load(Ordering::Relaxed), 13);
         assert_eq!(fin.lifted.len(), 1);
         assert_eq!(fin.lifted[0].0, "counter");
@@ -1074,7 +1193,7 @@ mod tests {
         })
         .unwrap();
         tx.send(ShardCommand::Shutdown).unwrap();
-        let fin = worker.run(rx);
+        let fin = worker.run(&rx);
         // All three batches processed (shutdown drained the post-cut one).
         assert_eq!(fin.items, 113);
         let snap = shared.load_snapshot();
@@ -1114,7 +1233,7 @@ mod tests {
             fanin,
         })
         .unwrap();
-        let handle = std::thread::spawn(move || worker.run(rx));
+        let handle = std::thread::spawn(move || worker.run(&rx));
         ack_rx.recv().expect("barrier must be acknowledged");
         assert_eq!(shared.load_snapshot().stream_len, 40);
         drop(tx);
@@ -1137,7 +1256,7 @@ mod tests {
             None,
         );
         let (tx, rx) = sync_channel(4);
-        let handle = std::thread::spawn(move || worker.run(rx));
+        let handle = std::thread::spawn(move || worker.run(&rx));
         // Give the worker a moment to park in the blocking recv.
         std::thread::sleep(Duration::from_millis(5));
         let lane = Arc::new(IngestLane::new(4));

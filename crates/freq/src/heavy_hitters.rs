@@ -51,6 +51,27 @@ impl InfiniteHeavyHitters {
         }
     }
 
+    /// Rebuilds a tracker from previously published `(item, estimate)`
+    /// pairs and the stream length they covered (see
+    /// [`ParallelFrequencyEstimator::from_entries`]) — the supervisor's
+    /// reseed path after a worker panic. One-sided entries in, one-sided
+    /// tracker out.
+    ///
+    /// # Panics
+    /// Panics unless `0 < ε < φ < 1`, or if there are more non-zero
+    /// entries than the summary capacity `⌈1/ε⌉`.
+    pub fn from_entries(phi: f64, epsilon: f64, entries: &[(u64, u64)], stream_len: u64) -> Self {
+        assert!(phi > 0.0 && phi < 1.0, "phi must be in (0, 1)");
+        assert!(
+            epsilon > 0.0 && epsilon < phi,
+            "epsilon must be in (0, phi)"
+        );
+        Self {
+            phi,
+            estimator: ParallelFrequencyEstimator::from_entries(epsilon, entries, stream_len),
+        }
+    }
+
     /// The heavy-hitter threshold φ.
     pub fn phi(&self) -> f64 {
         self.phi

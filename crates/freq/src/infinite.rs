@@ -60,6 +60,31 @@ impl ParallelFrequencyEstimator {
         }
     }
 
+    /// Rebuilds an estimator from previously published `(item, estimate)`
+    /// pairs and the stream length they covered — the reseed path a
+    /// supervisor uses after a worker panic, starting from the shard's
+    /// last published snapshot. Snapshot estimates are one-sided
+    /// (`f̂ₑ ∈ [fₑ − εm, fₑ]`), so the rebuilt estimator keeps the
+    /// Theorem 5.2 guarantee for the `stream_len` elements it claims to
+    /// cover. This deliberately bypasses [`Self::process_histogram`],
+    /// whose contract (histogram counts sum to the declared item count)
+    /// does not hold for summary entries.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not in `(0, 1)` or there are more non-zero
+    /// entries than the summary capacity `⌈1/ε⌉`.
+    pub fn from_entries(epsilon: f64, entries: &[(u64, u64)], stream_len: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        let capacity = (1.0 / epsilon).ceil() as usize;
+        Self {
+            epsilon,
+            summary: MgSummary::from_entries(capacity, entries),
+            stream_len,
+            seed: 0x5eed_c0de,
+            meter: None,
+        }
+    }
+
     /// Attaches a [`WorkMeter`] that is charged `O(µ + S)` units per
     /// minibatch, used by the work-optimality experiment (E8).
     pub fn with_meter(mut self, meter: WorkMeter) -> Self {

@@ -79,6 +79,37 @@ impl MgSummary {
         }
     }
 
+    /// Rebuilds a summary from previously published `(item, counter)`
+    /// pairs — e.g. the heavy-hitter entries of a shard snapshot. The
+    /// entries of an MG summary are one-sided underestimates of the true
+    /// frequencies, and this constructor copies them verbatim, so the
+    /// rebuilt summary inherits the one-sided guarantee of the summary it
+    /// was published from. Zero-count pairs are dropped (an MG summary
+    /// never stores a zero counter).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or there are more non-zero entries than
+    /// `capacity`.
+    pub fn from_entries(capacity: usize, entries: &[(u64, u64)]) -> Self {
+        assert!(capacity >= 1, "summary capacity must be at least 1");
+        let mut map = HashMap::with_capacity(capacity + 1);
+        for &(item, count) in entries {
+            if count > 0 {
+                map.insert(item, count);
+            }
+        }
+        assert!(
+            map.len() <= capacity,
+            "more entries than the summary capacity"
+        );
+        Self {
+            capacity,
+            entries: map,
+            scratch: Vec::new(),
+            reserved: 0,
+        }
+    }
+
     /// The maximum number of counters retained (`S` in the paper).
     pub fn capacity(&self) -> usize {
         self.capacity

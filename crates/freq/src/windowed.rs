@@ -171,6 +171,27 @@ impl PaneWindow {
         }
     }
 
+    /// Creates an empty window whose boundary numbering continues after
+    /// sequence `seq` (the next seal produces boundary `seq + 1`). A
+    /// supervisor restarting a shard worker uses this so the rebuilt
+    /// window stays aligned with the engine-wide boundary fence; the
+    /// previously sealed panes live on in the shard's published snapshot
+    /// history, not in the rebuilt ring.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not in `(0, 1)` or `panes == 0`.
+    pub fn resume_after(epsilon: f64, panes: usize, seq: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        let capacity = (1.0 / epsilon).ceil() as usize;
+        Self {
+            epsilon,
+            capacity,
+            ring: PaneRing::resume_after(panes, seq),
+            open_items: 0,
+            open_counts: HashMap::with_capacity(capacity),
+        }
+    }
+
     /// The per-summary error parameter ε.
     pub fn epsilon(&self) -> f64 {
         self.epsilon

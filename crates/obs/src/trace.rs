@@ -51,6 +51,16 @@ pub enum TraceKind {
     WorkerStart,
     /// Shard worker `shard` exited (`a` = items processed).
     WorkerExit,
+    /// Shard worker `shard` panicked and the shard is quarantined
+    /// (`a` = restart attempts so far, `b` = last published epoch).
+    ShardQuarantined,
+    /// Quarantined shard `shard` was restarted from its last published
+    /// snapshot (`a` = restart attempts so far, `b` = reseed epoch).
+    WorkerRestart,
+    /// A persistence flush attempt failed on an I/O error (`a` = total
+    /// flush failures so far; successes appear as
+    /// [`TraceKind::EpochPersist`]).
+    FlushFailed,
 }
 
 impl TraceKind {
@@ -63,6 +73,9 @@ impl TraceKind {
             TraceKind::HotPromote => 4,
             TraceKind::WorkerStart => 5,
             TraceKind::WorkerExit => 6,
+            TraceKind::ShardQuarantined => 7,
+            TraceKind::WorkerRestart => 8,
+            TraceKind::FlushFailed => 9,
         }
     }
 
@@ -75,6 +88,9 @@ impl TraceKind {
             4 => TraceKind::HotPromote,
             5 => TraceKind::WorkerStart,
             6 => TraceKind::WorkerExit,
+            7 => TraceKind::ShardQuarantined,
+            8 => TraceKind::WorkerRestart,
+            9 => TraceKind::FlushFailed,
             _ => return None,
         })
     }
@@ -89,6 +105,9 @@ impl TraceKind {
             TraceKind::HotPromote => "hot_promote",
             TraceKind::WorkerStart => "worker_start",
             TraceKind::WorkerExit => "worker_exit",
+            TraceKind::ShardQuarantined => "shard_quarantined",
+            TraceKind::WorkerRestart => "worker_restart",
+            TraceKind::FlushFailed => "flush_failed",
         }
     }
 }

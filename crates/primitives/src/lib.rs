@@ -32,6 +32,9 @@
 //! * [`arc_cell`] — atomic-pointer publication of shared immutable values
 //!   (`ArcCell`), the lock-free snapshot slot under the engine's query
 //!   surface.
+//! * [`fault`] — the deterministic fault-injection plane (`FaultPlan`):
+//!   seedable typed fault points consulted by the engine, persister, and
+//!   serving layer, compiled to a no-op when unset.
 //!
 //! All primitives perform `O(n)` work and have polylogarithmic span, so the
 //! cost bounds proved in the paper carry over to the data structures built
@@ -43,6 +46,7 @@
 pub mod arc_cell;
 pub mod codec;
 pub mod css;
+pub mod fault;
 pub mod hash;
 pub mod histogram;
 pub mod instrument;
@@ -54,6 +58,7 @@ pub mod select;
 pub use arc_cell::ArcCell;
 pub use codec::{put_header, ByteReader, ByteWriter, CodecError};
 pub use css::CompactedSegment;
+pub use fault::FaultPlan;
 pub use hash::{HashFamily, MultiplyShiftHash, PolynomialHash};
 pub use histogram::{build_hist, build_hist_hashmap, build_hist_into, HistScratch, HistogramEntry};
 pub use instrument::WorkMeter;

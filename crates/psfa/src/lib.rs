@@ -67,9 +67,9 @@ pub mod prelude {
         SequentialMisraGries, SpaceSaving,
     };
     pub use psfa_engine::{
-        Engine, EngineConfig, EngineHandle, EngineMetrics, EngineOperator, EngineReport,
-        IngestError, ObsConfig, Producer, ShardedOperator, StoreMetrics, TryIngestError,
-        WindowMetrics,
+        Answered, Degraded, Engine, EngineConfig, EngineHandle, EngineMetrics, EngineOperator,
+        EngineReport, FaultPlan, IngestError, ObsConfig, Producer, ShardHealth, ShardedOperator,
+        ShutdownError, StoreMetrics, TryIngestError, WindowMetrics,
     };
     pub use psfa_freq::{
         GlobalWindow, HeavyHitter, InfiniteHeavyHitters, MgSummary, PaneWindow,
@@ -82,8 +82,8 @@ pub mod prelude {
     };
     pub use psfa_primitives::{ArcCell, CompactedSegment, HistScratch, WorkMeter};
     pub use psfa_serve::{
-        Client, ClientError, ErrorCode, FrameError, IngestOutcome, Request, Response, ServeConfig,
-        ServeMetrics, Server, MAX_FRAME_LEN,
+        Client, ClientError, ErrorCode, FrameError, IngestOutcome, Request, Response, RetryPolicy,
+        RetryingClient, ServeConfig, ServeMetrics, Server, MAX_FRAME_LEN,
     };
     pub use psfa_sketch::{AtomicCountMin, CountMinSketch, CountSketch, ParallelCountMin};
     pub use psfa_store::{

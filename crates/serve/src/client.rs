@@ -28,6 +28,13 @@ pub enum ClientError {
     /// The server answered with a response kind the request cannot
     /// produce (a protocol bug, not a transport fault).
     Unexpected(&'static str),
+    /// A [`RetryingClient`] exhausted its retry budget with every attempt
+    /// refused as [`Response::Busy`] — sustained engine backpressure, not
+    /// a fault.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -38,6 +45,9 @@ impl fmt::Display for ClientError {
                 write!(f, "server error ({code:?}): {message}")
             }
             ClientError::Unexpected(what) => write!(f, "unexpected response kind: {what}"),
+            ClientError::RetriesExhausted { attempts } => {
+                write!(f, "all {attempts} attempts were refused as Busy")
+            }
         }
     }
 }
@@ -179,5 +189,251 @@ impl Client {
             Response::MetricsText(text) => Ok(text),
             _ => Err(ClientError::Unexpected("expected MetricsText")),
         }
+    }
+}
+
+/// Retry policy for [`RetryingClient`]: capped exponential backoff with
+/// deterministic (seeded) equal-jitter.
+///
+/// Attempt `k` sleeps `d/2 + U(0, d/2)` where `d = min(base·2ᵏ, max)` and
+/// `U` is drawn from a seeded xorshift64* generator — deterministic for a
+/// given seed (reproducible benchmarks) while still decorrelating clients
+/// that use different seeds.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries before giving up (total attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Ceiling on the exponential backoff.
+    pub max_delay: Duration,
+    /// Jitter seed; zero is re-mapped internally (xorshift has no zero
+    /// state).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 8,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(250),
+            seed: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Sets the retry cap.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the base (first-retry) delay.
+    pub fn base_delay(mut self, delay: Duration) -> Self {
+        self.base_delay = delay;
+        self
+    }
+
+    /// Sets the backoff ceiling.
+    pub fn max_delay(mut self, delay: Duration) -> Self {
+        self.max_delay = delay;
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The jittered sleep before retry `attempt` (0-based).
+    fn backoff(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        let half = exp / 2;
+        // xorshift64* step (Vigna); the multiplier scrambles the low bits.
+        let mut x = *rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *rng = x;
+        let draw = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let jitter_nanos = match half.as_nanos() as u64 {
+            0 => 0,
+            span => draw % (span + 1),
+        };
+        half + Duration::from_nanos(jitter_nanos)
+    }
+}
+
+/// Whether one attempt's failure is worth another connection/attempt.
+fn retryable(error: &ClientError) -> bool {
+    match error {
+        // Transport failures (connection drop, reset, EOF mid-frame)
+        // are exactly what reconnect-and-retry is for.
+        ClientError::Frame(_) => true,
+        // A deadline miss means the server computed but discarded the
+        // answer; the request is designed to be retried.
+        ClientError::Server {
+            code: ErrorCode::DeadlineExceeded,
+            ..
+        } => true,
+        // Shutdown / connection-limit / bad-request / protocol bugs do
+        // not get better by retrying.
+        _ => false,
+    }
+}
+
+/// A [`Client`] wrapper that retries transient failures: engine
+/// backpressure ([`Response::Busy`]), broken streams (reconnect), and
+/// server deadline misses — each under the capped, jittered backoff of a
+/// [`RetryPolicy`].
+///
+/// Replaces hand-rolled `loop { match ingest { Busy => sleep } }` blocks:
+///
+/// ```no_run
+/// use psfa_serve::{RetryPolicy, RetryingClient};
+/// # let addr = "127.0.0.1:0".parse().unwrap();
+/// let mut client = RetryingClient::connect(addr, RetryPolicy::default()).unwrap();
+/// client.ingest(&[7, 7, 3]).unwrap(); // retries Busy + reconnects on drops
+/// let heavy = client.heavy_hitters().unwrap();
+/// ```
+pub struct RetryingClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    rng: u64,
+    client: Option<Client>,
+    reconnects: u64,
+    busy_retries: u64,
+}
+
+impl RetryingClient {
+    /// Connects eagerly; later broken streams reconnect lazily under the
+    /// policy's backoff.
+    pub fn connect(addr: SocketAddr, policy: RetryPolicy) -> io::Result<RetryingClient> {
+        let client = Client::connect(addr)?;
+        Ok(RetryingClient {
+            addr,
+            policy,
+            // Zero would lock xorshift at zero forever; any nonzero
+            // constant restores a full-period stream.
+            rng: if policy.seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                policy.seed
+            },
+            client: Some(client),
+            reconnects: 0,
+            busy_retries: 0,
+        })
+    }
+
+    /// Reconnections performed so far (broken-stream recoveries).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Attempts that backed off on [`Response::Busy`].
+    pub fn busy_retries(&self) -> u64 {
+        self.busy_retries
+    }
+
+    /// Runs one attempt, reconnecting first if the previous attempt broke
+    /// the stream.
+    fn attempt<T>(
+        &mut self,
+        op: &mut impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let client = match self.client.as_mut() {
+            Some(client) => client,
+            None => {
+                let fresh = Client::connect(self.addr)?;
+                self.reconnects += 1;
+                self.client.insert(fresh)
+            }
+        };
+        let result = op(client);
+        if matches!(result, Err(ClientError::Frame(_))) {
+            // The stream is poisoned (partial frame state unknown);
+            // force a reconnect on the next attempt.
+            self.client = None;
+        }
+        result
+    }
+
+    /// Runs `op` under the retry policy. `op` returns `Ok(None)` to signal
+    /// a Busy response (retryable without being an error).
+    fn retrying<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<Option<T>, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut last: Option<ClientError> = None;
+        for attempt in 0..=self.policy.max_retries {
+            match self.attempt(&mut op) {
+                Ok(Some(value)) => return Ok(value),
+                Ok(None) => {
+                    self.busy_retries += 1;
+                    last = None;
+                }
+                Err(e) if retryable(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+            if attempt < self.policy.max_retries {
+                std::thread::sleep(self.policy.backoff(attempt, &mut self.rng));
+            }
+        }
+        Err(last.unwrap_or(ClientError::RetriesExhausted {
+            attempts: self.policy.max_retries + 1,
+        }))
+    }
+
+    /// Ingests one minibatch, retrying [`Response::Busy`] backpressure and
+    /// broken streams. Returns the accepted item count.
+    pub fn ingest(&mut self, items: &[u64]) -> Result<u64, ClientError> {
+        self.retrying(|client| {
+            Ok(match client.ingest(items)? {
+                IngestOutcome::Accepted(n) => Some(n),
+                IngestOutcome::Busy => None,
+            })
+        })
+    }
+
+    /// Liveness probe with retries.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.retrying(|client| client.ping().map(Some))
+    }
+
+    /// One-sided point-frequency estimate with retries.
+    pub fn estimate(&mut self, item: u64) -> Result<u64, ClientError> {
+        self.retrying(|client| client.estimate(item).map(Some))
+    }
+
+    /// Count-Min overestimate with retries.
+    pub fn cm_estimate(&mut self, item: u64) -> Result<u64, ClientError> {
+        self.retrying(|client| client.cm_estimate(item).map(Some))
+    }
+
+    /// Sliding-window point estimate with retries.
+    pub fn sliding_estimate(&mut self, item: u64) -> Result<u64, ClientError> {
+        self.retrying(|client| client.sliding_estimate(item).map(Some))
+    }
+
+    /// φ-heavy hitters of the whole stream with retries.
+    pub fn heavy_hitters(&mut self) -> Result<Vec<HeavyHitter>, ClientError> {
+        self.retrying(|client| client.heavy_hitters().map(Some))
+    }
+
+    /// φ-heavy hitters of the global sliding window with retries.
+    pub fn sliding_heavy_hitters(&mut self) -> Result<Vec<HeavyHitter>, ClientError> {
+        self.retrying(|client| client.sliding_heavy_hitters().map(Some))
+    }
+
+    /// Prometheus metrics text with retries.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        self.retrying(|client| client.metrics_text().map(Some))
     }
 }

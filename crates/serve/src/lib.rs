@@ -38,10 +38,10 @@
 //! let server = Server::spawn(engine.handle(), ServeConfig::default()).unwrap();
 //! let mut client = Client::connect(server.local_addr()).unwrap();
 //! client.ingest(&[7, 7, 7, 3]).unwrap();
-//! engine.drain();
+//! engine.drain().unwrap();
 //! assert_eq!(client.estimate(7).unwrap(), 3);
 //! server.shutdown();
-//! engine.shutdown();
+//! engine.shutdown().unwrap();
 //! ```
 
 #![warn(missing_docs)]
@@ -52,6 +52,6 @@ pub mod protocol;
 mod client;
 mod server;
 
-pub use client::{Client, ClientError, IngestOutcome};
+pub use client::{Client, ClientError, IngestOutcome, RetryPolicy, RetryingClient};
 pub use protocol::{ErrorCode, FrameError, Request, Response, MAX_FRAME_LEN};
 pub use server::{ServeConfig, ServeMetrics, Server};

@@ -40,7 +40,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use psfa_engine::{EngineHandle, TryIngestError};
+use psfa_engine::{EngineHandle, FaultPlan, TryIngestError};
 
 use crate::protocol::{write_frame, ErrorCode, FrameError, Request, Response, MAX_FRAME_LEN};
 
@@ -56,6 +56,17 @@ pub struct ServeConfig {
     pub max_connections: usize,
     /// How often blocked reads wake up to check for shutdown.
     pub poll_interval: Duration,
+    /// Per-request deadline. When a dispatched request takes longer than
+    /// this (e.g. an ingest stalled by engine backpressure or an injected
+    /// fault), its answer is replaced with an
+    /// [`ErrorCode::DeadlineExceeded`] error frame and the connection
+    /// stays open. `None` (the default) disables the check.
+    pub request_deadline: Option<Duration>,
+    /// Fault-injection plan for availability testing: lets a seeded
+    /// [`FaultPlan`] drop connections after a fixed number of served
+    /// frames ([`FaultPlan::with_connection_drop_after`]). `None` (the
+    /// default) compiles the checks out of the hot path.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +75,8 @@ impl Default for ServeConfig {
             addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             max_connections: 64,
             poll_interval: Duration::from_millis(20),
+            request_deadline: None,
+            fault: None,
         }
     }
 }
@@ -79,6 +92,18 @@ impl ServeConfig {
     pub fn max_connections(mut self, cap: usize) -> Self {
         assert!(cap >= 1, "the server needs at least one connection slot");
         self.max_connections = cap;
+        self
+    }
+
+    /// Sets the per-request deadline (see [`ServeConfig::request_deadline`]).
+    pub fn request_deadline(mut self, deadline: Duration) -> Self {
+        self.request_deadline = Some(deadline);
+        self
+    }
+
+    /// Installs a fault-injection plan (see [`ServeConfig::fault`]).
+    pub fn fault_injection(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(Arc::new(plan));
         self
     }
 }
@@ -107,6 +132,13 @@ pub struct ServeMetrics {
     /// contract promises: at most `max_connections × MAX_FRAME_LEN × 2`
     /// (one request and one response frame per connection).
     pub peak_inflight_bytes: u64,
+    /// Requests whose dispatch exceeded [`ServeConfig::request_deadline`]
+    /// (each replaced the computed answer with an
+    /// [`ErrorCode::DeadlineExceeded`] error frame).
+    pub deadline_exceeded: u64,
+    /// Connections abruptly closed by the fault-injection plan
+    /// ([`ServeConfig::fault`]); zero outside availability tests.
+    pub injected_drops: u64,
 }
 
 /// Counters shared by the accept loop and every handler thread.
@@ -122,6 +154,8 @@ struct ServerShared {
     ingested_items: AtomicU64,
     inflight_bytes: AtomicU64,
     peak_inflight_bytes: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    injected_drops: AtomicU64,
 }
 
 impl ServerShared {
@@ -180,6 +214,8 @@ impl Server {
             ingested_items: s.ingested_items.load(Ordering::Relaxed),
             inflight_bytes: s.inflight_bytes.load(Ordering::Relaxed),
             peak_inflight_bytes: s.peak_inflight_bytes.load(Ordering::Relaxed),
+            deadline_exceeded: s.deadline_exceeded.load(Ordering::Relaxed),
+            injected_drops: s.injected_drops.load(Ordering::Relaxed),
         }
     }
 
@@ -233,12 +269,12 @@ fn accept_loop(
         shared.connections_accepted.fetch_add(1, Ordering::Relaxed);
         let conn_shared = shared.clone();
         let conn_handle = handle.clone();
-        let poll = config.poll_interval;
+        let conn_config = config.clone();
         next_id += 1;
         let spawned = std::thread::Builder::new()
             .name(format!("psfa-serve-conn-{next_id}"))
             .spawn(move || {
-                serve_connection(stream, conn_handle, poll, &conn_shared);
+                serve_connection(stream, conn_handle, &conn_config, &conn_shared);
                 conn_shared
                     .active_connections
                     .fetch_sub(1, Ordering::AcqRel);
@@ -265,18 +301,25 @@ fn refuse(mut stream: TcpStream, cap: usize) {
 }
 
 /// One connection's request→response loop, until the peer closes, a frame
-/// fails, or the server shuts down.
+/// fails, or the server shuts down. Enforces the per-request deadline and
+/// honours an injected connection-drop fault.
 fn serve_connection(
     mut stream: TcpStream,
     handle: EngineHandle,
-    poll: Duration,
+    config: &ServeConfig,
     shared: &ServerShared,
 ) {
+    let poll = config.poll_interval;
+    let drop_after = config
+        .fault
+        .as_ref()
+        .and_then(|fault| fault.connection_drop_after());
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(poll)).is_err() {
         return;
     }
     let mut buf = Vec::new();
+    let mut frames_served = 0u64;
     loop {
         let len = match read_frame_polled(&mut stream, &mut buf, poll, shared) {
             Ok(Some(len)) => len,
@@ -286,8 +329,18 @@ fn serve_connection(
                 return;
             }
         };
+        // Injected fault: drop the connection abruptly after K served
+        // frames — the request is swallowed without a response, exactly
+        // like a mid-flight network partition. Clients must reconnect.
+        if let Some(k) = drop_after {
+            if frames_served >= k {
+                shared.injected_drops.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
         shared.add_inflight(len as u64);
-        let (response, close_after) = match Request::decode(&buf[..len]) {
+        let started = Instant::now();
+        let (mut response, close_after) = match Request::decode(&buf[..len]) {
             Ok(request) => {
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 (dispatch(request, &handle, shared), false)
@@ -303,6 +356,20 @@ fn serve_connection(
                 )
             }
         };
+        // Deadline check happens after dispatch: the work is already done
+        // (std's blocking engine calls cannot be cancelled mid-flight), so
+        // the deadline bounds what the *client* observes — a late answer
+        // is replaced by a typed, retryable error frame.
+        if let Some(deadline) = config.request_deadline {
+            if started.elapsed() > deadline {
+                shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                response = Response::Error {
+                    code: ErrorCode::DeadlineExceeded,
+                    message: format!("request exceeded the {deadline:?} deadline"),
+                };
+            }
+        }
+        frames_served += 1;
         let payload = response.encode();
         shared.add_inflight(payload.len() as u64);
         let written = write_frame(&mut stream, &payload);

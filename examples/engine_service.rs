@@ -62,10 +62,16 @@ fn main() {
             let mut exact: HashMap<u64, u64> = HashMap::new();
             for _ in 0..batches_per_producer {
                 let batch = generator.next_minibatch(batch_size);
+                // A closed engine (shutdown raced, or every shard's restart
+                // budget was exhausted) is a typed error here — stop this
+                // producer cleanly rather than panicking the whole run.
+                if handle.ingest(&batch).is_err() {
+                    eprintln!("producer {p}: engine closed mid-run; stopping early");
+                    break;
+                }
                 for &x in &batch {
                     *exact.entry(x).or_insert(0) += 1;
                 }
-                handle.ingest(&batch).expect("engine closed mid-run");
             }
             exact
         }));
@@ -109,7 +115,7 @@ fn main() {
     };
 
     let truths: Vec<HashMap<u64, u64>> = workers.into_iter().map(|w| w.join().unwrap()).collect();
-    engine.drain();
+    engine.drain().unwrap();
     let ingest_secs = start.elapsed().as_secs_f64();
     monitor.0.store(true, Ordering::Release);
     let live_queries = monitor.1.join().unwrap();
@@ -171,7 +177,7 @@ fn main() {
         }
     }
 
-    let report = engine.shutdown();
+    let report = engine.shutdown().unwrap();
     assert_eq!(report.total_items(), total);
     println!("\nall live and final answers satisfy f - εm ≤ f̂ ≤ f ✓");
 }

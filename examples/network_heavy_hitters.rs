@@ -60,29 +60,23 @@ fn main() {
         }
     });
 
-    // The capture pipeline: stream the trace over the wire, retrying on
-    // explicit backpressure instead of queueing unboundedly client-side.
-    let mut capture = Client::connect(addr).expect("capture connect");
+    // The capture pipeline: stream the trace over the wire through the
+    // retrying client — explicit backpressure (`Busy`) and broken streams
+    // are absorbed by its capped, jittered backoff instead of a hand-rolled
+    // retry loop or unbounded client-side queueing.
+    let policy = RetryPolicy::default()
+        .base_delay(std::time::Duration::from_micros(200))
+        .max_retries(64);
+    let mut capture = RetryingClient::connect(addr, policy).expect("capture connect");
     let mut trace = PacketTraceGenerator::new(256, 7);
     let mut truth: HashMap<u64, u64> = HashMap::new();
-    let mut busy_retries = 0u64;
     for batch_idx in 0..batches {
         let minibatch = trace.next_minibatch(batch_size);
         for &flow in &minibatch {
             *truth.entry(flow).or_insert(0) += 1;
         }
-        loop {
-            match capture.ingest(&minibatch).expect("ingest over the wire") {
-                IngestOutcome::Accepted(items) => {
-                    assert_eq!(items, minibatch.len() as u64);
-                    break;
-                }
-                IngestOutcome::Busy => {
-                    busy_retries += 1;
-                    std::thread::sleep(std::time::Duration::from_micros(200));
-                }
-            }
-        }
+        let items = capture.ingest(&minibatch).expect("ingest over the wire");
+        assert_eq!(items, minibatch.len() as u64);
 
         if (batch_idx + 1) % 20 == 0 {
             let reported = capture.heavy_hitters().expect("query over the wire");
@@ -99,7 +93,7 @@ fn main() {
     }
 
     // Settle the stream, then verify the guarantees over the wire.
-    engine.drain();
+    engine.drain().unwrap();
     let m: u64 = truth.values().sum();
     let reported = capture.heavy_hitters().expect("final heavy hitters");
     let true_heavy: Vec<u64> = truth
@@ -141,12 +135,13 @@ fn main() {
     let serve_metrics = server.shutdown();
     let dashboard_polls = dashboard.join().expect("dashboard thread");
     println!(
-        "served {} requests over {} connections ({busy_retries} busy retries, \
+        "served {} requests over {} connections ({} busy retries, \
          {} dashboard polls, peak in-flight {} B)",
         serve_metrics.requests,
         serve_metrics.connections_accepted,
+        capture.busy_retries(),
         dashboard_polls,
         serve_metrics.peak_inflight_bytes,
     );
-    engine.shutdown();
+    engine.shutdown().unwrap();
 }

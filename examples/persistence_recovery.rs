@@ -39,12 +39,17 @@ fn main() {
     let mut truth: HashMap<u64, u64> = HashMap::new();
     for _ in 0..120 {
         let batch = zipf.next_minibatch(20_000);
+        // A closed engine surfaces as a typed error; stop streaming
+        // instead of panicking (the recovery phases below still run).
+        if handle.ingest(&batch).is_err() {
+            eprintln!("engine closed; stopping ingest early");
+            break;
+        }
         for &x in &batch {
             *truth.entry(x).or_insert(0) += 1;
         }
-        handle.ingest(&batch).expect("engine closed");
     }
-    engine.drain();
+    engine.drain().unwrap();
     let epoch = handle.snapshot_now().expect("snapshot");
     let m_snap = handle.total_items();
     let live_hh = handle.heavy_hitters();
@@ -62,12 +67,15 @@ fn main() {
     let mut truth_all = truth.clone();
     for _ in 0..10 {
         let batch = zipf.next_minibatch(20_000);
+        if handle.ingest(&batch).is_err() {
+            eprintln!("engine closed; stopping ingest early");
+            break;
+        }
         for &x in &batch {
             *truth_all.entry(x).or_insert(0) += 1;
         }
-        handle.ingest(&batch).expect("engine closed");
     }
-    engine.drain();
+    engine.drain().unwrap();
     let total_ingested = handle.total_items();
     println!("phase 2 — crash: killing the engine mid-stream at {total_ingested} items\n");
     engine.kill();
@@ -105,7 +113,7 @@ fn main() {
             .ingest(&zipf.next_minibatch(20_000))
             .expect("engine closed");
     }
-    recovered.drain();
+    recovered.drain().unwrap();
     let epoch2 = handle.snapshot_now().expect("snapshot");
     let then = handle.heavy_hitters_at(epoch).expect("history");
     let now = handle.heavy_hitters_at(epoch2).expect("history");
@@ -126,7 +134,7 @@ fn main() {
     assert_eq!(then, live_hh, "epoch {epoch} is immutable history");
 
     println!("{}", handle.metrics().to_table());
-    recovered.shutdown();
+    recovered.shutdown().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
     println!("done.");
 }

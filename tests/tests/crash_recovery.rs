@@ -51,7 +51,7 @@ fn kill_and_recover_preserves_bounds_placements_and_history() {
         }
         handle.ingest(&batch).unwrap();
     }
-    engine.drain();
+    engine.drain().unwrap();
 
     let m_snap = handle.total_items();
     assert_eq!(m_snap, 60_000);
@@ -84,7 +84,7 @@ fn kill_and_recover_preserves_bounds_placements_and_history() {
     for _ in 0..10 {
         handle.ingest(&generator.next_minibatch(2_000)).unwrap();
     }
-    engine.drain();
+    engine.drain().unwrap();
     assert!(handle.total_items() > m_snap);
     engine.kill();
 
@@ -158,7 +158,7 @@ fn kill_and_recover_preserves_bounds_placements_and_history() {
     for _ in 0..5 {
         handle.ingest(&generator.next_minibatch(2_000)).unwrap();
     }
-    recovered.drain();
+    recovered.drain().unwrap();
     assert_eq!(handle.total_items(), m_snap + 10_000);
     let epoch2 = handle.snapshot_now().unwrap();
     assert_eq!(epoch2, 2);
@@ -168,7 +168,7 @@ fn kill_and_recover_preserves_bounds_placements_and_history() {
     assert_eq!(view2.total_items(), m_snap + 10_000);
     assert!(view2.total_items() > handle.view_at(epoch).unwrap().total_items());
 
-    recovered.shutdown();
+    recovered.shutdown().unwrap();
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -189,7 +189,7 @@ fn compaction_bounds_history_while_the_engine_runs() {
     let mut generator = ZipfGenerator::new(10_000, 1.2, 5);
     for round in 1..=8u64 {
         handle.ingest(&generator.next_minibatch(1_000)).unwrap();
-        engine.drain();
+        engine.drain().unwrap();
         assert_eq!(handle.snapshot_now().unwrap(), round);
         let epochs = handle.persisted_epochs().unwrap();
         assert!(epochs.len() <= retain, "retention exceeded: {epochs:?}");
@@ -206,6 +206,6 @@ fn compaction_bounds_history_while_the_engine_runs() {
         segments <= retain / 2 + 2,
         "dead segments not truncated: {segments} files for {retain} epochs"
     );
-    engine.shutdown();
+    engine.shutdown().unwrap();
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -54,7 +54,7 @@ fn sharded_ingestion_matches_single_threaded_pipeline_within_epsilon() {
     for batch in &batches {
         handle.ingest(batch).unwrap();
     }
-    engine.drain();
+    engine.drain().unwrap();
     assert_eq!(handle.total_items(), m);
 
     // Point estimates: both paths are one-sided within εm of the truth, so
@@ -103,7 +103,7 @@ fn sharded_ingestion_matches_single_threaded_pipeline_within_epsilon() {
     );
 
     // The post-shutdown merged estimator also covers the whole stream.
-    let report = engine.shutdown();
+    let report = engine.shutdown().unwrap();
     let merged_est = report.merged_estimator();
     assert_eq!(merged_est.stream_len(), m);
     for (&item, &f) in &truth {
@@ -141,7 +141,7 @@ fn skew_aware_router_levels_load_and_matches_single_thread() {
         for batch in &batches {
             handle.ingest(batch).unwrap();
         }
-        engine.drain();
+        engine.drain().unwrap();
         let metrics = handle.metrics();
         let estimates: HashMap<u64, u64> = truth
             .keys()
@@ -151,7 +151,7 @@ fn skew_aware_router_levels_load_and_matches_single_thread() {
         // The post-shutdown merged estimator must cover the whole stream
         // under either router: MgSummary::merge adds counters item-wise, so
         // a hot key's fragments recombine with the merged-ε bound.
-        let report = engine.shutdown();
+        let report = engine.shutdown().unwrap();
         let merged = report.merged_estimator();
         assert_eq!(merged.stream_len(), m);
         for (&item, &f) in &truth {
@@ -306,7 +306,7 @@ fn queries_answer_while_ingestion_is_in_flight() {
     };
 
     let sent: u64 = producers.into_iter().map(|p| p.join().unwrap()).sum();
-    engine.drain();
+    engine.drain().unwrap();
     done.store(true, Ordering::Release);
     let mid_ingest_queries = queries.join().unwrap();
 
@@ -337,7 +337,7 @@ fn queries_answer_while_ingestion_is_in_flight() {
     let metrics = handle.metrics();
     let wm = metrics.window.expect("window metrics");
     assert_eq!((wm.boundaries, wm.max_shard_lag), (12, 0));
-    let report = engine.shutdown();
+    let report = engine.shutdown().unwrap();
     assert_eq!(report.total_items(), sent);
 }
 
@@ -366,7 +366,7 @@ fn lifted_operators_partition_the_stream() {
     for batch in &batches {
         handle.ingest(batch).unwrap();
     }
-    let report = engine.shutdown();
+    let report = engine.shutdown().unwrap();
 
     // One lifted instance per shard, correctly labelled.
     assert_eq!(report.shards.len(), 4);

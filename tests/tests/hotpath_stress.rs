@@ -166,7 +166,7 @@ fn concurrent_queries_during_ingest_never_tear() {
         first_half.iter().map(|b| b.len() as u64).sum::<u64>()
     );
     ingest_all(second_half);
-    engine.drain();
+    engine.drain().unwrap();
 
     stop.store(true, Ordering::Release);
     let rounds: u64 = queriers.into_iter().map(|q| q.join().unwrap()).sum();
@@ -202,10 +202,10 @@ fn concurrent_queries_during_ingest_never_tear() {
     assert_eq!(handle2.heavy_hitters(), persisted_hh);
     // The recovered engine keeps serving and snapshotting.
     handle2.ingest(&zipf_batches(1, 2_000, 10)[0]).unwrap();
-    recovered.drain();
+    recovered.drain().unwrap();
     assert_eq!(handle2.snapshot_now().unwrap(), epoch + 1);
     assert_eq!(handle2.heavy_hitters_at(epoch).unwrap(), persisted_hh);
-    recovered.shutdown();
+    recovered.shutdown().unwrap();
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -233,12 +233,12 @@ fn lazy_publication_is_always_fresh_after_drain() {
         hot_truth += 250;
         total += batch.len() as u64;
         handle.ingest(&batch).unwrap();
-        engine.drain();
+        engine.drain().unwrap();
         assert_eq!(handle.total_items(), total, "round {round}: stale snapshot");
         let est = handle.estimate(7);
         let slack = (EPSILON * total as f64).ceil() as u64;
         assert!(est <= hot_truth && est + slack >= hot_truth);
         assert!(handle.cm_estimate(7) >= hot_truth);
     }
-    engine.shutdown();
+    engine.shutdown().unwrap();
 }

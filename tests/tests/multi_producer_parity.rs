@@ -80,7 +80,7 @@ fn run_parity(thread_local: bool, routing: RoutingPolicy, producers: usize) {
             });
         }
     });
-    engine.drain();
+    engine.drain().unwrap();
 
     let mode = if thread_local {
         "thread-local"
@@ -139,7 +139,7 @@ fn run_parity(thread_local: bool, routing: RoutingPolicy, producers: usize) {
         );
     }
 
-    engine.shutdown();
+    engine.shutdown().unwrap();
 }
 
 #[test]
@@ -239,7 +239,7 @@ fn thread_local_queries_merge_mid_stream() {
         let rounds = querier.join().expect("querier panicked");
         assert!(rounds > 0, "querier never observed the stream");
     });
-    engine.drain();
+    engine.drain().unwrap();
     assert_eq!(handle.total_items(), (BATCHES * BATCH_SIZE) as u64);
-    engine.shutdown();
+    engine.shutdown().unwrap();
 }

@@ -212,7 +212,7 @@ fn engine_metrics_invariants_hold_under_concurrent_ingest() {
     for p in producers {
         p.join().unwrap();
     }
-    engine.drain();
+    engine.drain().unwrap();
 
     // Every traced event carries a valid shard tag and a known kind name.
     for event in handle.trace_events() {
@@ -228,5 +228,5 @@ fn engine_metrics_invariants_hold_under_concurrent_ingest() {
     let report = handle.metrics().obs.unwrap();
     assert!(report.percentiles("batch_service").unwrap().count > 0);
     assert!(report.percentiles("publish_staleness").unwrap().count > 0);
-    engine.shutdown();
+    engine.shutdown().unwrap();
 }

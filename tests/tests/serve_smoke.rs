@@ -89,7 +89,7 @@ fn concurrent_clients_match_the_single_thread_reference() {
 
     // Drain, then check wire answers against the exact reference: the
     // one-sided ε·m bound, same as in-process queries.
-    engine.drain();
+    engine.drain().unwrap();
     let mut client = Client::connect(addr).expect("verification client");
     let slack = (eps * m as f64).ceil() as u64 + 1;
     for (&item, &f) in &truth {
@@ -120,7 +120,7 @@ fn concurrent_clients_match_the_single_thread_reference() {
     assert!(metrics.requests > 0);
     assert_eq!(metrics.frame_errors, 0);
     assert_eq!(metrics.active_connections, 0, "shutdown left connections");
-    let report = engine.shutdown();
+    let report = engine.shutdown().unwrap();
     assert_eq!(
         report.total_items(),
         m,
@@ -164,8 +164,8 @@ fn tiny_queue_engine_sheds_load_with_busy() {
 
     let metrics = server.shutdown();
     assert_eq!(metrics.busy_responses, busy);
-    engine.drain();
-    let report = engine.shutdown();
+    engine.drain().unwrap();
+    let report = engine.shutdown().unwrap();
     // Busy is clean: exactly the acknowledged batches reached the engine.
     assert_eq!(report.total_items(), accepted * batch.len() as u64);
 }
@@ -199,9 +199,9 @@ fn graceful_shutdown_answers_inflight_and_leaves_the_engine_usable() {
 
     // The engine is untouched by the front end going away: every
     // acknowledged item is drained and queryable in-process.
-    engine.drain();
+    engine.drain().unwrap();
     let handle = engine.handle();
     assert_eq!(handle.total_items(), 30_000);
     assert!(!handle.heavy_hitters().is_empty());
-    engine.shutdown();
+    engine.shutdown().unwrap();
 }

@@ -218,7 +218,7 @@ fn store_detects_every_single_byte_flip_in_a_record() {
     handle
         .ingest(&(0..4_000u64).map(|i| i % 97).collect::<Vec<_>>())
         .unwrap();
-    engine.drain();
+    engine.drain().unwrap();
     handle.snapshot_now().unwrap();
     engine.kill();
 

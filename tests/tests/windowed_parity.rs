@@ -42,7 +42,7 @@ fn run(routing: RoutingPolicy) {
         if !checkpoints.contains(&t) {
             continue;
         }
-        engine.drain();
+        engine.drain().unwrap();
 
         // The aligned cut: boundary t, covering the last min(t, 8) panes —
         // exactly the items the exact window holds.
@@ -130,7 +130,7 @@ fn run(routing: RoutingPolicy) {
     let wm = metrics.window.expect("window metrics");
     assert_eq!(wm.boundaries, BATCHES as u64);
     assert_eq!(wm.max_shard_lag, 0, "drained engine has no boundary lag");
-    engine.shutdown();
+    engine.shutdown().unwrap();
 }
 
 #[test]
